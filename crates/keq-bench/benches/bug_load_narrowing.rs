@@ -1,0 +1,39 @@
+//! **§5.2 / Fig. 10–11** — the out-of-bounds load-narrowing bug on the
+//! non-power-of-two `i96` type (PR4737 style).
+//!
+//! The correct narrowing loads only the 4 available bytes (`movl`,
+//! zero-extending through the 32-bit write rule); the bug loads 8 bytes
+//! (`movq`), reading past the object. KEQ rejects the buggy translation
+//! because the x86 out-of-bounds error state cannot be matched by any LLVM
+//! state — per the paper's footnote 7, not even refinement holds.
+
+use keq_core::KeqOptions;
+use keq_isel::{validate_function, BugInjection, IselOptions, VcOptions};
+use keq_llvm::parse_module;
+
+fn main() {
+    let m = parse_module(keq_llvm::corpus::FIG10_LOAD_NARROW).expect("parses");
+    let f = &m.functions[0];
+    println!("=== Fig. 10: LLVM input ===\n{f}");
+    let cases = [
+        ("Fig. 11(a) correct narrowing", BugInjection::None),
+        ("Fig. 11(b) out-of-bounds narrowing (bug)", BugInjection::LoadNarrowing),
+    ];
+    for (label, bug) in cases {
+        let out = validate_function(
+            &m,
+            f,
+            IselOptions { bug, ..Default::default() },
+            VcOptions::default(),
+            KeqOptions::default(),
+        )
+        .expect("supported");
+        println!("--- {label} ---\n{}", out.isel.func);
+        println!("verdict: {}\n", out.report.verdict);
+        assert_eq!(
+            out.report.verdict.is_validated(),
+            bug == BugInjection::None,
+            "{label}: wrong verdict"
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! **Fig. 7** — distributions of validation time and code size over the
+//! corpus. The paper reports a heavily right-skewed time distribution
+//! (median 0.8 s, mean 150 s) and a long-tailed code-size distribution;
+//! this harness prints the same two histograms plus the mean/median
+//! summary. Knobs: `KEQ_FIG7_N` (default 60), `KEQ_FIG7_SECS` (default 20),
+//! `KEQ_FIG7_SEED` (default 2021).
+
+use std::time::Duration;
+
+use keq_bench::{run_corpus, Histogram};
+use keq_core::KeqOptions;
+use keq_smt::Budget;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let n = env_u64("KEQ_FIG7_N", 60) as usize;
+    let secs = env_u64("KEQ_FIG7_SECS", 20);
+    let seed = env_u64("KEQ_FIG7_SEED", 2021);
+    let opts = KeqOptions {
+        time_limit: Some(Duration::from_secs(secs)),
+        solver_budget: Budget {
+            max_conflicts: 500_000,
+            max_terms: 2_000_000,
+            max_time: Some(Duration::from_secs(secs / 4 + 1)),
+        },
+        ..KeqOptions::default()
+    };
+    eprintln!("validating {n} corpus functions (seed {seed})...");
+    let (_m, summary) = run_corpus(seed, n, opts);
+
+    println!("=== Fig. 7: distributions of validation time and code size ===\n");
+    let mut time_hist = Histogram::new(
+        "validation time (seconds)",
+        vec![0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0],
+    );
+    let mut size_hist =
+        Histogram::new("code size (instructions)", vec![10.0, 25.0, 50.0, 100.0, 200.0, 400.0]);
+    for row in &summary.rows {
+        time_hist.add(row.time.as_secs_f64());
+        size_hist.add(row.size as f64);
+    }
+    println!("{}", time_hist.render());
+    println!("{}", size_hist.render());
+
+    let mut times: Vec<f64> = summary.rows.iter().map(|r| r.time.as_secs_f64()).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let mean = times.iter().sum::<f64>() / times.len().max(1) as f64;
+    let median = times.get(times.len() / 2).copied().unwrap_or(0.0);
+    println!("time: mean {mean:.3} s, median {median:.3} s");
+    println!("(paper shape: mean >> median — a heavy right tail of hard functions)");
+}

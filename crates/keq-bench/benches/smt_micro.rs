@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks:
+//!
+//! * **§3 ablation** — the positive-form path-condition query
+//!   (`φ₁ ∧ Ψ₂`) versus the naive negated query (`φ₁ ∧ ¬φ₂`);
+//! * solver scaling on arithmetic identities by bit width;
+//! * end-to-end validation latency of the running example.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use keq_core::KeqOptions;
+use keq_isel::{validate_function, IselOptions, VcOptions};
+use keq_llvm::parse_module;
+use keq_smt::{Solver, Sort, TermBank, TermId};
+
+/// A branchy path-condition pair like the ones ISel validation produces:
+/// `φ₁ = (i - n <u 0 … layered comparisons)`, target `φ₂`, sibling `¬φ₂`.
+fn path_conditions(bank: &mut TermBank, w: u32) -> (TermId, TermId, TermId) {
+    let i = bank.mk_var("i", Sort::BitVec(w));
+    let n = bank.mk_var("n", Sort::BitVec(w));
+    let d = bank.mk_var("d", Sort::BitVec(w));
+    // φ₁: (i + d) <u n  — the LLVM-side branch condition.
+    let id = bank.mk_bvadd(i, d);
+    let phi1 = bank.mk_bvult(id, n);
+    // φ₂: ¬(n <=u i + d) — the equivalent x86-side form (no borrow after
+    // the `sub`, complemented). Syntactically different, so the solver has
+    // real work; the sibling is the other branch's condition.
+    let sibling = bank.mk_bvule(n, id);
+    let phi2 = bank.mk_not(sibling);
+    (phi1, phi2, sibling)
+}
+
+fn bench_positive_form(c: &mut Criterion) {
+    let mut group = c.benchmark_group("s3_positive_form_ablation");
+    group.sample_size(20);
+    for w in [16u32, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("positive", w), &w, |b, &w| {
+            b.iter(|| {
+                let mut bank = TermBank::new();
+                let (phi1, _phi2, sibling) = path_conditions(&mut bank, w);
+                let mut solver = Solver::new();
+                assert!(solver
+                    .prove_implies_positive(&mut bank, &[phi1], &[sibling])
+                    .is_proved());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("negated", w), &w, |b, &w| {
+            b.iter(|| {
+                let mut bank = TermBank::new();
+                let (phi1, phi2, _sibling) = path_conditions(&mut bank, w);
+                let mut solver = Solver::new();
+                assert!(solver.prove_implies(&mut bank, &[phi1], phi2).is_proved());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_solver_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_width_scaling");
+    group.sample_size(10);
+    for w in [8u32, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("add_sub_roundtrip", w), &w, |b, &w| {
+            b.iter(|| {
+                let mut bank = TermBank::new();
+                let x = bank.mk_var("x", Sort::BitVec(w));
+                let y = bank.mk_var("y", Sort::BitVec(w));
+                let s = bank.mk_bvadd(x, y);
+                let d = bank.mk_bvsub(s, y);
+                let mut solver = Solver::new();
+                assert!(solver.prove_equiv(&mut bank, &[], d, x).is_proved());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_running_example(c: &mut Criterion) {
+    let m = parse_module(keq_llvm::corpus::ARITHM_SEQ_SUM).expect("parses");
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("validate_arithm_seq_sum", |b| {
+        b.iter(|| {
+            let f = m.function("arithm_seq_sum").expect("present");
+            let out = validate_function(
+                &m,
+                f,
+                IselOptions::default(),
+                VcOptions::default(),
+                KeqOptions::default(),
+            )
+            .expect("supported");
+            assert!(out.report.verdict.is_validated());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_positive_form, bench_solver_scaling, bench_running_example);
+criterion_main!(benches);

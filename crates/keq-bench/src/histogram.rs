@@ -1,0 +1,64 @@
+//! Minimal text histograms for the Fig. 7 distribution plots.
+
+/// A fixed-bucket histogram rendered as rows of `#` bars.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Counts per bucket (one more than `bounds` for the overflow bucket).
+    pub counts: Vec<usize>,
+    label: String,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given bucket upper bounds.
+    pub fn new(label: impl Into<String>, bounds: Vec<f64>) -> Self {
+        let counts = vec![0; bounds.len() + 1];
+        Histogram { bounds, counts, label: label.into() }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, value: f64) {
+        let idx = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+    }
+
+    /// Renders the histogram.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let _ = writeln!(s, "{}:", self.label);
+        let mut lo = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let label = if i < self.bounds.len() {
+                format!("{:>9.2}..{:<9.2}", lo, self.bounds[i])
+            } else {
+                format!("{:>9.2}..{:<9}", lo, "inf")
+            };
+            let bar = "#".repeat(c * 50 / max);
+            let _ = writeln!(s, "  {label} | {bar} {c}");
+            if i < self.bounds.len() {
+                lo = self.bounds[i];
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_fill_correctly() {
+        let mut h = Histogram::new("t", vec![1.0, 10.0]);
+        h.add(0.5);
+        h.add(5.0);
+        h.add(50.0);
+        h.add(0.9);
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        let r = h.render();
+        assert!(r.contains("t:"));
+    }
+}

@@ -1,0 +1,10 @@
+//! # keq-bench — experiment harnesses
+//!
+//! Bench targets regenerating every table and figure of the paper's
+//! evaluation; see EXPERIMENTS.md at the repository root for the index.
+
+pub mod corpus_run;
+pub mod histogram;
+
+pub use corpus_run::{run_corpus, CorpusResult, CorpusRow, CorpusSummary};
+pub use histogram::Histogram;

@@ -1,0 +1,377 @@
+//! Concrete cut transition systems — the paper's Section 7 formalization.
+//!
+//! This module implements the theory on *finite, explicit* transition
+//! systems: cuts (Def. 7.1), cut-successors (Def. 7.3), cut-bisimulations
+//! (Def. 7.4), the cut-abstract transition system (Def. 7.5), and the
+//! concrete version of Algorithm 1. It exists to make the theory itself
+//! executable and testable (Lemma 7.2, Lemma 7.6 and Theorem 8.1 all have
+//! property tests against this code) and to reproduce the paper's Fig. 4
+//! partial-redundancy-elimination example.
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+/// A finite transition system with a designated cut set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutTs {
+    /// Successor lists, indexed by state.
+    pub transitions: Vec<Vec<usize>>,
+    /// The initial state ξ.
+    pub initial: usize,
+    /// The cut set C.
+    pub cut: BTreeSet<usize>,
+}
+
+impl CutTs {
+    /// Builds a system from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced state is `>= num_states`.
+    pub fn new(
+        num_states: usize,
+        edges: &[(usize, usize)],
+        initial: usize,
+        cut: impl IntoIterator<Item = usize>,
+    ) -> Self {
+        let mut transitions = vec![Vec::new(); num_states];
+        for &(a, b) in edges {
+            assert!(a < num_states && b < num_states, "edge out of range");
+            transitions[a].push(b);
+        }
+        assert!(initial < num_states, "initial state out of range");
+        let cut: BTreeSet<usize> = cut.into_iter().collect();
+        assert!(cut.iter().all(|&s| s < num_states), "cut state out of range");
+        CutTs { transitions, initial, cut }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Successors of `s` (the `next(s)` of the paper).
+    pub fn next(&self, s: usize) -> &[usize] {
+        &self.transitions[s]
+    }
+
+    /// Checks Definition 7.1: `cut` is a cut for this system — the initial
+    /// state is in the cut, and from every cut state, every complete trace
+    /// passes through a cut state after at least one step.
+    ///
+    /// Operationally: starting from the successors of each cut state and
+    /// walking only through non-cut states, we must never (a) find a cycle
+    /// of non-cut states, nor (b) reach a terminal non-cut state.
+    pub fn is_valid_cut(&self) -> bool {
+        if !self.cut.contains(&self.initial) {
+            return false;
+        }
+        // All non-cut states reachable from cut-state successors.
+        let mut reach: HashSet<usize> = HashSet::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &c in &self.cut {
+            for &n in self.next(c) {
+                if !self.cut.contains(&n) && reach.insert(n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+        while let Some(s) = queue.pop_front() {
+            if self.next(s).is_empty() {
+                return false; // terminal trace ending outside the cut
+            }
+            for &n in self.next(s) {
+                if !self.cut.contains(&n) && reach.insert(n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+        // No cycle within the reachable non-cut region (otherwise an
+        // infinite trace avoids the cut). Detect via Kahn's algorithm on the
+        // induced subgraph.
+        let mut indeg: std::collections::HashMap<usize, usize> =
+            reach.iter().map(|&s| (s, 0)).collect();
+        for &s in &reach {
+            for &n in self.next(s) {
+                if reach.contains(&n) {
+                    *indeg.get_mut(&n).expect("in reach") += 1;
+                }
+            }
+        }
+        let mut q: VecDeque<usize> =
+            indeg.iter().filter(|(_, &d)| d == 0).map(|(&s, _)| s).collect();
+        let mut removed = 0usize;
+        while let Some(s) = q.pop_front() {
+            removed += 1;
+            for &n in self.next(s) {
+                if let Some(d) = indeg.get_mut(&n) {
+                    *d -= 1;
+                    if *d == 0 {
+                        q.push_back(n);
+                    }
+                }
+            }
+        }
+        removed == reach.len()
+    }
+
+    /// Cut-successors of `s` (Def. 7.3): cut states reachable through
+    /// non-cut states only, in at least one step. This is the `next_i`
+    /// function of Algorithm 1.
+    pub fn cut_successors(&self, s: usize) -> BTreeSet<usize> {
+        let mut ret = BTreeSet::new();
+        let mut frontier: Vec<usize> = vec![s];
+        let mut visited: HashSet<usize> = HashSet::new();
+        while let Some(n) = frontier.pop() {
+            for &n2 in self.next(n) {
+                if self.cut.contains(&n2) {
+                    ret.insert(n2);
+                } else if visited.insert(n2) {
+                    frontier.push(n2);
+                }
+            }
+        }
+        ret
+    }
+
+    /// The cut-abstract transition system (Def. 7.5): states are the cut
+    /// states, transitions are cut-successor edges.
+    pub fn cut_abstract(&self) -> CutTs {
+        let states: Vec<usize> = self.cut.iter().copied().collect();
+        let index_of = |s: usize| states.binary_search(&s).expect("cut state");
+        let mut edges = Vec::new();
+        for &c in &states {
+            for n in self.cut_successors(c) {
+                edges.push((index_of(c), index_of(n)));
+            }
+        }
+        CutTs::new(states.len(), &edges, index_of(self.initial), 0..states.len())
+    }
+}
+
+/// Checks that `rel` is a cut-simulation of `t1` by `t2` (Def. 7.4 phrased
+/// over the cut-abstract systems): whenever `(s1, s2) ∈ rel`, every
+/// cut-successor of `s1` is matched by some cut-successor of `s2` staying in
+/// `rel`.
+pub fn is_cut_simulation(t1: &CutTs, t2: &CutTs, rel: &BTreeSet<(usize, usize)>) -> bool {
+    for &(s1, s2) in rel {
+        if !t1.cut.contains(&s1) || !t2.cut.contains(&s2) {
+            return false;
+        }
+        let n1 = t1.cut_successors(s1);
+        let n2 = t2.cut_successors(s2);
+        for &a in &n1 {
+            if !n2.iter().any(|&b| rel.contains(&(a, b))) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks that `rel` is a cut-bisimulation (both directions).
+pub fn is_cut_bisimulation(t1: &CutTs, t2: &CutTs, rel: &BTreeSet<(usize, usize)>) -> bool {
+    let inverse: BTreeSet<(usize, usize)> = rel.iter().map(|&(a, b)| (b, a)).collect();
+    is_cut_simulation(t1, t2, rel) && is_cut_simulation(t2, t1, &inverse)
+}
+
+/// Concrete Algorithm 1: checks whether `rel` (with `(ξ1, ξ2) ∈ rel`) is a
+/// cut-bisimulation witnessing equivalence. Returns `true` exactly when the
+/// check of the paper's `main` succeeds.
+pub fn algorithm1(t1: &CutTs, t2: &CutTs, rel: &BTreeSet<(usize, usize)>) -> bool {
+    if !rel.contains(&(t1.initial, t2.initial)) {
+        return false;
+    }
+    for &(p1, p2) in rel {
+        // check(p1, p2): color successor pairs found in rel black; require
+        // every successor on both sides to end up black.
+        let n1 = t1.cut_successors(p1);
+        let n2 = t2.cut_successors(p2);
+        let mut black1: BTreeSet<usize> = BTreeSet::new();
+        let mut black2: BTreeSet<usize> = BTreeSet::new();
+        for &a in &n1 {
+            for &b in &n2 {
+                if rel.contains(&(a, b)) {
+                    black1.insert(a);
+                    black2.insert(b);
+                }
+            }
+        }
+        if black1.len() != n1.len() || black2.len() != n2.len() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Concrete Algorithm 1 in simulation mode (the paper's footnote to line
+/// 11: only `N1` must be fully black).
+pub fn algorithm1_simulation(t1: &CutTs, t2: &CutTs, rel: &BTreeSet<(usize, usize)>) -> bool {
+    if !rel.contains(&(t1.initial, t2.initial)) {
+        return false;
+    }
+    for &(p1, p2) in rel {
+        let n1 = t1.cut_successors(p1);
+        let n2 = t2.cut_successors(p2);
+        for &a in &n1 {
+            if !n2.iter().any(|&b| rel.contains(&(a, b))) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks that `rel` is a *strong* bisimulation on two systems (ignoring the
+/// cut structure) — used to validate Lemma 7.6: a cut-bisimulation on `T` is
+/// a strong bisimulation on the cut-abstract system of `T`.
+pub fn is_strong_bisimulation(t1: &CutTs, t2: &CutTs, rel: &BTreeSet<(usize, usize)>) -> bool {
+    for &(s1, s2) in rel {
+        for &a in t1.next(s1) {
+            if !t2.next(s2).iter().any(|&b| rel.contains(&(a, b))) {
+                return false;
+            }
+        }
+        for &b in t2.next(s2) {
+            if !t1.next(s1).iter().any(|&a| rel.contains(&(a, b))) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The paper's Fig. 4 example: the source and target of a partial-redundancy
+/// elimination step, with the cut-bisimulation given by the black dotted
+/// lines only.
+///
+/// Left program (P): `P0 —(x=a+b)→ P1`, then branches to `P2` (y = a+b,
+/// via then-branch) or `P3` (skip). Right program (Q): `Q0` branches to
+/// `Q1 —(t=a+b; x=t)→ Q2 (y=t)` or `Q3 (x=a+b)`.
+pub fn fig4_example() -> (CutTs, CutTs, BTreeSet<(usize, usize)>) {
+    // Left: P0 -> P1; P1 -> P2; P1 -> P3  (P2, P3 terminal)
+    let p = CutTs::new(4, &[(0, 1), (1, 2), (1, 3)], 0, [0, 2, 3]);
+    // Right: Q0 -> Q1; Q1 -> Q2; Q0 -> Q3  (Q2, Q3 terminal)
+    let q = CutTs::new(4, &[(0, 1), (1, 2), (0, 3)], 0, [0, 2, 3]);
+    let rel: BTreeSet<(usize, usize)> = [(0, 0), (2, 2), (3, 3)].into_iter().collect();
+    (p, q, rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_relation_is_cut_bisimulation() {
+        let (p, q, rel) = fig4_example();
+        assert!(p.is_valid_cut(), "P's cut is valid");
+        assert!(q.is_valid_cut(), "Q's cut is valid");
+        assert!(is_cut_bisimulation(&p, &q, &rel));
+        assert!(algorithm1(&p, &q, &rel));
+    }
+
+    #[test]
+    fn fig4_is_not_strongly_bisimilar_on_raw_states() {
+        // The motivating observation of §2: the same relation is NOT a
+        // strong bisimulation on the un-abstracted systems, because the
+        // intermediate states P1/Q1 break lockstep.
+        let (p, q, rel) = fig4_example();
+        assert!(!is_strong_bisimulation(&p, &q, &rel));
+    }
+
+    #[test]
+    fn lemma_7_6_cut_bisim_is_strong_bisim_on_abstraction() {
+        let (p, q, rel) = fig4_example();
+        let pa = p.cut_abstract();
+        let qa = q.cut_abstract();
+        // Remap the relation into abstract indices.
+        let p_states: Vec<usize> = p.cut.iter().copied().collect();
+        let q_states: Vec<usize> = q.cut.iter().copied().collect();
+        let abs_rel: BTreeSet<(usize, usize)> = rel
+            .iter()
+            .map(|&(a, b)| {
+                (
+                    p_states.binary_search(&a).expect("cut state"),
+                    q_states.binary_search(&b).expect("cut state"),
+                )
+            })
+            .collect();
+        assert!(is_strong_bisimulation(&pa, &qa, &abs_rel));
+    }
+
+    #[test]
+    fn invalid_cut_missing_initial() {
+        let t = CutTs::new(2, &[(0, 1)], 0, [1]);
+        assert!(!t.is_valid_cut());
+    }
+
+    #[test]
+    fn invalid_cut_terminal_outside() {
+        // 0 -> 1 (terminal), 1 not in cut.
+        let t = CutTs::new(2, &[(0, 1)], 0, [0]);
+        assert!(!t.is_valid_cut());
+    }
+
+    #[test]
+    fn invalid_cut_cycle_avoiding() {
+        // 0 -> 1 -> 2 -> 1 cycle outside the cut.
+        let t = CutTs::new(3, &[(0, 1), (1, 2), (2, 1)], 0, [0]);
+        assert!(!t.is_valid_cut());
+    }
+
+    #[test]
+    fn valid_cut_with_loop_through_cut() {
+        // 0 -> 1 -> 0 loop; both in cut.
+        let t = CutTs::new(2, &[(0, 1), (1, 0)], 0, [0, 1]);
+        assert!(t.is_valid_cut());
+        assert_eq!(t.cut_successors(0), [1].into_iter().collect());
+    }
+
+    #[test]
+    fn cut_successor_skips_intermediates() {
+        // 0 -> a -> b -> 1 with a, b non-cut.
+        let t = CutTs::new(4, &[(0, 2), (2, 3), (3, 1)], 0, [0, 1]);
+        assert!(t.is_valid_cut());
+        assert_eq!(t.cut_successors(0), [1].into_iter().collect());
+    }
+
+    #[test]
+    fn self_cut_successor_through_loop_body() {
+        // loop: 0 -> 1 -> 0 with 1 non-cut would be an invalid cut (cycle
+        // through non-cut)? No: the cycle passes through 0 which IS cut.
+        let t = CutTs::new(2, &[(0, 1), (1, 0)], 0, [0]);
+        assert!(t.is_valid_cut());
+        assert_eq!(t.cut_successors(0), [0].into_iter().collect());
+    }
+
+    #[test]
+    fn algorithm1_rejects_mismatched_branching() {
+        // Left branches to two distinct cut states, right to one.
+        let l = CutTs::new(3, &[(0, 1), (0, 2)], 0, [0, 1, 2]);
+        let r = CutTs::new(2, &[(0, 1)], 0, [0, 1]);
+        let rel: BTreeSet<(usize, usize)> = [(0, 0), (1, 1)].into_iter().collect();
+        assert!(!algorithm1(&l, &r, &rel), "state 2 is never matched");
+        // But it IS a valid cut-simulation of r by l (r refines l):
+        let inv: BTreeSet<(usize, usize)> = rel.iter().map(|&(a, b)| (b, a)).collect();
+        assert!(algorithm1_simulation(&r, &l, &inv));
+    }
+
+    #[test]
+    fn algorithm1_requires_initial_pair() {
+        let l = CutTs::new(1, &[], 0, [0]);
+        let r = CutTs::new(1, &[], 0, [0]);
+        assert!(!algorithm1(&l, &r, &BTreeSet::new()));
+        let rel: BTreeSet<(usize, usize)> = [(0, 0)].into_iter().collect();
+        assert!(algorithm1(&l, &r, &rel));
+    }
+
+    #[test]
+    fn cut_abstract_preserves_initial() {
+        let t = CutTs::new(4, &[(0, 2), (2, 1), (1, 3), (3, 1)], 0, [0, 1]);
+        let a = t.cut_abstract();
+        assert_eq!(a.num_states(), 2);
+        assert_eq!(a.initial, 0);
+        // 0 ~> 1 (through 2), 1 ~> 1 (through 3).
+        assert_eq!(a.next(0), &[1]);
+        assert_eq!(a.next(1), &[1]);
+    }
+}

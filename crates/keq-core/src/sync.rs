@@ -1,0 +1,219 @@
+//! Synchronization points — the verification conditions KEQ consumes.
+//!
+//! A synchronization point (paper §4.5) is a pair of symbolic states,
+//! identified by location patterns, together with equality constraints over
+//! the values live at those locations. The set of points doubles as the
+//! *cut* definition: a symbolic state is a cut state exactly when its
+//! location matches some point's pattern on its side.
+
+use keq_semantics::{CtrlLoc, LocPattern};
+
+/// A value expression resolvable against one side's configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ValueExpr {
+    /// The value of a named register/local.
+    Reg(String),
+    /// A bit slice `[hi:lo]` of a named register — how the x86 side names
+    /// sub-register views (`edi` is `RegSlice{rdi, 31, 0}`).
+    RegSlice {
+        /// Register name.
+        name: String,
+        /// High bit (inclusive).
+        hi: u32,
+        /// Low bit.
+        lo: u32,
+    },
+    /// A constant of the given width.
+    Const {
+        /// Constant value (masked to `width`).
+        value: u128,
+        /// Bit width.
+        width: u32,
+    },
+    /// The function's return value (meaningful at `Exit` points).
+    Ret,
+    /// The `i`-th argument of the pending call (at `BeforeCall` points).
+    Arg(usize),
+}
+
+impl ValueExpr {
+    /// Convenience constructor for a register expression.
+    pub fn reg(name: impl Into<String>) -> Self {
+        ValueExpr::Reg(name.into())
+    }
+}
+
+/// One side (left or right) of a synchronization point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SideSpec {
+    /// Which configurations this side covers.
+    pub pattern: LocPattern,
+    /// Where symbolic execution starts when this point is used as a source
+    /// pair in Algorithm 1 (`None` for arrival-only points: exits and
+    /// before-call points).
+    pub start: Option<CtrlLoc>,
+    /// Registers that are live here, with their widths; each is assigned a
+    /// fresh symbolic variable at instantiation. A width of `0` denotes a
+    /// boolean register (used for x86 condition flags).
+    pub havoc_regs: Vec<(String, u32)>,
+}
+
+impl SideSpec {
+    /// An arrival-only side (exit or before-call).
+    pub fn arrival(pattern: LocPattern) -> Self {
+        SideSpec { pattern, start: None, havoc_regs: Vec::new() }
+    }
+
+    /// A startable side.
+    pub fn startable(pattern: LocPattern, start: CtrlLoc, havoc_regs: Vec<(String, u32)>) -> Self {
+        SideSpec { pattern, start: Some(start), havoc_regs }
+    }
+}
+
+/// A synchronization point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncPoint {
+    /// Point name (e.g. `p0`, `p1`, … as in the paper's Fig. 3).
+    pub name: String,
+    /// Left (source-language) side.
+    pub left: SideSpec,
+    /// Right (target-language) side.
+    pub right: SideSpec,
+    /// Equality constraints relating the two sides' values. Assumed when
+    /// the point is used as a start pair; proved when it is an arrival.
+    pub equalities: Vec<(ValueExpr, ValueExpr)>,
+    /// Whether the two memories must be equal here (always `true` in the
+    /// ISel system; part of the acceptability relation, §4.5 "Memory
+    /// state").
+    pub mem_equal: bool,
+}
+
+impl SyncPoint {
+    /// `true` if Algorithm 1 should start symbolic execution from here.
+    pub fn is_startable(&self) -> bool {
+        self.left.start.is_some() && self.right.start.is_some()
+    }
+}
+
+/// The full synchronization relation for one function pair.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SyncSet {
+    /// All points.
+    pub points: Vec<SyncPoint>,
+}
+
+impl SyncSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a point.
+    pub fn push(&mut self, point: SyncPoint) {
+        self.points.push(point);
+    }
+
+    /// Iterates over the points.
+    pub fn iter(&self) -> impl Iterator<Item = &SyncPoint> {
+        self.points.iter()
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no points exist.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All block-entry patterns on the chosen side — the side's cut
+    /// locations for block starts.
+    pub fn block_patterns(&self, side: Side) -> Vec<&LocPattern> {
+        self.points
+            .iter()
+            .map(|p| match side {
+                Side::Left => &p.left.pattern,
+                Side::Right => &p.right.pattern,
+            })
+            .filter(|p| matches!(p, LocPattern::BlockEntry { .. }))
+            .collect()
+    }
+}
+
+/// Which side of the relation a pattern belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Source language (e.g. LLVM IR).
+    Left,
+    /// Target language (e.g. Virtual x86).
+    Right,
+}
+
+impl Side {
+    /// Short label for diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Side::Left => "left",
+            Side::Right => "right",
+        }
+    }
+}
+
+impl std::fmt::Display for Side {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn startable_detection() {
+        let entry = SyncPoint {
+            name: "p0".into(),
+            left: SideSpec::startable(
+                LocPattern::Entry,
+                CtrlLoc::entry("entry"),
+                vec![("%a0".into(), 32)],
+            ),
+            right: SideSpec::startable(
+                LocPattern::Entry,
+                CtrlLoc::entry("BB0"),
+                vec![("edi".into(), 32)],
+            ),
+            equalities: vec![(ValueExpr::reg("%a0"), ValueExpr::reg("edi"))],
+            mem_equal: true,
+        };
+        assert!(entry.is_startable());
+        let exit = SyncPoint {
+            name: "p3".into(),
+            left: SideSpec::arrival(LocPattern::Exit),
+            right: SideSpec::arrival(LocPattern::Exit),
+            equalities: vec![(ValueExpr::Ret, ValueExpr::Ret)],
+            mem_equal: true,
+        };
+        assert!(!exit.is_startable());
+    }
+
+    #[test]
+    fn block_patterns_filter() {
+        let mut set = SyncSet::new();
+        set.push(SyncPoint {
+            name: "p1".into(),
+            left: SideSpec::startable(
+                LocPattern::BlockEntry { block: "loop".into(), prev: Some("entry".into()) },
+                CtrlLoc::block_start("loop", Some("entry".into())),
+                vec![],
+            ),
+            right: SideSpec::arrival(LocPattern::Exit),
+            equalities: vec![],
+            mem_equal: true,
+        });
+        assert_eq!(set.block_patterns(Side::Left).len(), 1);
+        assert_eq!(set.block_patterns(Side::Right).len(), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Verdicts and failure diagnostics of an equivalence check.
+
+use std::fmt;
+
+use keq_semantics::SemanticsError;
+use keq_smt::{BudgetKind, SolverStats};
+
+use crate::sync::Side;
+
+/// Outcome of a KEQ run on one function pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The synchronization relation is a cut-bisimulation and no
+    /// undefined-behavior absorption was needed: the programs are
+    /// equivalent.
+    Equivalent,
+    /// The relation is a cut-simulation modulo source-program UB: the target
+    /// refines the source (the paper's §4.6 automatic fallback).
+    Refines,
+    /// The translation could not be validated.
+    NotValidated(Failure),
+}
+
+impl Verdict {
+    /// `true` when the translation was validated (equivalence or
+    /// refinement).
+    pub fn is_validated(&self) -> bool {
+        !matches!(self, Verdict::NotValidated(_))
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Equivalent => write!(f, "equivalent"),
+            Verdict::Refines => write!(f, "refines (source UB absorbed)"),
+            Verdict::NotValidated(fail) => write!(f, "NOT validated: {fail}"),
+        }
+    }
+}
+
+/// A validation failure, attributed to the start point being checked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// Name of the synchronization point whose check failed.
+    pub point: String,
+    /// Why.
+    pub reason: FailureReason,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at point {}: {}", self.point, self.reason)
+    }
+}
+
+/// Reasons a check can fail. The first three are genuine bisimulation
+/// failures (potential miscompilations or inadequate sync points); the rest
+/// map onto the paper's resource-failure classes (Fig. 6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureReason {
+    /// A reachable successor pair matched a sync point but an equality
+    /// constraint could not be proved.
+    ConstraintUnproved {
+        /// The target sync point.
+        target: String,
+        /// Description of the failing constraint.
+        constraint: String,
+        /// Rendered countermodel, when available.
+        countermodel: Option<String>,
+    },
+    /// A reachable successor pair matched no sync point (or an error state
+    /// on the right had no matching error on the left).
+    UnmatchedPair {
+        /// Description of the left successor.
+        left: String,
+        /// Description of the right successor.
+        right: String,
+    },
+    /// Memory equality was required but the two memories are not store
+    /// chains over a shared base.
+    MemoryBasesDiffer {
+        /// The target sync point.
+        target: String,
+    },
+    /// Symbolic execution exhausted its step fuel before reaching the cut
+    /// frontier (the timeout class).
+    FuelExhausted {
+        /// Which side ran out.
+        side: Side,
+    },
+    /// The wall-clock limit elapsed (the paper's per-function timeout).
+    TimeLimit,
+    /// The SMT solver exhausted a budget (conflicts → timeout class,
+    /// terms → out-of-memory class).
+    SolverBudget(BudgetKind),
+    /// A language semantics rejected the program.
+    Semantics {
+        /// Which side.
+        side: Side,
+        /// The underlying error.
+        error: SemanticsError,
+    },
+    /// The synchronization set contains no startable point (no entry
+    /// coverage) — an inadequate VC.
+    NoStartablePoints,
+}
+
+impl fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureReason::ConstraintUnproved { target, constraint, countermodel } => {
+                write!(f, "constraint {constraint} unproved at target {target}")?;
+                if let Some(m) = countermodel {
+                    write!(f, " (countermodel: {m})")?;
+                }
+                Ok(())
+            }
+            FailureReason::UnmatchedPair { left, right } => {
+                write!(f, "reachable pair matches no sync point: left={left}, right={right}")
+            }
+            FailureReason::MemoryBasesDiffer { target } => {
+                write!(f, "memories have different bases at target {target}")
+            }
+            FailureReason::FuelExhausted { side } => {
+                write!(f, "symbolic execution fuel exhausted on {side} side")
+            }
+            FailureReason::TimeLimit => write!(f, "wall-clock time limit exceeded"),
+            FailureReason::SolverBudget(BudgetKind::Conflicts) => {
+                write!(f, "solver conflict budget exhausted (timeout class)")
+            }
+            FailureReason::SolverBudget(BudgetKind::Terms) => {
+                write!(f, "solver term budget exhausted (out-of-memory class)")
+            }
+            FailureReason::Semantics { side, error } => {
+                write!(f, "semantics error on {side} side: {error}")
+            }
+            FailureReason::NoStartablePoints => {
+                write!(f, "synchronization set has no startable points")
+            }
+        }
+    }
+}
+
+impl FailureReason {
+    /// Classifies the failure into the paper's Fig. 6 rows.
+    pub fn failure_class(&self) -> FailureClass {
+        match self {
+            FailureReason::FuelExhausted { .. }
+            | FailureReason::TimeLimit
+            | FailureReason::SolverBudget(BudgetKind::Conflicts) => FailureClass::Timeout,
+            FailureReason::SolverBudget(BudgetKind::Terms) => FailureClass::OutOfMemory,
+            _ => FailureClass::Other,
+        }
+    }
+}
+
+/// The paper's failure taxonomy (Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureClass {
+    /// Resource exhaustion in solving or symbolic execution.
+    Timeout,
+    /// Memory-style budget exhaustion.
+    OutOfMemory,
+    /// Anything else (genuine mismatches, inadequate sync points, …).
+    Other,
+}
+
+/// Statistics from one KEQ run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KeqStats {
+    /// Startable points processed.
+    pub start_points: u64,
+    /// Successor pairs examined.
+    pub pairs_checked: u64,
+    /// Proof obligations discharged.
+    pub obligations_proved: u64,
+    /// Symbolic steps executed.
+    pub steps: u64,
+    /// Whether any left-error absorption occurred (equivalence degraded to
+    /// refinement).
+    pub absorbed_ub: bool,
+    /// Solver statistics.
+    pub solver: SolverStats,
+}
+
+/// A verdict plus run statistics.
+#[derive(Debug, Clone)]
+pub struct KeqReport {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Run statistics.
+    pub stats: KeqStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_display_and_predicates() {
+        assert!(Verdict::Equivalent.is_validated());
+        assert!(Verdict::Refines.is_validated());
+        let v = Verdict::NotValidated(Failure {
+            point: "p0".into(),
+            reason: FailureReason::NoStartablePoints,
+        });
+        assert!(!v.is_validated());
+        assert!(v.to_string().contains("NOT validated"));
+    }
+
+    #[test]
+    fn failure_classes_map_to_fig6_rows() {
+        assert_eq!(
+            FailureReason::SolverBudget(BudgetKind::Conflicts).failure_class(),
+            FailureClass::Timeout
+        );
+        assert_eq!(
+            FailureReason::SolverBudget(BudgetKind::Terms).failure_class(),
+            FailureClass::OutOfMemory
+        );
+        assert_eq!(
+            FailureReason::FuelExhausted { side: Side::Left }.failure_class(),
+            FailureClass::Timeout
+        );
+        assert_eq!(FailureReason::NoStartablePoints.failure_class(), FailureClass::Other);
+    }
+}

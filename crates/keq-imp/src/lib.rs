@@ -1,0 +1,18 @@
+//! # keq-imp — a second language pair for the same checker
+//!
+//! The paper's headline claim is that KEQ is *language-parametric*: the
+//! checker takes operational semantics as parameters and contains no
+//! hard-coded language. This crate substantiates the claim with a language
+//! pair that has nothing to do with LLVM: **IMP**, a small structured
+//! while-language, compiled to a **stack machine** — and validated by the
+//! exact same `keq_core::Keq` used for Instruction Selection.
+
+pub mod ast;
+pub mod compile;
+pub mod sem;
+pub mod vc;
+
+pub use ast::{Expr, ImpProgram, Stmt};
+pub use compile::{compile, StackFn, StackOp};
+pub use sem::{ImpSemantics, StackSemantics};
+pub use vc::imp_sync_points;

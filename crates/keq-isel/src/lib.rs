@@ -1,0 +1,26 @@
+//! # keq-isel — the Instruction Selection pass and its validation harness
+//!
+//! The compiler under validation (the paper's §4.1 subject): an O0-style
+//! instruction selector from LLVM IR to Virtual x86, with the two §5.2
+//! miscompilations re-introducible via [`BugInjection`]; the §4.5 hint
+//! generator ([`Hints`]); the live-variables analysis; the
+//! synchronization-point generator ([`vcgen`]); and [`pipeline`], the
+//! end-to-end translation-validation driver that mirrors the paper's Fig. 5
+//! system diagram.
+
+pub mod isel;
+pub mod liveness;
+pub mod pipeline;
+pub mod ra_vcgen;
+pub mod regalloc;
+pub mod vcgen;
+
+pub use isel::{
+    cc_of, loop_headers, merge_stores, select, x86_width, BugInjection, CallSite, Hints,
+    IselError, IselOptions, IselOutput,
+};
+pub use liveness::{phi_uses_from, predecessors, Liveness};
+pub use pipeline::{validate_function, validate_regalloc, validate_translation, ValidationOutcome};
+pub use ra_vcgen::regalloc_sync_points;
+pub use regalloc::{allocate, RaError, RaMap, VxLiveness};
+pub use vcgen::{generate_sync_points, render_sync_table, VcOptions};

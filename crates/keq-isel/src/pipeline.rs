@@ -1,0 +1,132 @@
+//! The end-to-end translation-validation pipeline (the paper's Fig. 5).
+//!
+//! LLVM IR function → Instruction Selection (+ hint generation) →
+//! synchronization-point generation → KEQ with both language semantics →
+//! verdict.
+
+use keq_core::{Keq, KeqOptions, KeqReport, SyncSet};
+use keq_llvm::ast::{Function, Module};
+use keq_llvm::layout::Layout;
+use keq_llvm::sem::LlvmSemantics;
+use keq_vx86::sem::VxSemantics;
+
+use crate::isel::{select, IselError, IselOptions, IselOutput};
+use crate::vcgen::{generate_sync_points, VcOptions};
+
+/// Everything produced by one validation run.
+#[derive(Debug)]
+pub struct ValidationOutcome {
+    /// The KEQ verdict and statistics.
+    pub report: KeqReport,
+    /// The translation and its hints.
+    pub isel: IselOutput,
+    /// The generated synchronization points.
+    pub sync: SyncSet,
+    /// The shared memory layout.
+    pub layout: Layout,
+}
+
+/// Compiles `func` with the configured ISel and validates the translation.
+///
+/// # Errors
+///
+/// Returns [`IselError`] when the function is outside the supported
+/// fragment (the paper's unsupported bucket — such functions never reach
+/// KEQ).
+pub fn validate_function(
+    module: &Module,
+    func: &Function,
+    isel_opts: IselOptions,
+    vc_opts: VcOptions,
+    keq_opts: KeqOptions,
+) -> Result<ValidationOutcome, IselError> {
+    let layout = Layout::of(module, func);
+    let isel = select(module, func, &layout, isel_opts)?;
+    let sync = generate_sync_points(func, &isel, vc_opts);
+    let report = validate_translation(module, func, &isel, &layout, &sync, keq_opts);
+    Ok(ValidationOutcome { report, isel, sync, layout })
+}
+
+/// Runs KEQ on an existing translation (used for hand-written Virtual x86,
+/// e.g. the paper's Fig. 9/11 listings).
+pub fn validate_translation(
+    module: &Module,
+    func: &Function,
+    isel: &IselOutput,
+    layout: &Layout,
+    sync: &SyncSet,
+    keq_opts: KeqOptions,
+) -> KeqReport {
+    let left = LlvmSemantics::with_layout(module, func, layout.clone());
+    let right = VxSemantics::new(
+        &isel.func,
+        layout.mem.clone(),
+        layout.globals.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+    );
+    let keq = Keq::new(&left, &right).with_options(keq_opts);
+    let mut bank = keq_smt::TermBank::new();
+    keq.check(&mut bank, sync)
+}
+
+/// Validates the register-allocation pass on an SSA Virtual x86 function
+/// (the paper's §1 "ongoing work"): run the allocator, generate the
+/// black-box sync points from its output artifact, and check with the very
+/// same KEQ — both Language parameters are now Virtual x86.
+///
+/// # Errors
+///
+/// Returns [`crate::regalloc::RaError`] when allocation would need a spill.
+pub fn validate_regalloc(
+    pre: &keq_vx86::ast::VxFunction,
+    layout: &Layout,
+    keq_opts: KeqOptions,
+) -> Result<(KeqReport, keq_vx86::ast::VxFunction), crate::regalloc::RaError> {
+    let (post, map) = crate::regalloc::allocate(pre)?;
+    let sync = crate::ra_vcgen::regalloc_sync_points(pre, &post, &map);
+    let globals: std::collections::BTreeMap<String, u64> =
+        layout.globals.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    let left = VxSemantics::new(pre, layout.mem.clone(), globals.clone());
+    let right = VxSemantics::new(&post, layout.mem.clone(), globals);
+    let keq = Keq::new(&left, &right).with_options(keq_opts);
+    let mut bank = keq_smt::TermBank::new();
+    Ok((keq.check(&mut bank, &sync), post))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keq_core::Verdict;
+    use keq_llvm::parser::parse_module;
+
+    fn validate(src: &str) -> KeqReport {
+        let m = parse_module(src).expect("parses");
+        let f = &m.functions[0];
+        validate_function(
+            &m,
+            f,
+            IselOptions::default(),
+            VcOptions::default(),
+            KeqOptions::default(),
+        )
+        .expect("supported")
+        .report
+    }
+
+    #[test]
+    fn straightline_add_validates() {
+        let r = validate("define i32 @f(i32 %x, i32 %y) {\n %s = add i32 %x, %y\n ret i32 %s\n}");
+        assert_eq!(r.verdict, Verdict::Equivalent, "{}", r.verdict);
+    }
+
+    #[test]
+    fn constant_return_validates() {
+        let r = validate("define i32 @f() {\n ret i32 42\n}");
+        assert_eq!(r.verdict, Verdict::Equivalent, "{}", r.verdict);
+    }
+
+    #[test]
+    fn void_function_validates() {
+        let r = validate("define void @f(i32 %x) {\n ret void\n}");
+        assert_eq!(r.verdict, Verdict::Equivalent, "{}", r.verdict);
+    }
+}

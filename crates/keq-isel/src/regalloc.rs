@@ -1,0 +1,640 @@
+//! Register allocation for Virtual x86 — the paper's *ongoing work*.
+//!
+//! §1: "in our ongoing work (not part of this paper), we are applying KEQ
+//! unchanged to validate the register allocation phase of LLVM, with a VC
+//! generator that treats the allocator completely as a black box". This
+//! module reproduces that extension: a graph-coloring allocator that
+//! rewrites SSA Virtual x86 (virtual registers, PHIs) into allocated
+//! Virtual x86 (physical registers only, PHIs destructed into parallel
+//! copies with cycle breaking), plus the assignment artifact the black-box
+//! VC generator consumes — no knowledge of the allocation algorithm, only
+//! its output mapping.
+//!
+//! The allocator is spill-free by design: functions whose interference
+//! degree exceeds the pool are rejected as unsupported (spilling would
+//! write the frame, which the memory-equality constraint of the common
+//! memory model would then have to mask; the paper's regalloc work is
+//! likewise staged). This keeps the pass honest: every accepted function is
+//! fully validated, exactly like the ISel system's supported fragment.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use keq_vx86::ast::{Addr, PhysReg, Reg, RegImm, VxBlock, VxFunction, VxInstr, VxTerm};
+
+/// A liveness key: a virtual register id or a physical register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegKey {
+    /// Virtual register (id only; widths are views of one value).
+    Virt(u32),
+    /// Physical register.
+    Phys(PhysReg),
+}
+
+impl RegKey {
+    fn of(r: Reg) -> RegKey {
+        match r {
+            Reg::Virt(id, _) => RegKey::Virt(id),
+            Reg::Phys(p, _) => RegKey::Phys(p),
+        }
+    }
+}
+
+/// Allocation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaError {
+    /// More values live simultaneously than the pool holds (spilling not
+    /// implemented).
+    NeedsSpill {
+        /// The uncolorable virtual register.
+        vreg: u32,
+    },
+}
+
+impl std::fmt::Display for RaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RaError::NeedsSpill { vreg } => {
+                write!(f, "register allocation needs a spill for %vr{vreg} (unsupported)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RaError {}
+
+/// The allocator's output artifact: everything the black-box VC generator
+/// sees.
+#[derive(Debug, Clone, Default)]
+pub struct RaMap {
+    /// Virtual register id → assigned physical register.
+    pub assignment: BTreeMap<u32, PhysReg>,
+    /// Width of each virtual register.
+    pub widths: BTreeMap<u32, u32>,
+}
+
+/// Allocatable pool (R11 is reserved as the parallel-copy scratch).
+pub const POOL: [PhysReg; 9] = [
+    PhysReg::Rbx,
+    PhysReg::Rcx,
+    PhysReg::Rdx,
+    PhysReg::Rsi,
+    PhysReg::Rdi,
+    PhysReg::R8,
+    PhysReg::R9,
+    PhysReg::R10,
+    PhysReg::Rax,
+];
+
+/// The scratch register used to break parallel-copy cycles.
+pub const SCRATCH: PhysReg = PhysReg::R11;
+
+/// Uses and defs of one instruction, as liveness keys.
+pub fn uses_defs(instr: &VxInstr) -> (Vec<RegKey>, Vec<RegKey>) {
+    let mut uses = Vec::new();
+    let mut defs = Vec::new();
+    let use_ri = |ri: &RegImm, uses: &mut Vec<RegKey>| {
+        if let RegImm::Reg(r) = ri {
+            uses.push(RegKey::of(*r));
+        }
+    };
+    let use_addr = |a: &Addr, uses: &mut Vec<RegKey>| {
+        if let Some(b) = a.base {
+            uses.push(RegKey::of(b));
+        }
+        if let Some((i, _)) = a.index {
+            uses.push(RegKey::of(i));
+        }
+    };
+    match instr {
+        VxInstr::Copy { dst, src } => {
+            uses.push(RegKey::of(*src));
+            defs.push(RegKey::of(*dst));
+        }
+        VxInstr::Phi { dst, .. } => {
+            // Incoming values are uses at the end of predecessors, handled
+            // in the block-level transfer function.
+            defs.push(RegKey::of(*dst));
+        }
+        VxInstr::MovRI { dst, .. } => defs.push(RegKey::of(*dst)),
+        VxInstr::Load { dst, addr, .. } => {
+            use_addr(addr, &mut uses);
+            defs.push(RegKey::of(*dst));
+        }
+        VxInstr::Store { addr, src, .. } => {
+            use_addr(addr, &mut uses);
+            use_ri(src, &mut uses);
+        }
+        VxInstr::Alu { dst, lhs, rhs, .. } => {
+            use_ri(lhs, &mut uses);
+            use_ri(rhs, &mut uses);
+            defs.push(RegKey::of(*dst));
+        }
+        VxInstr::Cmp { lhs, rhs, .. } => {
+            use_ri(lhs, &mut uses);
+            use_ri(rhs, &mut uses);
+        }
+        VxInstr::Inc { dst, src } => {
+            uses.push(RegKey::of(*src));
+            defs.push(RegKey::of(*dst));
+        }
+        VxInstr::Lea { dst, addr } => {
+            use_addr(addr, &mut uses);
+            defs.push(RegKey::of(*dst));
+        }
+        VxInstr::Ext { dst, src, .. } => {
+            uses.push(RegKey::of(*src));
+            defs.push(RegKey::of(*dst));
+        }
+        VxInstr::SetCc { dst, .. } => defs.push(RegKey::of(*dst)),
+        VxInstr::Div { dst, lhs, rhs, .. } => {
+            use_ri(lhs, &mut uses);
+            use_ri(rhs, &mut uses);
+            defs.push(RegKey::of(*dst));
+        }
+        VxInstr::Call { arg_widths, ret_width, .. } => {
+            for (i, _) in arg_widths.iter().enumerate() {
+                uses.push(RegKey::Phys(PhysReg::args()[i]));
+            }
+            if ret_width.is_some() {
+                defs.push(RegKey::Phys(PhysReg::Rax));
+            }
+        }
+    }
+    (uses, defs)
+}
+
+fn term_uses(func: &VxFunction, block: &VxBlock) -> Vec<RegKey> {
+    let _ = func;
+    match &block.term {
+        // Flags, not registers.
+        VxTerm::Jmp { .. } | VxTerm::CondJmp { .. } | VxTerm::Ret | VxTerm::Ud2 => vec![],
+    }
+}
+
+/// Live-in/live-out per block over [`RegKey`]s, with SSA-aware PHI edges.
+#[derive(Debug, Clone, Default)]
+pub struct VxLiveness {
+    /// Live at block entry.
+    pub live_in: BTreeMap<String, BTreeSet<RegKey>>,
+    /// Live at block exit (including successors' phi uses from this block).
+    pub live_out: BTreeMap<String, BTreeSet<RegKey>>,
+}
+
+impl VxLiveness {
+    /// Runs the fixpoint.
+    pub fn compute(func: &VxFunction) -> VxLiveness {
+        // Return value lives out of every Ret block.
+        let ret_live: BTreeSet<RegKey> = if func.ret_width.is_some() {
+            [RegKey::Phys(PhysReg::Rax)].into_iter().collect()
+        } else {
+            BTreeSet::new()
+        };
+        let mut live_in: BTreeMap<String, BTreeSet<RegKey>> = BTreeMap::new();
+        let mut live_out: BTreeMap<String, BTreeSet<RegKey>> = BTreeMap::new();
+        for b in &func.blocks {
+            live_in.insert(b.name.clone(), BTreeSet::new());
+            live_out.insert(b.name.clone(), BTreeSet::new());
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in func.blocks.iter().rev() {
+                let mut out: BTreeSet<RegKey> = if matches!(b.term, VxTerm::Ret) {
+                    ret_live.clone()
+                } else {
+                    BTreeSet::new()
+                };
+                for succ in b.term.successors() {
+                    if let (Some(sin), Some(sb)) = (live_in.get(succ), func.block(succ)) {
+                        let phidefs: BTreeSet<RegKey> = sb
+                            .instrs
+                            .iter()
+                            .filter_map(|i| match i {
+                                VxInstr::Phi { dst, .. } => Some(RegKey::of(*dst)),
+                                _ => None,
+                            })
+                            .collect();
+                        out.extend(sin.difference(&phidefs).copied());
+                        for i in &sb.instrs {
+                            if let VxInstr::Phi { incomings, .. } = i {
+                                for (src, pred) in incomings {
+                                    if pred == &b.name {
+                                        out.insert(RegKey::of(*src));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                // Backward transfer through the block.
+                let mut live = out.clone();
+                for k in term_uses(func, b) {
+                    live.insert(k);
+                }
+                for i in b.instrs.iter().rev() {
+                    let (uses, defs) = uses_defs(i);
+                    for d in defs {
+                        live.remove(&d);
+                    }
+                    if !matches!(i, VxInstr::Phi { .. }) {
+                        live.extend(uses);
+                    }
+                }
+                // Phi defs are killed above; their block-entry value is the
+                // phi result set, which is what live_in models.
+                for i in &b.instrs {
+                    if let VxInstr::Phi { dst, .. } = i {
+                        let _ = dst;
+                    }
+                }
+                if live_out.get(&b.name) != Some(&out) {
+                    live_out.insert(b.name.clone(), out);
+                    changed = true;
+                }
+                if live_in.get(&b.name) != Some(&live) {
+                    live_in.insert(b.name.clone(), live);
+                    changed = true;
+                }
+            }
+        }
+        VxLiveness { live_in, live_out }
+    }
+}
+
+/// Builds the interference graph: pairs of keys simultaneously live.
+fn interference(func: &VxFunction, lv: &VxLiveness) -> BTreeMap<RegKey, BTreeSet<RegKey>> {
+    let mut graph: BTreeMap<RegKey, BTreeSet<RegKey>> = BTreeMap::new();
+    let edge = |a: RegKey, b: RegKey, graph: &mut BTreeMap<RegKey, BTreeSet<RegKey>>| {
+        if a != b {
+            graph.entry(a).or_default().insert(b);
+            graph.entry(b).or_default().insert(a);
+        }
+    };
+    for b in &func.blocks {
+        let mut live = lv.live_out.get(&b.name).cloned().unwrap_or_default();
+        for i in b.instrs.iter().rev() {
+            let (uses, defs) = uses_defs(i);
+            for &d in &defs {
+                for &l in &live {
+                    edge(d, l, &mut graph);
+                }
+                // Defs in the same instruction interfere with each other
+                // trivially (there is at most one here).
+            }
+            for d in &defs {
+                live.remove(d);
+            }
+            if !matches!(i, VxInstr::Phi { .. }) {
+                live.extend(uses);
+            }
+        }
+        // Phi destinations all interfere with each other and with live-in.
+        let phidefs: Vec<RegKey> = b
+            .instrs
+            .iter()
+            .filter_map(|i| match i {
+                VxInstr::Phi { dst, .. } => Some(RegKey::of(*dst)),
+                _ => None,
+            })
+            .collect();
+        for (i, &a) in phidefs.iter().enumerate() {
+            for &bk in &phidefs[i + 1..] {
+                edge(a, bk, &mut graph);
+            }
+            for &l in &live {
+                edge(a, l, &mut graph);
+            }
+        }
+    }
+    graph
+}
+
+/// Runs register allocation: colors every virtual register, destructs PHIs
+/// into (cycle-safe) copies in predecessors, and rewrites the function.
+///
+/// # Errors
+///
+/// Returns [`RaError::NeedsSpill`] if the function's register pressure
+/// exceeds the pool.
+pub fn allocate(func: &VxFunction) -> Result<(VxFunction, RaMap), RaError> {
+    let mut func = func.clone();
+    split_critical_edges(&mut func);
+    let lv = VxLiveness::compute(&func);
+    let graph = interference(&func, &lv);
+    // Collect vregs and widths.
+    let mut map = RaMap::default();
+    for b in &func.blocks {
+        for i in &b.instrs {
+            let (uses, defs) = uses_defs(i);
+            let remember = |r: Reg, map: &mut RaMap| {
+                if let Reg::Virt(id, w) = r {
+                    let e = map.widths.entry(id).or_insert(w);
+                    *e = (*e).max(w);
+                }
+            };
+            let _ = (&uses, &defs);
+            visit_regs(i, &mut |r| remember(r, &mut map));
+        }
+    }
+    // Greedy coloring in id order.
+    let ids: Vec<u32> = map.widths.keys().copied().collect();
+    for id in ids {
+        let neighbors = graph.get(&RegKey::Virt(id)).cloned().unwrap_or_default();
+        let mut taken: BTreeSet<PhysReg> = BTreeSet::new();
+        for n in neighbors {
+            match n {
+                RegKey::Phys(p) => {
+                    taken.insert(p);
+                }
+                RegKey::Virt(v) => {
+                    if let Some(&p) = map.assignment.get(&v) {
+                        taken.insert(p);
+                    }
+                }
+            }
+        }
+        let Some(&color) = POOL.iter().find(|p| !taken.contains(p)) else {
+            return Err(RaError::NeedsSpill { vreg: id });
+        };
+        map.assignment.insert(id, color);
+    }
+    // Destruct PHIs: gather parallel copies per incoming edge.
+    let block_names: Vec<String> = func.blocks.iter().map(|b| b.name.clone()).collect();
+    for name in &block_names {
+        let (phis, rest): (Vec<VxInstr>, Vec<VxInstr>) = {
+            let b = func.block(name).expect("exists").clone();
+            b.instrs.into_iter().partition(|i| matches!(i, VxInstr::Phi { .. }))
+        };
+        if phis.is_empty() {
+            continue;
+        }
+        // Per predecessor: the parallel copy (dst, src) list.
+        let mut per_pred: BTreeMap<String, Vec<(Reg, Reg)>> = BTreeMap::new();
+        for p in &phis {
+            let VxInstr::Phi { dst, incomings } = p else { unreachable!() };
+            for (src, pred) in incomings {
+                per_pred
+                    .entry(pred.clone())
+                    .or_default()
+                    .push((color_reg(*dst, &map), color_reg(*src, &map)));
+            }
+        }
+        for (pred, moves) in per_pred {
+            let seq = sequentialize_parallel_copy(&moves);
+            let pb = func
+                .blocks
+                .iter_mut()
+                .find(|b| b.name == pred)
+                .expect("predecessor exists");
+            pb.instrs.extend(seq);
+        }
+        let b = func.blocks.iter_mut().find(|b| &b.name == name).expect("exists");
+        b.instrs = rest;
+    }
+    // Rewrite remaining instructions.
+    for b in &mut func.blocks {
+        for i in &mut b.instrs {
+            rewrite_regs(i, &map);
+        }
+    }
+    Ok((func, map))
+}
+
+fn color_reg(r: Reg, map: &RaMap) -> Reg {
+    match r {
+        Reg::Virt(id, w) => Reg::Phys(map.assignment[&id], w),
+        phys => phys,
+    }
+}
+
+/// Splits edges from multi-successor blocks into PHI blocks, so parallel
+/// copies have a safe insertion point.
+fn split_critical_edges(func: &mut VxFunction) {
+    let has_phis: BTreeSet<String> = func
+        .blocks
+        .iter()
+        .filter(|b| b.instrs.iter().any(|i| matches!(i, VxInstr::Phi { .. })))
+        .map(|b| b.name.clone())
+        .collect();
+    let mut new_blocks: Vec<VxBlock> = Vec::new();
+    let mut renames: Vec<(String, String, String)> = Vec::new(); // (pred, old target, split)
+    let mut counter = 0usize;
+    for b in &mut func.blocks {
+        if let VxTerm::CondJmp { then_, else_, .. } = &mut b.term {
+            for target in [then_, else_] {
+                if has_phis.contains(target.as_str()) {
+                    let split = format!("split{counter}");
+                    counter += 1;
+                    new_blocks.push(VxBlock {
+                        name: split.clone(),
+                        instrs: vec![],
+                        term: VxTerm::Jmp { target: target.clone() },
+                    });
+                    renames.push((b.name.clone(), target.clone(), split.clone()));
+                    *target = split;
+                }
+            }
+        }
+    }
+    func.blocks.extend(new_blocks);
+    // Retarget phi incomings along the split edges.
+    for (pred, old_target, split) in renames {
+        let block = func
+            .blocks
+            .iter_mut()
+            .find(|b| b.name == old_target)
+            .expect("target exists");
+        for i in &mut block.instrs {
+            if let VxInstr::Phi { incomings, .. } = i {
+                for (_, p) in incomings.iter_mut() {
+                    if *p == pred {
+                        *p = split.clone();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Orders a parallel copy into sequential copies, breaking cycles through
+/// [`SCRATCH`].
+fn sequentialize_parallel_copy(moves: &[(Reg, Reg)]) -> Vec<VxInstr> {
+    let mut pending: Vec<(Reg, Reg)> = moves
+        .iter()
+        .filter(|(d, s)| RegKey::of(*d) != RegKey::of(*s))
+        .cloned()
+        .collect();
+    let mut out = Vec::new();
+    while !pending.is_empty() {
+        // A move is safe when no other pending move reads its destination.
+        if let Some(pos) = pending.iter().position(|(d, _)| {
+            !pending.iter().any(|(d2, s2)| {
+                RegKey::of(*s2) == RegKey::of(*d) && RegKey::of(*d2) != RegKey::of(*d)
+            })
+        }) {
+            let (d, s) = pending.remove(pos);
+            out.push(VxInstr::Copy { dst: d, src: s });
+            continue;
+        }
+        // Cycle: move one source aside into the scratch register.
+        let (d0, s0) = pending[0];
+        let w = s0.width();
+        out.push(VxInstr::Copy { dst: Reg::Phys(SCRATCH, w), src: s0 });
+        for (_, s) in pending.iter_mut() {
+            if RegKey::of(*s) == RegKey::of(s0) {
+                *s = Reg::Phys(SCRATCH, s.width());
+            }
+        }
+        let _ = d0;
+    }
+    out
+}
+
+fn visit_regs(i: &VxInstr, f: &mut impl FnMut(Reg)) {
+    let ri = |x: &RegImm, f: &mut dyn FnMut(Reg)| {
+        if let RegImm::Reg(r) = x {
+            f(*r);
+        }
+    };
+    let addr = |a: &Addr, f: &mut dyn FnMut(Reg)| {
+        if let Some(b) = a.base {
+            f(b);
+        }
+        if let Some((x, _)) = a.index {
+            f(x);
+        }
+    };
+    match i {
+        VxInstr::Copy { dst, src } | VxInstr::Inc { dst, src } | VxInstr::Ext { dst, src, .. } => {
+            f(*dst);
+            f(*src);
+        }
+        VxInstr::Phi { dst, incomings } => {
+            f(*dst);
+            for (s, _) in incomings {
+                f(*s);
+            }
+        }
+        VxInstr::MovRI { dst, .. } | VxInstr::SetCc { dst, .. } => f(*dst),
+        VxInstr::Load { dst, addr: a, .. } => {
+            f(*dst);
+            addr(a, f);
+        }
+        VxInstr::Store { addr: a, src, .. } => {
+            addr(a, f);
+            ri(src, f);
+        }
+        VxInstr::Alu { dst, lhs, rhs, .. } | VxInstr::Div { dst, lhs, rhs, .. } => {
+            f(*dst);
+            ri(lhs, f);
+            ri(rhs, f);
+        }
+        VxInstr::Cmp { lhs, rhs, .. } => {
+            ri(lhs, f);
+            ri(rhs, f);
+        }
+        VxInstr::Lea { dst, addr: a } => {
+            f(*dst);
+            addr(a, f);
+        }
+        VxInstr::Call { .. } => {}
+    }
+}
+
+fn rewrite_regs(i: &mut VxInstr, map: &RaMap) {
+    let fix = |r: &mut Reg| {
+        if let Reg::Virt(id, w) = r {
+            *r = Reg::Phys(map.assignment[id], *w);
+        }
+    };
+    let fix_ri = |x: &mut RegImm| {
+        if let RegImm::Reg(r) = x {
+            if let Reg::Virt(id, w) = r {
+                *r = Reg::Phys(map.assignment[id], *w);
+            }
+        }
+    };
+    let fix_addr = |a: &mut Addr| {
+        if let Some(b) = &mut a.base {
+            if let Reg::Virt(id, w) = b {
+                *b = Reg::Phys(map.assignment[id], *w);
+            }
+        }
+        if let Some((x, _)) = &mut a.index {
+            if let Reg::Virt(id, w) = x {
+                *x = Reg::Phys(map.assignment[id], *w);
+            }
+        }
+    };
+    match i {
+        VxInstr::Copy { dst, src } | VxInstr::Inc { dst, src } | VxInstr::Ext { dst, src, .. } => {
+            fix(dst);
+            fix(src);
+        }
+        VxInstr::Phi { .. } => unreachable!("phis are destructed before rewriting"),
+        VxInstr::MovRI { dst, .. } | VxInstr::SetCc { dst, .. } => fix(dst),
+        VxInstr::Load { dst, addr, .. } => {
+            fix(dst);
+            fix_addr(addr);
+        }
+        VxInstr::Store { addr, src, .. } => {
+            fix_addr(addr);
+            fix_ri(src);
+        }
+        VxInstr::Alu { dst, lhs, rhs, .. } | VxInstr::Div { dst, lhs, rhs, .. } => {
+            fix(dst);
+            fix_ri(lhs);
+            fix_ri(rhs);
+        }
+        VxInstr::Cmp { lhs, rhs, .. } => {
+            fix_ri(lhs);
+            fix_ri(rhs);
+        }
+        VxInstr::Lea { dst, addr } => {
+            fix(dst);
+            fix_addr(addr);
+        }
+        VxInstr::Call { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_copy_cycle_uses_scratch() {
+        // swap: (rbx <- rcx, rcx <- rbx)
+        let moves = vec![
+            (Reg::Phys(PhysReg::Rbx, 32), Reg::Phys(PhysReg::Rcx, 32)),
+            (Reg::Phys(PhysReg::Rcx, 32), Reg::Phys(PhysReg::Rbx, 32)),
+        ];
+        let seq = sequentialize_parallel_copy(&moves);
+        assert_eq!(seq.len(), 3, "{seq:?}");
+        assert!(
+            matches!(seq[0], VxInstr::Copy { dst: Reg::Phys(SCRATCH, _), .. }),
+            "{seq:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_copy_chain_orders_correctly() {
+        // rbx <- rcx, rcx <- rdx: must move rbx<-rcx first.
+        let moves = vec![
+            (Reg::Phys(PhysReg::Rbx, 32), Reg::Phys(PhysReg::Rcx, 32)),
+            (Reg::Phys(PhysReg::Rcx, 32), Reg::Phys(PhysReg::Rdx, 32)),
+        ];
+        let seq = sequentialize_parallel_copy(&moves);
+        assert_eq!(seq.len(), 2);
+        assert!(matches!(
+            seq[0],
+            VxInstr::Copy { dst: Reg::Phys(PhysReg::Rbx, _), src: Reg::Phys(PhysReg::Rcx, _) }
+        ));
+    }
+
+    #[test]
+    fn identity_moves_are_dropped() {
+        let moves = vec![(Reg::Phys(PhysReg::Rbx, 32), Reg::Phys(PhysReg::Rbx, 32))];
+        assert!(sequentialize_parallel_copy(&moves).is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Address-space layout shared by both sides of a validation.
+//!
+//! The common memory model (paper §4.4) is a single flat byte array, so both
+//! the LLVM and the Virtual x86 semantics must agree on where globals and
+//! stack slots live. The ISel pass reuses the layout computed here, exactly
+//! as the real compiler fixes a frame layout that both representations share
+//! through the calling convention.
+
+use std::collections::BTreeMap;
+
+use keq_semantics::MemLayout;
+
+use crate::ast::{Function, Instr, Module};
+
+/// Base address of the first global.
+pub const GLOBAL_BASE: u64 = 0x0001_0000;
+
+/// Base address of the (single) stack frame.
+pub const FRAME_BASE: u64 = 0x7fff_0000;
+
+/// Concrete placement of globals and the function's frame.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Layout {
+    /// Region table for bounds checking.
+    pub mem: MemLayout,
+    /// Global name → base address.
+    pub globals: BTreeMap<String, u64>,
+    /// Alloca destination local → slot address.
+    pub allocas: BTreeMap<String, u64>,
+    /// Total frame size in bytes.
+    pub frame_size: u64,
+}
+
+impl Layout {
+    /// Computes the layout for `func` within `module`.
+    ///
+    /// Globals are placed consecutively (16-byte aligned gaps) from
+    /// [`GLOBAL_BASE`]; each `alloca` in `func` gets a fixed slot from
+    /// [`FRAME_BASE`].
+    pub fn of(module: &Module, func: &Function) -> Layout {
+        let mut layout = Layout::default();
+        let mut addr = GLOBAL_BASE;
+        for g in &module.globals {
+            let size = g.ty.store_bytes().max(1);
+            layout.globals.insert(g.name.clone(), addr);
+            layout.mem.add_region(format!("@{}", g.name), addr, size);
+            addr += size.div_ceil(16) * 16 + 16;
+        }
+        let mut frame_off = 0u64;
+        for b in &func.blocks {
+            for i in &b.instrs {
+                if let Instr::Alloca { dst, ty } = i {
+                    layout.allocas.insert(dst.clone(), FRAME_BASE + frame_off);
+                    frame_off += ty.store_bytes().max(1).div_ceil(8) * 8;
+                }
+            }
+        }
+        layout.frame_size = frame_off;
+        if frame_off > 0 {
+            layout.mem.add_region("<frame>", FRAME_BASE, frame_off);
+        }
+        layout
+    }
+
+    /// Address of a global.
+    pub fn global_addr(&self, name: &str) -> Option<u64> {
+        self.globals.get(name).copied()
+    }
+
+    /// Address of an alloca slot.
+    pub fn alloca_addr(&self, dst: &str) -> Option<u64> {
+        self.allocas.get(dst).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    #[test]
+    fn globals_and_allocas_get_disjoint_regions() {
+        let src = r#"
+@a = external global i32
+@b = external global [8 x i8]
+
+define void @f() {
+  %x = alloca i64
+  %y = alloca [4 x i32]
+  ret void
+}
+"#;
+        let m = parse_module(src).expect("parses");
+        let f = m.function("f").expect("exists");
+        let layout = Layout::of(&m, f);
+        let a = layout.global_addr("a").expect("a placed");
+        let b = layout.global_addr("b").expect("b placed");
+        assert!(b >= a + 4, "globals do not overlap");
+        let x = layout.alloca_addr("%x").expect("x placed");
+        let y = layout.alloca_addr("%y").expect("y placed");
+        assert_eq!(x, FRAME_BASE);
+        assert_eq!(y, FRAME_BASE + 8);
+        assert_eq!(layout.frame_size, 24);
+        assert_eq!(layout.mem.regions.len(), 3);
+    }
+
+    #[test]
+    fn no_frame_region_without_allocas() {
+        let m = parse_module("define void @f() {\n ret void\n}").expect("parses");
+        let layout = Layout::of(&m, m.function("f").expect("exists"));
+        assert_eq!(layout.frame_size, 0);
+        assert!(layout.mem.regions.is_empty());
+    }
+}

@@ -1,0 +1,20 @@
+//! # keq-semantics — the language-parametric framework
+//!
+//! The analogue of the K framework's role in the paper: a common shape for
+//! symbolic program states ([`SymConfig`]), a language interface
+//! ([`Language`]), the common memory model of §4.4 ([`mem`]), and the
+//! acceptability policy of §2/§4.6 ([`accept`]). The equivalence checker in
+//! `keq-core` depends only on this crate's abstractions, never on a concrete
+//! language — that is the paper's headline property, language-parametricity.
+
+pub mod accept;
+pub mod config;
+pub mod loc;
+pub mod mem;
+
+pub use accept::{Acceptability, ErrorRelation};
+pub use config::{ErrorKind, Language, SemanticsError, Status, SymConfig};
+pub use loc::{CtrlLoc, LocPattern};
+pub use mem::{
+    footprint, memory_equal_obligations, read_bytes, write_bytes, Footprint, MemLayout, MemRegion,
+};

@@ -1,0 +1,123 @@
+//! Control locations of symbolic configurations.
+
+use std::fmt;
+
+/// A control location: basic block, instruction index, and the predecessor
+/// block the execution arrived from.
+///
+/// The predecessor component drives PHI-instruction semantics and the
+/// paper's §4.5 strategy of emitting *one synchronization point per
+/// predecessor* ("to expedite the symbolic execution of the phi
+/// instructions").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct CtrlLoc {
+    /// Name of the current basic block.
+    pub block: String,
+    /// Index of the next instruction to execute within the block.
+    pub index: usize,
+    /// Block we arrived from (`None` at function entry).
+    pub prev: Option<String>,
+}
+
+impl CtrlLoc {
+    /// Location at the start of `block`, entered from `prev`.
+    pub fn block_start(block: impl Into<String>, prev: Option<String>) -> Self {
+        CtrlLoc { block: block.into(), index: 0, prev }
+    }
+
+    /// Location at function entry.
+    pub fn entry(block: impl Into<String>) -> Self {
+        CtrlLoc::block_start(block, None)
+    }
+
+    /// `true` when positioned at the first instruction of a block.
+    pub fn at_block_start(&self) -> bool {
+        self.index == 0
+    }
+
+    /// The location of the next instruction in the same block.
+    pub fn advanced(&self) -> Self {
+        CtrlLoc { block: self.block.clone(), index: self.index + 1, prev: self.prev.clone() }
+    }
+}
+
+impl fmt::Display for CtrlLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.prev {
+            Some(p) => write!(f, "{}[{}] (from {})", self.block, self.index, p),
+            None => write!(f, "{}[{}]", self.block, self.index),
+        }
+    }
+}
+
+/// Pattern matching a control location in a synchronization point.
+///
+/// Patterns identify the *cut* of the paper: a symbolic state is a cut state
+/// when its location matches some pattern on its side of the sync relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LocPattern {
+    /// Function entry (initial configuration).
+    Entry,
+    /// Start of `block`, entered from `prev` (the per-predecessor loop-entry
+    /// points of §4.5).
+    BlockEntry {
+        /// Target block name.
+        block: String,
+        /// Required predecessor (`None` matches any predecessor).
+        prev: Option<String>,
+    },
+    /// Function exit (a `Exited` status).
+    Exit,
+    /// Immediately before the `nth` call to `callee` in the function body
+    /// (an `AtCall` status). Calls are never stepped through (§4.5).
+    BeforeCall {
+        /// Callee name.
+        callee: String,
+        /// Zero-based index distinguishing multiple calls to one callee.
+        nth: usize,
+    },
+    /// Immediately after that call returns.
+    AfterCall {
+        /// Callee name.
+        callee: String,
+        /// Zero-based call-site index.
+        nth: usize,
+    },
+}
+
+impl fmt::Display for LocPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocPattern::Entry => write!(f, "<entry>"),
+            LocPattern::BlockEntry { block, prev: Some(p) } => write!(f, "{block} (from {p})"),
+            LocPattern::BlockEntry { block, prev: None } => write!(f, "{block}"),
+            LocPattern::Exit => write!(f, "<exit>"),
+            LocPattern::BeforeCall { callee, nth } => write!(f, "<call {callee}#{nth}>"),
+            LocPattern::AfterCall { callee, nth } => write!(f, "<ret {callee}#{nth}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advanced_moves_index() {
+        let l = CtrlLoc::entry("entry");
+        assert!(l.at_block_start());
+        let n = l.advanced();
+        assert_eq!(n.index, 1);
+        assert_eq!(n.block, "entry");
+        assert!(!n.at_block_start());
+    }
+
+    #[test]
+    fn display_formats() {
+        let l = CtrlLoc::block_start("loop", Some("entry".into()));
+        assert_eq!(l.to_string(), "loop[0] (from entry)");
+        assert_eq!(LocPattern::Exit.to_string(), "<exit>");
+        let p = LocPattern::BlockEntry { block: "loop".into(), prev: Some("entry".into()) };
+        assert_eq!(p.to_string(), "loop (from entry)");
+    }
+}

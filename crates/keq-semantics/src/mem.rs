@@ -1,0 +1,345 @@
+//! The common memory model (the paper's `common.k`, §4.4).
+//!
+//! Both language semantics share one low-level, sequentially consistent,
+//! byte-addressed memory: a term of sort [`keq_smt::Sort::Memory`]. Sharing
+//! the model makes the acceptability relation's memory requirement a simple
+//! footprint-equality obligation instead of a cross-representation mapping.
+//!
+//! Multi-byte accesses are little-endian, matching both LLVM's x86 data
+//! layout and x86-64 itself.
+
+use std::collections::BTreeSet;
+
+use keq_smt::{Op, TermBank, TermId};
+
+/// Reads `nbytes` little-endian bytes starting at `addr`, producing a
+/// bitvector of width `8 * nbytes`.
+///
+/// # Panics
+///
+/// Panics if `nbytes` is zero or the result exceeds the maximum width.
+pub fn read_bytes(bank: &mut TermBank, mem: TermId, addr: TermId, nbytes: u32) -> TermId {
+    assert!(nbytes >= 1, "read of zero bytes");
+    let mut result = bank.mk_select(mem, addr);
+    for i in 1..nbytes {
+        let off = bank.mk_bv(64, u128::from(i));
+        let a = bank.mk_bvadd(addr, off);
+        let byte = bank.mk_select(mem, a);
+        result = bank.mk_concat(byte, result);
+    }
+    result
+}
+
+/// Writes `value` (width must be a multiple of 8) little-endian at `addr`.
+///
+/// # Panics
+///
+/// Panics if the width of `value` is not a positive multiple of 8.
+pub fn write_bytes(bank: &mut TermBank, mem: TermId, addr: TermId, value: TermId) -> TermId {
+    let w = bank.width(value);
+    assert!(w >= 8 && w % 8 == 0, "write of non-byte-multiple width {w}");
+    let nbytes = w / 8;
+    let mut m = mem;
+    for i in 0..nbytes {
+        let byte = bank.mk_extract(value, i * 8 + 7, i * 8);
+        let off = bank.mk_bv(64, u128::from(i));
+        let a = bank.mk_bvadd(addr, off);
+        m = bank.mk_store(m, a, byte);
+    }
+    m
+}
+
+/// A named, concretely-placed memory region (a global or a stack frame).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemRegion {
+    /// Diagnostic name (e.g. `@b`, `<frame>`).
+    pub name: String,
+    /// First valid address.
+    pub base: u64,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// The address-space layout known to a pair of programs under validation.
+///
+/// Out-of-bounds detection (paper §4.6) checks accesses against these
+/// regions; an access that can fall outside every region branches into an
+/// [`crate::ErrorKind::OutOfBounds`] error state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemLayout {
+    /// All valid regions.
+    pub regions: Vec<MemRegion>,
+}
+
+impl MemLayout {
+    /// Creates an empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a region, returning its base address.
+    pub fn add_region(&mut self, name: impl Into<String>, base: u64, size: u64) -> u64 {
+        self.regions.push(MemRegion { name: name.into(), base, size });
+        base
+    }
+
+    /// Looks a region up by name.
+    pub fn region(&self, name: &str) -> Option<&MemRegion> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// Builds the in-bounds condition for an access of `nbytes` at `addr`:
+    /// the access must fit entirely inside a single region.
+    pub fn in_bounds(&self, bank: &mut TermBank, addr: TermId, nbytes: u64) -> TermId {
+        let mut cases = Vec::with_capacity(self.regions.len());
+        for r in &self.regions {
+            if r.size < nbytes {
+                continue;
+            }
+            let lo = bank.mk_bv(64, u128::from(r.base));
+            let hi = bank.mk_bv(64, u128::from(r.base + r.size - nbytes));
+            let ge = bank.mk_bvule(lo, addr);
+            let le = bank.mk_bvule(addr, hi);
+            cases.push(bank.mk_and([ge, le]));
+        }
+        bank.mk_or(cases)
+    }
+}
+
+/// Result of analysing a memory term's write footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Footprint {
+    /// The base memory variable under all stores.
+    pub base: TermId,
+    /// Every written index term (deduplicated, ordered).
+    pub indices: BTreeSet<TermId>,
+}
+
+/// Computes the footprint of `mem`: its base variable and all store indices,
+/// looking through memory-sorted if-then-else nodes.
+///
+/// Returns `None` if the term is not a store/ite chain over a single base
+/// variable (in which case footprint-based equality is not applicable).
+pub fn footprint(bank: &TermBank, mem: TermId) -> Option<Footprint> {
+    let mut indices = BTreeSet::new();
+    let mut base: Option<TermId> = None;
+    let mut stack = vec![mem];
+    let mut seen = BTreeSet::new();
+    while let Some(t) = stack.pop() {
+        if !seen.insert(t) {
+            continue;
+        }
+        let node = bank.node(t);
+        match node.op {
+            Op::Var(_) => match base {
+                None => base = Some(t),
+                Some(b) if b == t => {}
+                Some(_) => return None, // two distinct bases
+            },
+            Op::Store => {
+                indices.insert(node.args[1]);
+                stack.push(node.args[0]);
+            }
+            Op::Ite => {
+                stack.push(node.args[1]);
+                stack.push(node.args[2]);
+            }
+            _ => return None,
+        }
+    }
+    base.map(|base| Footprint { base, indices })
+}
+
+/// Produces the proof obligations stating `m1` and `m2` hold the same
+/// contents.
+///
+/// Both memories must be store/ite chains over the *same* base variable;
+/// then extensional equality is equivalent to the selects agreeing on the
+/// union write footprint (addresses outside the footprint read the shared
+/// base in both). Returns `None` when the chains have different bases —
+/// the caller must then report the obligation as unprovable.
+pub fn memory_equal_obligations(
+    bank: &mut TermBank,
+    m1: TermId,
+    m2: TermId,
+) -> Option<Vec<TermId>> {
+    if m1 == m2 {
+        return Some(Vec::new());
+    }
+    let f1 = footprint(bank, m1)?;
+    let f2 = footprint(bank, m2)?;
+    if f1.base != f2.base {
+        return None;
+    }
+    let union: BTreeSet<TermId> = f1.indices.union(&f2.indices).copied().collect();
+    let mut obligations = Vec::with_capacity(union.len());
+    for idx in union {
+        let r1 = bank.mk_select(m1, idx);
+        let r2 = bank.mk_select(m2, idx);
+        let eq = bank.mk_eq(r1, r2);
+        if bank.as_bool_const(eq) != Some(true) {
+            obligations.push(eq);
+        }
+    }
+    Some(obligations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keq_smt::{ProofOutcome, Solver, Sort};
+
+    #[test]
+    fn read_write_roundtrip_32bit() {
+        let mut bank = TermBank::new();
+        let mem = bank.mk_var("mem", Sort::Memory);
+        let addr = bank.mk_bv(64, 0x1000);
+        let val = bank.mk_bv(32, 0xdead_beef);
+        let m2 = write_bytes(&mut bank, mem, addr, val);
+        let read = read_bytes(&mut bank, m2, addr, 4);
+        assert_eq!(bank.as_bv_const(read), Some((32, 0xdead_beef)));
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut bank = TermBank::new();
+        let mem = bank.mk_var("mem", Sort::Memory);
+        let addr = bank.mk_bv(64, 0);
+        let val = bank.mk_bv(16, 0xaabb);
+        let m2 = write_bytes(&mut bank, mem, addr, val);
+        let b0 = bank.mk_select(m2, addr);
+        assert_eq!(bank.as_bv_const(b0), Some((8, 0xbb)), "low byte first");
+        let one = bank.mk_bv(64, 1);
+        let b1 = bank.mk_select(m2, one);
+        assert_eq!(bank.as_bv_const(b1), Some((8, 0xaa)));
+    }
+
+    #[test]
+    fn symbolic_roundtrip_provable() {
+        let mut bank = TermBank::new();
+        let mem = bank.mk_var("mem", Sort::Memory);
+        let addr = bank.mk_var("a", Sort::BitVec(64));
+        let val = bank.mk_var("v", Sort::BitVec(16));
+        let m2 = write_bytes(&mut bank, mem, addr, val);
+        let read = read_bytes(&mut bank, m2, addr, 2);
+        let mut solver = Solver::new();
+        assert!(solver.prove_equiv(&mut bank, &[], read, val).is_proved());
+    }
+
+    #[test]
+    fn in_bounds_condition() {
+        let mut bank = TermBank::new();
+        let mut layout = MemLayout::new();
+        layout.add_region("@g", 0x100, 8);
+        // Fully inside.
+        let a = bank.mk_bv(64, 0x102);
+        let c = layout.in_bounds(&mut bank, a, 4);
+        assert_eq!(bank.as_bool_const(c), Some(true));
+        // Straddling the end: 0x105 + 4 > 0x108.
+        let a = bank.mk_bv(64, 0x105);
+        let c = layout.in_bounds(&mut bank, a, 4);
+        assert_eq!(bank.as_bool_const(c), Some(false));
+        // Outside entirely.
+        let a = bank.mk_bv(64, 0x200);
+        let c = layout.in_bounds(&mut bank, a, 1);
+        assert_eq!(bank.as_bool_const(c), Some(false));
+    }
+
+    #[test]
+    fn in_bounds_region_too_small() {
+        let mut bank = TermBank::new();
+        let mut layout = MemLayout::new();
+        layout.add_region("@tiny", 0, 2);
+        let a = bank.mk_bv(64, 0);
+        let c = layout.in_bounds(&mut bank, a, 4);
+        assert_eq!(bank.as_bool_const(c), Some(false), "4-byte access in 2-byte region");
+    }
+
+    #[test]
+    fn footprint_collects_store_indices() {
+        let mut bank = TermBank::new();
+        let mem = bank.mk_var("mem", Sort::Memory);
+        let i = bank.mk_var("i", Sort::BitVec(64));
+        let j = bank.mk_bv(64, 4);
+        let v = bank.mk_bv(8, 1);
+        let m1 = bank.mk_store(mem, i, v);
+        let m2 = bank.mk_store(m1, j, v);
+        let fp = footprint(&bank, m2).expect("chain over one base");
+        assert_eq!(fp.base, mem);
+        assert_eq!(fp.indices.len(), 2);
+    }
+
+    #[test]
+    fn memory_equality_identical_chains_trivial() {
+        let mut bank = TermBank::new();
+        let mem = bank.mk_var("mem", Sort::Memory);
+        let a = bank.mk_bv(64, 0);
+        let v = bank.mk_bv(8, 5);
+        let m1 = bank.mk_store(mem, a, v);
+        let obligations = memory_equal_obligations(&mut bank, m1, m1).expect("same base");
+        assert!(obligations.is_empty());
+    }
+
+    #[test]
+    fn memory_equality_provable_when_orders_differ_symbolically() {
+        let mut bank = TermBank::new();
+        let mem = bank.mk_var("mem", Sort::Memory);
+        let i = bank.mk_var("i", Sort::BitVec(64));
+        let j = bank.mk_var("j", Sort::BitVec(64));
+        let v1 = bank.mk_bv(8, 1);
+        let v2 = bank.mk_bv(8, 2);
+        let m_ij = {
+            let t = bank.mk_store(mem, i, v1);
+            bank.mk_store(t, j, v2)
+        };
+        let m_ji = {
+            let t = bank.mk_store(mem, j, v2);
+            bank.mk_store(t, i, v1)
+        };
+        let obligations = memory_equal_obligations(&mut bank, m_ij, m_ji).expect("same base");
+        let mut solver = Solver::new();
+        let ne = bank.mk_ne(i, j);
+        for ob in obligations {
+            assert!(
+                solver.prove_implies(&mut bank, &[ne], ob).is_proved(),
+                "disjoint writes must commute"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_equality_refutable_on_waw_reorder() {
+        // The §5.2 WAW shape, distilled: same address written twice in
+        // opposite orders with different values.
+        let mut bank = TermBank::new();
+        let mem = bank.mk_var("mem", Sort::Memory);
+        let i = bank.mk_var("i", Sort::BitVec(64));
+        let v1 = bank.mk_bv(8, 1);
+        let v2 = bank.mk_bv(8, 2);
+        let good = {
+            let t = bank.mk_store(mem, i, v1);
+            bank.mk_store(t, i, v2)
+        };
+        let bad = {
+            let t = bank.mk_store(mem, i, v2);
+            bank.mk_store(t, i, v1)
+        };
+        let obligations = memory_equal_obligations(&mut bank, good, bad).expect("same base");
+        let mut solver = Solver::new();
+        let mut any_refuted = false;
+        for ob in obligations {
+            if let ProofOutcome::Refuted(_) = solver.prove_implies(&mut bank, &[], ob) {
+                any_refuted = true;
+            }
+        }
+        assert!(any_refuted, "reordered overlapping writes are not equal");
+    }
+
+    #[test]
+    fn memory_equality_rejects_distinct_bases() {
+        let mut bank = TermBank::new();
+        let m1 = bank.mk_var("mem1", Sort::Memory);
+        let m2 = bank.mk_var("mem2", Sort::Memory);
+        assert_eq!(memory_equal_obligations(&mut bank, m1, m2), None);
+    }
+}

@@ -1,0 +1,37 @@
+//! # keq-smt — the SMT substrate of the KEQ reproduction
+//!
+//! A from-scratch SMT solver for the quantifier-free bitvector + byte-array
+//! fragment that translation-validation queries live in, standing in for the
+//! Z3 backend of the paper (*Language-Parametric Compiler Validation with
+//! Application to LLVM*, ASPLOS 2021).
+//!
+//! Pipeline: hash-consed terms with normalizing constructors
+//! ([`term::TermBank`]) → array elimination + signed-division lowering
+//! ([`lower`]) → bit-blasting ([`bitblast`]) → CDCL SAT ([`sat`]), fronted
+//! by [`solver::Solver`] which also implements the paper's §3 positive-form
+//! query optimization.
+//!
+//! ```
+//! use keq_smt::{Solver, Sort, TermBank};
+//!
+//! let mut bank = TermBank::new();
+//! let x = bank.mk_var("x", Sort::BitVec(32));
+//! let y = bank.mk_var("y", Sort::BitVec(32));
+//! let sum = bank.mk_bvadd(x, y);
+//! let back = bank.mk_bvsub(sum, y);
+//! let mut solver = Solver::new();
+//! assert!(solver.prove_equiv(&mut bank, &[], back, x).is_proved());
+//! ```
+
+pub mod bitblast;
+pub mod eval;
+pub mod lower;
+pub mod sat;
+pub mod solver;
+pub mod sort;
+pub mod term;
+
+pub use eval::{Assignment, MemValue, Value};
+pub use solver::{Budget, BudgetKind, CheckOutcome, Model, ProofOutcome, Solver, SolverStats};
+pub use sort::Sort;
+pub use term::{Op, TermBank, TermId, VarId};

@@ -1,0 +1,144 @@
+//! Sorts (types) of SMT terms.
+//!
+//! The solver supports exactly the fragment the KEQ translation-validation
+//! queries need (see DESIGN.md §3.1): booleans, fixed-width bitvectors up to
+//! 128 bits, and a single array sort modelling the common memory model of the
+//! paper's `common.k`: byte-addressed memory indexed by 64-bit addresses.
+
+use std::fmt;
+
+/// Maximum supported bitvector width.
+///
+/// 128 bits is enough for every type in the supported LLVM subset, including
+/// the non-power-of-two `i96` used by the load-narrowing bug of the paper's
+/// §5.2 (Fig. 10).
+pub const MAX_WIDTH: u32 = 128;
+
+/// The sort (type) of a term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sort {
+    /// Booleans.
+    Bool,
+    /// Bitvectors of the given width, `1..=MAX_WIDTH`.
+    BitVec(u32),
+    /// Byte-addressed memory: `Array (BitVec 64) (BitVec 8)`.
+    ///
+    /// This is the common memory model shared by both language semantics
+    /// (paper §4.4); a single array sort keeps the acceptability relation's
+    /// memory-equality constraint trivial to state.
+    Memory,
+}
+
+impl Sort {
+    /// Returns the bitvector width, if this is a bitvector sort.
+    pub fn width(self) -> Option<u32> {
+        match self {
+            Sort::BitVec(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for [`Sort::Bool`].
+    pub fn is_bool(self) -> bool {
+        self == Sort::Bool
+    }
+
+    /// Returns `true` for any [`Sort::BitVec`].
+    pub fn is_bitvec(self) -> bool {
+        matches!(self, Sort::BitVec(_))
+    }
+
+    /// Returns `true` for [`Sort::Memory`].
+    pub fn is_memory(self) -> bool {
+        self == Sort::Memory
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "Bool"),
+            Sort::BitVec(w) => write!(f, "(_ BitVec {w})"),
+            Sort::Memory => write!(f, "(Array (_ BitVec 64) (_ BitVec 8))"),
+        }
+    }
+}
+
+/// Masks `value` to `width` bits.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+pub fn mask(width: u32, value: u128) -> u128 {
+    assert!(width >= 1 && width <= MAX_WIDTH, "invalid width {width}");
+    if width == 128 {
+        value
+    } else {
+        value & ((1u128 << width) - 1)
+    }
+}
+
+/// Returns the sign bit of `value` interpreted at `width` bits.
+pub fn sign_bit(width: u32, value: u128) -> bool {
+    (value >> (width - 1)) & 1 == 1
+}
+
+/// Sign-extends a `width`-bit `value` to 128 bits (as `i128`).
+pub fn to_signed(width: u32, value: u128) -> i128 {
+    let v = mask(width, value);
+    if sign_bit(width, v) {
+        (v | !mask(width, u128::MAX)) as i128
+    } else {
+        v as i128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_truncates() {
+        assert_eq!(mask(8, 0x1ff), 0xff);
+        assert_eq!(mask(1, 3), 1);
+        assert_eq!(mask(128, u128::MAX), u128::MAX);
+        assert_eq!(mask(64, u128::MAX), u64::MAX as u128);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mask_rejects_zero_width() {
+        mask(0, 1);
+    }
+
+    #[test]
+    fn signed_conversion_roundtrips() {
+        assert_eq!(to_signed(8, 0xff), -1);
+        assert_eq!(to_signed(8, 0x7f), 127);
+        assert_eq!(to_signed(8, 0x80), -128);
+        assert_eq!(to_signed(32, 0xffff_ffff), -1);
+        assert_eq!(to_signed(96, mask(96, u128::MAX)), -1);
+    }
+
+    #[test]
+    fn sign_bit_checks_top_bit() {
+        assert!(sign_bit(4, 0x8));
+        assert!(!sign_bit(4, 0x7));
+        assert!(sign_bit(128, 1u128 << 127));
+    }
+
+    #[test]
+    fn sort_accessors() {
+        assert_eq!(Sort::BitVec(32).width(), Some(32));
+        assert_eq!(Sort::Bool.width(), None);
+        assert!(Sort::Bool.is_bool());
+        assert!(Sort::BitVec(7).is_bitvec());
+        assert!(Sort::Memory.is_memory());
+    }
+
+    #[test]
+    fn sort_display() {
+        assert_eq!(Sort::Bool.to_string(), "Bool");
+        assert_eq!(Sort::BitVec(32).to_string(), "(_ BitVec 32)");
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests for the SMT substrate:
+//!
+//! * smart-constructor normalization is sound w.r.t. concrete evaluation;
+//! * the full solver pipeline (lower → blast → CDCL) agrees with
+//!   brute-force enumeration on small-width formulas;
+//! * memory lowering preserves evaluation.
+
+use proptest::prelude::*;
+
+use keq_smt::eval::{eval, Assignment, Value};
+use keq_smt::{CheckOutcome, Solver, Sort, TermBank, TermId};
+
+/// A small expression AST we can both build as terms and evaluate directly.
+#[derive(Debug, Clone)]
+enum E {
+    Var(u8),
+    Const(u8),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    And(Box<E>, Box<E>),
+    Or(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Shl(Box<E>, Box<E>),
+    Lshr(Box<E>, Box<E>),
+    Not(Box<E>),
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![(0u8..3).prop_map(E::Var), any::<u8>().prop_map(E::Const)];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Shl(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lshr(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| E::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn build(bank: &mut TermBank, e: &E) -> TermId {
+    match e {
+        E::Var(i) => bank.mk_var(&format!("v{i}"), Sort::BitVec(8)),
+        E::Const(c) => bank.mk_bv(8, u128::from(*c)),
+        E::Add(a, b) => {
+            let (a, b) = (build(bank, a), build(bank, b));
+            bank.mk_bvadd(a, b)
+        }
+        E::Sub(a, b) => {
+            let (a, b) = (build(bank, a), build(bank, b));
+            bank.mk_bvsub(a, b)
+        }
+        E::Mul(a, b) => {
+            let (a, b) = (build(bank, a), build(bank, b));
+            bank.mk_bvmul(a, b)
+        }
+        E::And(a, b) => {
+            let (a, b) = (build(bank, a), build(bank, b));
+            bank.mk_bvand(a, b)
+        }
+        E::Or(a, b) => {
+            let (a, b) = (build(bank, a), build(bank, b));
+            bank.mk_bvor(a, b)
+        }
+        E::Xor(a, b) => {
+            let (a, b) = (build(bank, a), build(bank, b));
+            bank.mk_bvxor(a, b)
+        }
+        E::Shl(a, b) => {
+            let (a, b) = (build(bank, a), build(bank, b));
+            bank.mk_bvshl(a, b)
+        }
+        E::Lshr(a, b) => {
+            let (a, b) = (build(bank, a), build(bank, b));
+            bank.mk_bvlshr(a, b)
+        }
+        E::Not(a) => {
+            let a = build(bank, a);
+            bank.mk_bvnot(a)
+        }
+    }
+}
+
+fn direct(e: &E, env: &[u8; 3]) -> u8 {
+    match e {
+        E::Var(i) => env[*i as usize],
+        E::Const(c) => *c,
+        E::Add(a, b) => direct(a, env).wrapping_add(direct(b, env)),
+        E::Sub(a, b) => direct(a, env).wrapping_sub(direct(b, env)),
+        E::Mul(a, b) => direct(a, env).wrapping_mul(direct(b, env)),
+        E::And(a, b) => direct(a, env) & direct(b, env),
+        E::Or(a, b) => direct(a, env) | direct(b, env),
+        E::Xor(a, b) => direct(a, env) ^ direct(b, env),
+        E::Shl(a, b) => {
+            let k = direct(b, env);
+            if k >= 8 {
+                0
+            } else {
+                direct(a, env) << k
+            }
+        }
+        E::Lshr(a, b) => {
+            let k = direct(b, env);
+            if k >= 8 {
+                0
+            } else {
+                direct(a, env) >> k
+            }
+        }
+        E::Not(a) => !direct(a, env),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Constructor normalization never changes the value of a term.
+    #[test]
+    fn constructors_sound_vs_direct_eval(e in arb_expr(), env in any::<[u8; 3]>()) {
+        let mut bank = TermBank::new();
+        let t = build(&mut bank, &e);
+        let mut asg = Assignment::new();
+        for (i, v) in env.iter().enumerate() {
+            asg.set_named(&mut bank, &format!("v{i}"), Sort::BitVec(8), Value::bv(8, u128::from(*v)));
+        }
+        prop_assert_eq!(eval(&bank, t, &asg), Value::bv(8, u128::from(direct(&e, &env))));
+    }
+
+    /// The solver's SAT/UNSAT verdicts on `e1 == e2` agree with brute-force
+    /// enumeration over all 2^6 assignments of two 3-bit variables.
+    #[test]
+    fn solver_agrees_with_bruteforce(e1 in arb_expr(), e2 in arb_expr()) {
+        // Restrict vars to v0, v1 at 3 bits via masking, so brute force is
+        // trivial: build over 8-bit exprs, then compare under constraints
+        // v0 < 8 ∧ v1 < 8 ∧ v2 = 0.
+        let mut bank = TermBank::new();
+        let t1 = build(&mut bank, &e1);
+        let t2 = build(&mut bank, &e2);
+        let goal = bank.mk_eq(t1, t2);
+        let neg = bank.mk_not(goal);
+        let v0 = bank.mk_var("v0", Sort::BitVec(8));
+        let v1 = bank.mk_var("v1", Sort::BitVec(8));
+        let v2 = bank.mk_var("v2", Sort::BitVec(8));
+        let eight = bank.mk_bv(8, 8);
+        let zero = bank.mk_bv(8, 0);
+        let c0 = bank.mk_bvult(v0, eight);
+        let c1 = bank.mk_bvult(v1, eight);
+        let c2 = bank.mk_eq(v2, zero);
+        let outcome = {
+            let mut solver = Solver::new();
+            solver.check_sat(&mut bank, &[neg, c0, c1, c2])
+        };
+        // Brute force.
+        let mut counterexample = false;
+        for a in 0u8..8 {
+            for b in 0u8..8 {
+                let env = [a, b, 0];
+                if direct(&e1, &env) != direct(&e2, &env) {
+                    counterexample = true;
+                }
+            }
+        }
+        match outcome {
+            CheckOutcome::Sat(_) => prop_assert!(counterexample, "solver found spurious model"),
+            CheckOutcome::Unsat => prop_assert!(!counterexample, "solver missed a countermodel"),
+            CheckOutcome::Budget(_) => {} // cannot happen at these sizes, but allowed
+        }
+    }
+
+    /// Writing then reading memory at symbolic offsets round-trips under
+    /// the full pipeline.
+    #[test]
+    fn memory_roundtrip_proved(addr in any::<u32>(), width_pow in 0u32..3) {
+        let nbytes = 1u32 << width_pow;
+        let mut bank = TermBank::new();
+        let mem = bank.mk_var("m", Sort::Memory);
+        let a = bank.mk_bv(64, u128::from(addr));
+        let v = bank.mk_var("v", Sort::BitVec(nbytes * 8));
+        let m2 = keq_semantics::write_bytes(&mut bank, mem, a, v);
+        let r = keq_semantics::read_bytes(&mut bank, m2, a, nbytes);
+        let mut solver = Solver::new();
+        prop_assert!(solver.prove_equiv(&mut bank, &[], r, v).is_proved());
+    }
+}

@@ -1,0 +1,149 @@
+//! Textual rendering of Virtual x86 functions, in the style of the paper's
+//! Fig. 2(b).
+
+use std::fmt;
+
+use crate::ast::{VxBlock, VxFunction, VxInstr, VxTerm};
+
+impl fmt::Display for VxFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.name)?;
+        for b in &self.blocks {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for VxBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, ".{}:", self.name)?;
+        for i in &self.instrs {
+            writeln!(f, "  {i}")?;
+        }
+        write!(f, "{}", self.term)
+    }
+}
+
+impl fmt::Display for VxInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VxInstr::Copy { dst, src } => write!(f, "{dst} = COPY {src}"),
+            VxInstr::Phi { dst, incomings } => {
+                write!(f, "{dst} = PHI ")?;
+                for (i, (r, bb)) in incomings.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{r}, .{bb}")?;
+                }
+                Ok(())
+            }
+            VxInstr::MovRI { dst, imm } => write!(f, "{dst} = mov {imm}"),
+            VxInstr::Load { dst, width, addr, zext } => {
+                let m = if *zext && dst.width() > *width { "movzx" } else { "mov" };
+                write!(f, "{dst} = {m}{} [{addr}]", width_suffix(*width))
+            }
+            VxInstr::Store { width, addr, src } => {
+                write!(f, "mov{} [{addr}], {src}", width_suffix(*width))
+            }
+            VxInstr::Alu { op, dst, lhs, rhs } => {
+                write!(f, "{dst} = {} {lhs}, {rhs}", op.mnemonic())
+            }
+            VxInstr::Cmp { width, lhs, rhs } => {
+                write!(f, "cmp{} {lhs}, {rhs}", width_suffix(*width))
+            }
+            VxInstr::Inc { dst, src } => write!(f, "{dst} = inc {src}"),
+            VxInstr::Lea { dst, addr } => write!(f, "{dst} = lea [{addr}]"),
+            VxInstr::Ext { dst, src, signed } => {
+                write!(f, "{dst} = {} {src}", if *signed { "movsx" } else { "movzx" })
+            }
+            VxInstr::SetCc { cc, dst } => write!(f, "{dst} = set{} ", cc.mnemonic()),
+            VxInstr::Div { signed, rem, dst, lhs, rhs } => {
+                let m = match (signed, rem) {
+                    (false, false) => "udiv",
+                    (false, true) => "urem",
+                    (true, false) => "idiv",
+                    (true, true) => "irem",
+                };
+                write!(f, "{dst} = {m} {lhs}, {rhs}")
+            }
+            VxInstr::Call { callee, arg_widths, .. } => {
+                write!(f, "call {callee} ({} args)", arg_widths.len())
+            }
+        }
+    }
+}
+
+impl fmt::Display for VxTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VxTerm::Jmp { target } => writeln!(f, "  jmp .{target}"),
+            VxTerm::CondJmp { cc, then_, else_ } => {
+                writeln!(f, "  j{} .{then_}", cc.mnemonic())?;
+                writeln!(f, "  jmp .{else_}")
+            }
+            VxTerm::Ret => writeln!(f, "  ret"),
+            VxTerm::Ud2 => writeln!(f, "  ud2"),
+        }
+    }
+}
+
+fn width_suffix(width: u32) -> &'static str {
+    match width {
+        8 => "b",
+        16 => "w",
+        32 => "l",
+        64 => "q",
+        _ => "?",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Addr, AluOp, Cond, PhysReg, Reg, RegImm};
+
+    #[test]
+    fn renders_fig2b_style() {
+        let f = VxFunction {
+            name: "arithm_seq_sum".into(),
+            num_params: 3,
+            param_widths: vec![32, 32, 32],
+            ret_width: Some(32),
+            blocks: vec![VxBlock {
+                name: "LBB0".into(),
+                instrs: vec![
+                    VxInstr::Copy { dst: Reg::vr32(8), src: Reg::Phys(PhysReg::Rdx, 32) },
+                    VxInstr::MovRI { dst: Reg::vr32(9), imm: 1 },
+                ],
+                term: VxTerm::Jmp { target: "LBB1".into() },
+            }],
+        };
+        let s = f.to_string();
+        assert!(s.contains("%vr8_32 = COPY edx"), "{s}");
+        assert!(s.contains("%vr9_32 = mov 1"), "{s}");
+        assert!(s.contains("jmp .LBB1"), "{s}");
+    }
+
+    #[test]
+    fn renders_memory_and_branches() {
+        let b = VxBlock {
+            name: "LBB2".into(),
+            instrs: vec![
+                VxInstr::Store { width: 16, addr: Addr::global("b", 2), src: RegImm::Imm(0) },
+                VxInstr::Alu {
+                    op: AluOp::Sub,
+                    dst: Reg::vr32(10),
+                    lhs: RegImm::Reg(Reg::vr32(2)),
+                    rhs: RegImm::Reg(Reg::vr32(8)),
+                },
+            ],
+            term: VxTerm::CondJmp { cc: Cond::Ae, then_: "LBB4".into(), else_: "LBB3".into() },
+        };
+        let s = b.to_string();
+        assert!(s.contains("movw [b+2(%rip)], $0"), "{s}");
+        assert!(s.contains("%vr10_32 = sub %vr2_32, %vr8_32"), "{s}");
+        assert!(s.contains("jae .LBB4"), "{s}");
+    }
+}

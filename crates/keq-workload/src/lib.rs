@@ -1,0 +1,20 @@
+//! # keq-workload — synthetic validation corpus
+//!
+//! The paper evaluates on 4732 functions of GCC from SPEC 2006, which is
+//! proprietary; this crate is the substitution documented in DESIGN.md: a
+//! deterministic generator of structured LLVM IR functions drawn from the
+//! supported fragment — arithmetic and bitwise expression trees, nested
+//! if/else diamonds, counted loops with accumulator phis, stack-array
+//! traffic, constant global stores (exercising the store-merging
+//! optimization), divisions (exercising the UB error states), and external
+//! calls — with a long-tailed size distribution mimicking Fig. 7.
+//!
+//! Functions are produced through a small SSA builder, so every generated
+//! function is well-formed by construction; generation is seeded and fully
+//! reproducible.
+
+pub mod builder;
+pub mod gen;
+
+pub use builder::FnBuilder;
+pub use gen::{generate_corpus, generate_function, GenConfig};

@@ -1,0 +1,55 @@
+//! The paper's "ongoing work" (§1), reproduced: validate the register
+//! allocation pass with KEQ *unchanged*, using a VC generator that treats
+//! the allocator as a black box — it sees only the assignment artifact.
+//!
+//! Both sides of the check are Virtual x86 (the "input and output languages
+//! may be identical" case): the left is ISel's SSA output with virtual
+//! registers and PHIs; the right is fully allocated code with PHIs
+//! destructed into cycle-safe parallel copies.
+//!
+//! Run with: `cargo run --release --example validate_regalloc`
+
+use keq_repro::core::KeqOptions;
+use keq_repro::isel::{select, validate_regalloc, IselOptions};
+use keq_repro::llvm::{parse_module, Layout};
+
+fn main() {
+    let m = parse_module(keq_repro::llvm::corpus::ARITHM_SEQ_SUM).expect("parses");
+    let f = m.function("arithm_seq_sum").expect("present");
+    let layout = Layout::of(&m, f);
+    let pre = select(&m, f, &layout, IselOptions::default()).expect("selects").func;
+    println!("=== before register allocation (SSA Virtual x86) ===\n{pre}");
+    let (report, post) =
+        validate_regalloc(&pre, &layout, KeqOptions::default()).expect("colorable");
+    println!("=== after register allocation ===\n{post}");
+    println!("KEQ verdict: {}", report.verdict);
+    assert!(report.verdict.is_validated());
+
+    // And a corpus sweep: validate the allocator on generated functions.
+    let module = keq_repro::workload::generate_corpus(
+        keq_repro::workload::GenConfig { seed: 5, ..Default::default() },
+        15,
+    );
+    let mut validated = 0;
+    let mut spills = 0;
+    for f in &module.functions {
+        let layout = Layout::of(&module, f);
+        let Ok(out) = select(&module, f, &layout, IselOptions::default()) else { continue };
+        match validate_regalloc(&out.func, &layout, KeqOptions {
+            time_limit: Some(std::time::Duration::from_secs(15)),
+            ..Default::default()
+        }) {
+            Ok((report, _)) => {
+                println!("{:<8} {}", f.name, report.verdict);
+                if report.verdict.is_validated() {
+                    validated += 1;
+                }
+            }
+            Err(e) => {
+                println!("{:<8} unsupported: {e}", f.name);
+                spills += 1;
+            }
+        }
+    }
+    println!("\nregalloc validated {validated} functions ({spills} needed spills — outside the supported fragment)");
+}

@@ -1,0 +1,112 @@
+//! The paper's §1 "ongoing work": validating register allocation with the
+//! same, unchanged KEQ — both Language parameters are Virtual x86, and the
+//! VC generator only sees the allocator's output mapping (black box).
+
+use keq_repro::core::{KeqOptions, Verdict};
+use keq_repro::isel::{select, validate_regalloc, IselOptions};
+use keq_repro::llvm::{parse_module, Layout};
+use keq_repro::vx86::{Reg, VxInstr};
+
+fn pre_ra(src: &str) -> (keq_repro::vx86::VxFunction, Layout) {
+    let m = parse_module(src).expect("parses");
+    let f = &m.functions[0];
+    let layout = Layout::of(&m, f);
+    let out = select(&m, f, &layout, IselOptions::default()).expect("selects");
+    (out.func, layout)
+}
+
+#[test]
+fn regalloc_of_running_example_validates() {
+    let (pre, layout) = pre_ra(keq_repro::llvm::corpus::ARITHM_SEQ_SUM);
+    let (report, post) = validate_regalloc(&pre, &layout, KeqOptions::default()).expect("colors");
+    // Post-RA code has no virtual registers and no PHIs.
+    for b in &post.blocks {
+        for i in &b.instrs {
+            assert!(!matches!(i, VxInstr::Phi { .. }), "PHIs destructed: {i}");
+            let mut has_virt = false;
+            keq_repro::isel::regalloc::uses_defs(i).0.iter().for_each(|k| {
+                if matches!(k, keq_repro::isel::regalloc::RegKey::Virt(_)) {
+                    has_virt = true;
+                }
+            });
+            assert!(!has_virt, "no virtual registers remain: {i}");
+        }
+    }
+    assert_eq!(report.verdict, Verdict::Equivalent, "{}", report.verdict);
+}
+
+#[test]
+fn regalloc_with_branches_and_calls_validates() {
+    let src = r#"
+define i32 @f(i32 %x, i32 %y) {
+entry:
+  %c = icmp slt i32 %x, %y
+  br i1 %c, label %a, label %b
+a:
+  %r1 = call i32 @ext(i32 %x, i32 %y)
+  br label %join
+b:
+  %d = mul i32 %x, %y
+  br label %join
+join:
+  %v = phi i32 [ %r1, %a ], [ %d, %b ]
+  %out = add i32 %v, %y
+  ret i32 %out
+}
+"#;
+    let (pre, layout) = pre_ra(src);
+    let (report, _post) = validate_regalloc(&pre, &layout, KeqOptions::default()).expect("colors");
+    assert_eq!(report.verdict, Verdict::Equivalent, "{}", report.verdict);
+}
+
+#[test]
+fn corrupted_assignment_is_rejected() {
+    // Sabotage the allocated code after the fact: swap two physical
+    // registers in one copy. The black-box VC generator (driven by the
+    // honest map) must catch the mismatch.
+    let (pre, layout) = pre_ra(keq_repro::llvm::corpus::ARITHM_SEQ_SUM);
+    let (post, map) = keq_repro::isel::allocate(&pre).expect("colors");
+    let mut bad = post.clone();
+    // Find a Copy between two different physical registers and corrupt the
+    // source.
+    'outer: for b in &mut bad.blocks {
+        for i in &mut b.instrs {
+            if let VxInstr::Copy { src, dst } = i {
+                if let (Reg::Phys(ps, w), Reg::Phys(pd, _)) = (*src, *dst) {
+                    let replacement = keq_repro::isel::regalloc::POOL
+                        .iter()
+                        .find(|&&r| r != ps && r != pd)
+                        .copied()
+                        .expect("pool has spares");
+                    *src = Reg::Phys(replacement, w);
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let sync = keq_repro::isel::regalloc_sync_points(&pre, &bad, &map);
+    let globals: std::collections::BTreeMap<String, u64> =
+        layout.globals.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    let left = keq_repro::vx86::VxSemantics::new(&pre, layout.mem.clone(), globals.clone());
+    let right = keq_repro::vx86::VxSemantics::new(&bad, layout.mem.clone(), globals);
+    let keq = keq_repro::core::Keq::new(&left, &right);
+    let mut bank = keq_repro::smt::TermBank::new();
+    let report = keq.check(&mut bank, &sync);
+    assert!(!report.verdict.is_validated(), "sabotage must be caught: {}", report.verdict);
+}
+
+#[test]
+fn memory_functions_allocate_and_validate() {
+    let src = r#"
+define i32 @f(i32 %x) {
+  %slot = alloca i32
+  store i32 %x, i32* %slot
+  %v = load i32, i32* %slot
+  %r = add i32 %v, 1
+  ret i32 %r
+}
+"#;
+    let (pre, layout) = pre_ra(src);
+    let (report, _post) = validate_regalloc(&pre, &layout, KeqOptions::default()).expect("colors");
+    assert_eq!(report.verdict, Verdict::Equivalent, "{}", report.verdict);
+}
