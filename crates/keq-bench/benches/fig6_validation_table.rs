@@ -12,7 +12,7 @@
 
 use std::time::Duration;
 
-use keq_bench::{run_corpus, CorpusResult};
+use keq_bench::{run_corpus, ResultKind};
 use keq_core::KeqOptions;
 use keq_smt::Budget;
 
@@ -37,14 +37,15 @@ fn main() {
     let (_m, summary) = run_corpus(seed, n, opts);
     println!("=== Fig. 6: translation validation results ===");
     println!("{:<30} {:>10}", "Result", "#Functions");
-    println!("{:<30} {:>10}", "Succeeded", summary.count(CorpusResult::Succeeded));
-    println!("{:<30} {:>10}", "Failed due to timeout", summary.count(CorpusResult::Timeout));
+    println!("{:<30} {:>10}", "Succeeded", summary.count(ResultKind::Succeeded));
+    println!("{:<30} {:>10}", "Failed due to timeout", summary.count(ResultKind::Timeout));
     println!(
         "{:<30} {:>10}",
         "Failed due to out-of-memory",
-        summary.count(CorpusResult::OutOfMemory)
+        summary.count(ResultKind::OutOfMemory)
     );
-    println!("{:<30} {:>10}", "Other", summary.count(CorpusResult::Other));
+    println!("{:<30} {:>10}", "Crashed (isolated panic)", summary.count(ResultKind::Crashed));
+    println!("{:<30} {:>10}", "Other", summary.count(ResultKind::Other));
     println!("{:<30} {:>10}", "Total", summary.total());
     println!();
     println!(

@@ -1,16 +1,37 @@
-//! Criterion micro-benchmarks:
+//! Micro-benchmarks (plain timing harness — no external bench framework,
+//! so the workspace builds offline):
 //!
 //! * **§3 ablation** — the positive-form path-condition query
 //!   (`φ₁ ∧ Ψ₂`) versus the naive negated query (`φ₁ ∧ ¬φ₂`);
 //! * solver scaling on arithmetic identities by bit width;
 //! * end-to-end validation latency of the running example.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
 
 use keq_core::KeqOptions;
 use keq_isel::{validate_function, IselOptions, VcOptions};
 use keq_llvm::parse_module;
 use keq_smt::{Solver, Sort, TermBank, TermId};
+
+/// Times `iters` runs of `f` and prints the mean per-iteration latency.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    // One warm-up run outside the timed window.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let mean = start.elapsed() / iters;
+    println!("{name:<44} {:>12}", format_duration(mean));
+}
+
+fn format_duration(d: Duration) -> String {
+    if d < Duration::from_millis(1) {
+        format!("{:.1} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{:.2} ms", d.as_secs_f64() * 1e3)
+    }
+}
 
 /// A branchy path-condition pair like the ones ISel validation produces:
 /// `φ₁ = (i - n <u 0 … layered comparisons)`, target `φ₂`, sibling `¬φ₂`.
@@ -29,71 +50,58 @@ fn path_conditions(bank: &mut TermBank, w: u32) -> (TermId, TermId, TermId) {
     (phi1, phi2, sibling)
 }
 
-fn bench_positive_form(c: &mut Criterion) {
-    let mut group = c.benchmark_group("s3_positive_form_ablation");
-    group.sample_size(20);
+fn bench_positive_form() {
+    println!("--- s3_positive_form_ablation ---");
     for w in [16u32, 32, 64] {
-        group.bench_with_input(BenchmarkId::new("positive", w), &w, |b, &w| {
-            b.iter(|| {
-                let mut bank = TermBank::new();
-                let (phi1, _phi2, sibling) = path_conditions(&mut bank, w);
-                let mut solver = Solver::new();
-                assert!(solver
-                    .prove_implies_positive(&mut bank, &[phi1], &[sibling])
-                    .is_proved());
-            });
+        bench(&format!("positive/{w}"), 20, || {
+            let mut bank = TermBank::new();
+            let (phi1, _phi2, sibling) = path_conditions(&mut bank, w);
+            let mut solver = Solver::new();
+            assert!(solver.prove_implies_positive(&mut bank, &[phi1], &[sibling]).is_proved());
         });
-        group.bench_with_input(BenchmarkId::new("negated", w), &w, |b, &w| {
-            b.iter(|| {
-                let mut bank = TermBank::new();
-                let (phi1, phi2, _sibling) = path_conditions(&mut bank, w);
-                let mut solver = Solver::new();
-                assert!(solver.prove_implies(&mut bank, &[phi1], phi2).is_proved());
-            });
+        bench(&format!("negated/{w}"), 20, || {
+            let mut bank = TermBank::new();
+            let (phi1, phi2, _sibling) = path_conditions(&mut bank, w);
+            let mut solver = Solver::new();
+            assert!(solver.prove_implies(&mut bank, &[phi1], phi2).is_proved());
         });
     }
-    group.finish();
 }
 
-fn bench_solver_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver_width_scaling");
-    group.sample_size(10);
+fn bench_solver_scaling() {
+    println!("--- solver_width_scaling ---");
     for w in [8u32, 16, 32, 64] {
-        group.bench_with_input(BenchmarkId::new("add_sub_roundtrip", w), &w, |b, &w| {
-            b.iter(|| {
-                let mut bank = TermBank::new();
-                let x = bank.mk_var("x", Sort::BitVec(w));
-                let y = bank.mk_var("y", Sort::BitVec(w));
-                let s = bank.mk_bvadd(x, y);
-                let d = bank.mk_bvsub(s, y);
-                let mut solver = Solver::new();
-                assert!(solver.prove_equiv(&mut bank, &[], d, x).is_proved());
-            });
+        bench(&format!("add_sub_roundtrip/{w}"), 10, || {
+            let mut bank = TermBank::new();
+            let x = bank.mk_var("x", Sort::BitVec(w));
+            let y = bank.mk_var("y", Sort::BitVec(w));
+            let s = bank.mk_bvadd(x, y);
+            let d = bank.mk_bvsub(s, y);
+            let mut solver = Solver::new();
+            assert!(solver.prove_equiv(&mut bank, &[], d, x).is_proved());
         });
     }
-    group.finish();
 }
 
-fn bench_running_example(c: &mut Criterion) {
+fn bench_running_example() {
+    println!("--- end_to_end ---");
     let m = parse_module(keq_llvm::corpus::ARITHM_SEQ_SUM).expect("parses");
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(10);
-    group.bench_function("validate_arithm_seq_sum", |b| {
-        b.iter(|| {
-            let f = m.function("arithm_seq_sum").expect("present");
-            let out = validate_function(
-                &m,
-                f,
-                IselOptions::default(),
-                VcOptions::default(),
-                KeqOptions::default(),
-            )
-            .expect("supported");
-            assert!(out.report.verdict.is_validated());
-        });
+    bench("validate_arithm_seq_sum", 10, || {
+        let f = m.function("arithm_seq_sum").expect("present");
+        let out = validate_function(
+            &m,
+            f,
+            IselOptions::default(),
+            VcOptions::default(),
+            KeqOptions::default(),
+        )
+        .expect("supported");
+        assert!(out.report.verdict.is_validated());
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_positive_form, bench_solver_scaling, bench_running_example);
-criterion_main!(benches);
+fn main() {
+    bench_positive_form();
+    bench_solver_scaling();
+    bench_running_example();
+}

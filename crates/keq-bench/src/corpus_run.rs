@@ -1,98 +1,32 @@
 //! Corpus-scale validation driver shared by the Fig. 6 and Fig. 7
-//! harnesses.
+//! harnesses — a thin wrapper over the fault-isolated [`keq_harness`]
+//! supervisor (panic isolation, watchdog deadlines, escalating-budget
+//! retry), which also makes this the repo's first *parallel* corpus
+//! driver.
 
-use std::time::{Duration, Instant};
-
-use keq_core::{FailureClass, KeqOptions, Verdict};
-use keq_isel::{IselOptions, VcOptions};
+use keq_core::KeqOptions;
 use keq_llvm::ast::Module;
 use keq_workload::{generate_corpus, GenConfig};
 
-/// Result category of one function (the Fig. 6 rows).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum CorpusResult {
-    /// Validated (equivalent or refines).
-    Succeeded,
-    /// Resource exhaustion, solving-time flavor.
-    Timeout,
-    /// Resource exhaustion, memory flavor.
-    OutOfMemory,
-    /// Any other failure.
-    Other,
-}
-
-/// One validated function.
-#[derive(Debug, Clone)]
-pub struct CorpusRow {
-    /// Function name.
-    pub name: String,
-    /// Instruction count (the Fig. 7 code-size axis).
-    pub size: usize,
-    /// Validation wall-clock time.
-    pub time: Duration,
-    /// Category.
-    pub result: CorpusResult,
-}
-
-/// Aggregated counts.
-#[derive(Debug, Clone, Default)]
-pub struct CorpusSummary {
-    /// Per-function rows.
-    pub rows: Vec<CorpusRow>,
-}
-
-impl CorpusSummary {
-    /// Count of a category.
-    pub fn count(&self, r: CorpusResult) -> usize {
-        self.rows.iter().filter(|x| x.result == r).count()
-    }
-
-    /// Total functions considered.
-    pub fn total(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// Fraction validated.
-    pub fn success_rate(&self) -> f64 {
-        if self.rows.is_empty() {
-            return 0.0;
-        }
-        self.count(CorpusResult::Succeeded) as f64 / self.total() as f64
-    }
-}
+pub use keq_harness::{
+    run_module, AttemptRecord, CorpusResult, CorpusRow, CorpusSummary, HarnessOptions,
+    ResultKind, RetryPolicy,
+};
 
 /// Generates `n` corpus functions and validates each under the given
-/// resource limits, mirroring the paper's §5.1 experiment.
+/// resource limits, mirroring the paper's §5.1 experiment. Functions are
+/// distributed over the harness's worker pool; rows come back ordered by
+/// function index, so the output is deterministic in content.
 pub fn run_corpus(seed: u64, n: usize, keq_opts: KeqOptions) -> (Module, CorpusSummary) {
+    let opts = HarnessOptions { keq: keq_opts, ..HarnessOptions::default() };
+    run_corpus_with(seed, n, &opts)
+}
+
+/// [`run_corpus`] with full control over the harness (worker count,
+/// deadlines, retry policy, fault plan).
+pub fn run_corpus_with(seed: u64, n: usize, opts: &HarnessOptions) -> (Module, CorpusSummary) {
     let cfg = GenConfig { seed, ..GenConfig::default() };
     let module = generate_corpus(cfg, n);
-    let mut summary = CorpusSummary::default();
-    for f in &module.functions {
-        let size: usize = f.blocks.iter().map(|b| b.instrs.len() + 1).sum();
-        let start = Instant::now();
-        let outcome = keq_isel::validate_function(
-            &module,
-            f,
-            IselOptions::default(),
-            VcOptions::default(),
-            keq_opts,
-        );
-        let time = start.elapsed();
-        let result = match outcome {
-            Ok(v) => match &v.report.verdict {
-                Verdict::Equivalent | Verdict::Refines => CorpusResult::Succeeded,
-                Verdict::NotValidated(fail) => match fail.reason.failure_class() {
-                    FailureClass::Timeout => CorpusResult::Timeout,
-                    FailureClass::OutOfMemory => CorpusResult::OutOfMemory,
-                    FailureClass::Other => CorpusResult::Other,
-                },
-            },
-            // Unsupported functions are excluded from the denominator in the
-            // paper; the generator only emits supported features, so treat
-            // any selection failure as Other.
-            Err(_) => CorpusResult::Other,
-        };
-        summary.rows.push(CorpusRow { name: f.name.clone(), size, time, result });
-    }
+    let summary = run_module(&module, opts);
     (module, summary)
 }

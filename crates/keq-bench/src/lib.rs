@@ -6,5 +6,8 @@
 pub mod corpus_run;
 pub mod histogram;
 
-pub use corpus_run::{run_corpus, CorpusResult, CorpusRow, CorpusSummary};
+pub use corpus_run::{
+    run_corpus, run_corpus_with, run_module, AttemptRecord, CorpusResult, CorpusRow,
+    CorpusSummary, HarnessOptions, ResultKind, RetryPolicy,
+};
 pub use histogram::Histogram;

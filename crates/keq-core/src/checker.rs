@@ -26,7 +26,10 @@ use keq_semantics::{
     memory_equal_obligations, Acceptability, CtrlLoc, ErrorRelation, Language, LocPattern, Status,
     SymConfig,
 };
-use keq_smt::{Budget, ProofOutcome, Solver, Sort, TermBank, TermId};
+use keq_smt::fault::{self, FaultAction, FaultSite};
+use keq_smt::{
+    stop_requested, Budget, CancelToken, ProofOutcome, Solver, Sort, StopCause, TermBank, TermId,
+};
 
 use crate::sync::{Side, SideSpec, SyncPoint, SyncSet, ValueExpr};
 use crate::verdict::{Failure, FailureReason, KeqReport, KeqStats, Verdict};
@@ -67,13 +70,20 @@ pub struct Keq<'a> {
     right: &'a dyn Language,
     accept: Acceptability,
     opts: KeqOptions,
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> Keq<'a> {
     /// Creates a checker for the given language pair with the paper's
     /// default acceptability policy.
     pub fn new(left: &'a dyn Language, right: &'a dyn Language) -> Self {
-        Keq { left, right, accept: Acceptability::default(), opts: KeqOptions::default() }
+        Keq {
+            left,
+            right,
+            accept: Acceptability::default(),
+            opts: KeqOptions::default(),
+            cancel: None,
+        }
     }
 
     /// Overrides the acceptability policy.
@@ -88,10 +98,21 @@ impl<'a> Keq<'a> {
         self
     }
 
+    /// Attaches a supervisor cancellation token, polled between symbolic
+    /// steps, between pair discharges, and inside the SMT solver's CDCL
+    /// loop. Cancellation surfaces as [`FailureReason::Cancelled`].
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
     /// Runs the check.
     pub fn check(&self, bank: &mut TermBank, sync: &SyncSet) -> KeqReport {
         let deadline = self.opts.time_limit.map(|d| std::time::Instant::now() + d);
         let mut solver = Solver::with_budget(self.opts.solver_budget);
+        if let Some(cancel) = &self.cancel {
+            solver = solver.with_cancel(cancel.clone());
+        }
         let mut stats = KeqStats::default();
         let startable: Vec<&SyncPoint> = sync.iter().filter(|p| p.is_startable()).collect();
         if startable.is_empty() {
@@ -137,7 +158,7 @@ impl<'a> Keq<'a> {
             self.frontier(bank, solver, sync, Side::Right, c2, &assumptions, deadline, stats)?;
         for s1 in &n1 {
             for s2 in &n2 {
-                check_deadline(deadline)?;
+                check_stop(deadline, self.cancel.as_ref())?;
                 stats.pairs_checked += 1;
                 self.discharge_pair(bank, solver, sync, &assumptions, s1, s2, stats)?;
             }
@@ -186,7 +207,10 @@ impl<'a> Keq<'a> {
             if fuel == 0 {
                 return Err(FailureReason::FuelExhausted { side });
             }
-            check_deadline(deadline)?;
+            check_stop(deadline, self.cancel.as_ref())?;
+            if let FaultAction::ForceBudget(kind) = fault::poll(FaultSite::CheckerStep) {
+                return Err(FailureReason::SolverBudget(kind));
+            }
             fuel -= 1;
             stats.steps += 1;
             let succs = lang
@@ -296,10 +320,7 @@ impl<'a> Keq<'a> {
         let mut conj = assumptions.to_vec();
         conj.extend(s1.path.iter().copied());
         conj.extend(s2.path.iter().copied());
-        match solver.is_feasible(bank, &conj) {
-            Some(b) => Ok(b),
-            None => Err(FailureReason::SolverBudget(keq_smt::BudgetKind::Conflicts)),
-        }
+        solver.feasibility(bank, &conj).map_err(FailureReason::SolverBudget)
     }
 
     /// Proves the equality and memory constraints of `target` for the pair.
@@ -371,6 +392,7 @@ impl<'a> Keq<'a> {
     /// queries over the sibling successors, given deterministic semantics.
     ///
     /// Returns `None` when the option is disabled.
+    #[allow(clippy::too_many_arguments)]
     pub fn path_equivalent_positive(
         &self,
         bank: &mut TermBank,
@@ -409,10 +431,16 @@ impl<'a> Keq<'a> {
     }
 }
 
-fn check_deadline(deadline: Option<std::time::Instant>) -> Result<(), FailureReason> {
-    match deadline {
-        Some(d) if std::time::Instant::now() > d => Err(FailureReason::TimeLimit),
-        _ => Ok(()),
+/// Polls the deadline and the supervisor's cancellation flag at a safe
+/// point, mapping each stop cause onto its failure reason.
+fn check_stop(
+    deadline: Option<std::time::Instant>,
+    cancel: Option<&CancelToken>,
+) -> Result<(), FailureReason> {
+    match stop_requested(deadline, cancel) {
+        None => Ok(()),
+        Some(StopCause::Cancelled) => Err(FailureReason::Cancelled),
+        Some(StopCause::DeadlineElapsed) => Err(FailureReason::TimeLimit),
     }
 }
 

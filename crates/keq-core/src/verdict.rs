@@ -91,8 +91,11 @@ pub enum FailureReason {
     },
     /// The wall-clock limit elapsed (the paper's per-function timeout).
     TimeLimit,
+    /// A supervisor cancelled the check (the harness's watchdog raising the
+    /// shared flag past the hard deadline).
+    Cancelled,
     /// The SMT solver exhausted a budget (conflicts → timeout class,
-    /// terms → out-of-memory class).
+    /// terms → out-of-memory class, wall-clock → timeout class).
     SolverBudget(BudgetKind),
     /// A language semantics rejected the program.
     Semantics {
@@ -126,11 +129,15 @@ impl fmt::Display for FailureReason {
                 write!(f, "symbolic execution fuel exhausted on {side} side")
             }
             FailureReason::TimeLimit => write!(f, "wall-clock time limit exceeded"),
+            FailureReason::Cancelled => write!(f, "cancelled by supervisor"),
             FailureReason::SolverBudget(BudgetKind::Conflicts) => {
                 write!(f, "solver conflict budget exhausted (timeout class)")
             }
             FailureReason::SolverBudget(BudgetKind::Terms) => {
                 write!(f, "solver term budget exhausted (out-of-memory class)")
+            }
+            FailureReason::SolverBudget(BudgetKind::WallClock) => {
+                write!(f, "solver wall-clock deadline elapsed (timeout class)")
             }
             FailureReason::Semantics { side, error } => {
                 write!(f, "semantics error on {side} side: {error}")
@@ -148,7 +155,9 @@ impl FailureReason {
         match self {
             FailureReason::FuelExhausted { .. }
             | FailureReason::TimeLimit
-            | FailureReason::SolverBudget(BudgetKind::Conflicts) => FailureClass::Timeout,
+            | FailureReason::Cancelled
+            | FailureReason::SolverBudget(BudgetKind::Conflicts)
+            | FailureReason::SolverBudget(BudgetKind::WallClock) => FailureClass::Timeout,
             FailureReason::SolverBudget(BudgetKind::Terms) => FailureClass::OutOfMemory,
             _ => FailureClass::Other,
         }
@@ -223,6 +232,11 @@ mod tests {
             FailureReason::FuelExhausted { side: Side::Left }.failure_class(),
             FailureClass::Timeout
         );
+        assert_eq!(
+            FailureReason::SolverBudget(BudgetKind::WallClock).failure_class(),
+            FailureClass::Timeout
+        );
+        assert_eq!(FailureReason::Cancelled.failure_class(), FailureClass::Timeout);
         assert_eq!(FailureReason::NoStartablePoints.failure_class(), FailureClass::Other);
     }
 }

@@ -1,75 +1,86 @@
-//! Property tests of the cut-bisimulation theory (paper §7/§8) over random
-//! finite transition systems.
+//! Randomized tests of the cut-bisimulation theory (paper §7/§8) over
+//! seeded random finite transition systems (keq-prng keeps the corpus
+//! deterministic and the build offline).
 
 use std::collections::BTreeSet;
 
-use proptest::prelude::*;
-
 use keq_core::{algorithm1, is_cut_bisimulation, is_strong_bisimulation, CutTs};
+use keq_prng::Prng;
 
 /// Random transition system over up to 8 states whose cut contains state 0
 /// plus a random subset.
-fn arb_system() -> impl Strategy<Value = CutTs> {
-    (2usize..8)
-        .prop_flat_map(|n| {
-            let edges = proptest::collection::vec((0..n, 0..n), 0..(2 * n));
-            let cut_bits = proptest::collection::vec(any::<bool>(), n);
-            (Just(n), edges, cut_bits)
-        })
-        .prop_map(|(n, edges, cut_bits)| {
-            let mut cut: BTreeSet<usize> =
-                cut_bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
-            cut.insert(0);
-            CutTs::new(n, &edges, 0, cut)
-        })
+fn random_system(rng: &mut Prng) -> CutTs {
+    let n = rng.random_range(2..8usize);
+    let n_edges = rng.random_range(0..2 * n);
+    let edges: Vec<(usize, usize)> =
+        (0..n_edges).map(|_| (rng.random_range(0..n), rng.random_range(0..n))).collect();
+    let mut cut: BTreeSet<usize> = (0..n).filter(|_| rng.random_bool(0.5)).collect();
+    cut.insert(0);
+    CutTs::new(n, &edges, 0, cut)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Draws systems until one has a valid cut (most do).
+fn valid_system(rng: &mut Prng) -> CutTs {
+    loop {
+        let t = random_system(rng);
+        if t.is_valid_cut() {
+            return t;
+        }
+    }
+}
 
-    /// Lemma 7.6, executable form: a cut-bisimulation on T is a strong
-    /// bisimulation on the cut-abstract transition system of T.
-    #[test]
-    fn cut_bisim_is_strong_bisim_on_abstraction(t in arb_system()) {
-        prop_assume!(t.is_valid_cut());
+/// Lemma 7.6, executable form: a cut-bisimulation on T is a strong
+/// bisimulation on the cut-abstract transition system of T.
+#[test]
+fn cut_bisim_is_strong_bisim_on_abstraction() {
+    let mut rng = Prng::seed_from_u64(0xC0DE_0001);
+    for _ in 0..256 {
+        let t = valid_system(&mut rng);
         // The identity relation on the cut is a cut-bisimulation of T with
         // itself, hence the identity must be a strong bisimulation on the
         // abstraction.
         let states: Vec<usize> = t.cut.iter().copied().collect();
         let identity: BTreeSet<(usize, usize)> = t.cut.iter().map(|&s| (s, s)).collect();
-        prop_assert!(is_cut_bisimulation(&t, &t, &identity));
+        assert!(is_cut_bisimulation(&t, &t, &identity));
         let abs = t.cut_abstract();
         let abs_identity: BTreeSet<(usize, usize)> = (0..states.len()).map(|i| (i, i)).collect();
-        prop_assert!(is_strong_bisimulation(&abs, &abs, &abs_identity));
+        assert!(is_strong_bisimulation(&abs, &abs, &abs_identity));
     }
+}
 
-    /// Algorithm 1 is sound and complete against the definitional check on
-    /// finite systems (Theorem 8.1's claim specialized to relations that
-    /// contain the initial pair).
-    #[test]
-    fn algorithm1_matches_definition(t1 in arb_system(), t2 in arb_system(), rel_bits in proptest::collection::vec(any::<bool>(), 64)) {
-        prop_assume!(t1.is_valid_cut() && t2.is_valid_cut());
-        let c1: Vec<usize> = t1.cut.iter().copied().collect();
-        let c2: Vec<usize> = t2.cut.iter().copied().collect();
+/// Algorithm 1 is sound and complete against the definitional check on
+/// finite systems (Theorem 8.1's claim specialized to relations that
+/// contain the initial pair).
+#[test]
+fn algorithm1_matches_definition() {
+    let mut rng = Prng::seed_from_u64(0xC0DE_0002);
+    for _ in 0..256 {
+        let t1 = valid_system(&mut rng);
+        let t2 = valid_system(&mut rng);
         let mut rel: BTreeSet<(usize, usize)> = BTreeSet::new();
         rel.insert((t1.initial, t2.initial));
-        let mut k = 0;
-        for &a in &c1 {
-            for &b in &c2 {
-                if rel_bits.get(k).copied().unwrap_or(false) {
+        for &a in &t1.cut {
+            for &b in &t2.cut {
+                if rng.random_bool(0.5) {
                     rel.insert((a, b));
                 }
-                k += 1;
             }
         }
-        prop_assert_eq!(algorithm1(&t1, &t2, &rel), is_cut_bisimulation(&t1, &t2, &rel));
+        assert_eq!(
+            algorithm1(&t1, &t2, &rel),
+            is_cut_bisimulation(&t1, &t2, &rel),
+            "algorithm1 disagrees with the definition on rel={rel:?}"
+        );
     }
+}
 
-    /// Cut-successors are exactly the cut states reachable through non-cut
-    /// states (Def. 7.3), cross-checked by bounded trace enumeration.
-    #[test]
-    fn cut_successors_match_trace_semantics(t in arb_system()) {
-        prop_assume!(t.is_valid_cut());
+/// Cut-successors are exactly the cut states reachable through non-cut
+/// states (Def. 7.3), cross-checked by bounded trace enumeration.
+#[test]
+fn cut_successors_match_trace_semantics() {
+    let mut rng = Prng::seed_from_u64(0xC0DE_0003);
+    for _ in 0..256 {
+        let t = valid_system(&mut rng);
         for &s in &t.cut {
             let fast = t.cut_successors(s);
             // BFS respecting the "through non-cut states only" rule.
@@ -85,16 +96,19 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(fast, slow);
+            assert_eq!(fast, slow);
         }
     }
+}
 
-    /// Identity on the cut always witnesses self-equivalence of a valid cut
-    /// system (reflexivity of cut-bisimilarity).
-    #[test]
-    fn self_equivalence_via_identity(t in arb_system()) {
-        prop_assume!(t.is_valid_cut());
+/// Identity on the cut always witnesses self-equivalence of a valid cut
+/// system (reflexivity of cut-bisimilarity).
+#[test]
+fn self_equivalence_via_identity() {
+    let mut rng = Prng::seed_from_u64(0xC0DE_0004);
+    for _ in 0..256 {
+        let t = valid_system(&mut rng);
         let identity: BTreeSet<(usize, usize)> = t.cut.iter().map(|&s| (s, s)).collect();
-        prop_assert!(algorithm1(&t, &t, &identity));
+        assert!(algorithm1(&t, &t, &identity));
     }
 }

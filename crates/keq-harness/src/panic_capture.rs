@@ -1,0 +1,91 @@
+//! Worker-side panic capture.
+//!
+//! A worker runs each validation attempt under
+//! [`std::panic::catch_unwind`]; the unwind payload alone often carries
+//! only a bare message, so a process-wide panic hook (installed once,
+//! chaining to the previous hook) records message *and* source location
+//! into a thread-local slot — but only for threads that armed capture, so
+//! panics everywhere else keep their normal stderr report.
+
+use std::cell::{Cell, RefCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+thread_local! {
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+    static MESSAGE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+static INSTALL: Once = Once::new();
+
+/// Installs the capturing hook (idempotent, chains the previous hook for
+/// threads that have not armed capture).
+pub fn install_hook() {
+    INSTALL.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if CAPTURING.with(Cell::get) {
+                let msg = payload_message(info.payload());
+                let at = info
+                    .location()
+                    .map(|l| format!(" at {}:{}:{}", l.file(), l.line(), l.column()))
+                    .unwrap_or_default();
+                MESSAGE.with(|m| *m.borrow_mut() = Some(format!("{msg}{at}")));
+            } else {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `f`, converting a panic into `Err(message)` with the panic's
+/// source location when available. Unwind safety is asserted: callers pass
+/// closures whose captured state is discarded on the error path.
+pub fn run_caught<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    install_hook();
+    CAPTURING.with(|c| c.set(true));
+    MESSAGE.with(|m| *m.borrow_mut() = None);
+    let out = panic::catch_unwind(AssertUnwindSafe(f));
+    CAPTURING.with(|c| c.set(false));
+    match out {
+        Ok(v) => Ok(v),
+        Err(payload) => Err(MESSAGE
+            .with(|m| m.borrow_mut().take())
+            .unwrap_or_else(|| payload_message(payload.as_ref()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captures_message_and_location() {
+        let err = run_caught(|| panic!("kaboom {}", 7)).expect_err("panics");
+        assert!(err.contains("kaboom 7"), "got: {err}");
+        assert!(err.contains("panic_capture.rs"), "got: {err}");
+    }
+
+    #[test]
+    fn non_panicking_closures_pass_through() {
+        assert_eq!(run_caught(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn capture_is_rearmed_per_call() {
+        let a = run_caught(|| panic!("first")).expect_err("panics");
+        let b = run_caught(|| panic!("second")).expect_err("panics");
+        assert!(a.contains("first"));
+        assert!(b.contains("second"));
+    }
+}

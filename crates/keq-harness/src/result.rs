@@ -1,0 +1,152 @@
+//! Per-function results of a supervised corpus run.
+
+use std::time::Duration;
+
+/// Result category of one validated function — the paper's Fig. 6 rows
+/// plus [`CorpusResult::Crashed`], the harness's fault-isolation row for
+/// functions whose validation panicked instead of returning a verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorpusResult {
+    /// Validated (equivalent or refines).
+    Succeeded,
+    /// Resource exhaustion, solving-time flavor: step fuel, wall-clock
+    /// limits, conflict budgets, or supervisor cancellation.
+    Timeout,
+    /// Resource exhaustion, memory flavor (term budget).
+    OutOfMemory,
+    /// The validation pipeline panicked; the supervisor isolated the panic
+    /// and kept the corpus run alive.
+    Crashed {
+        /// The captured panic message (with source location when the panic
+        /// hook saw it).
+        message: String,
+    },
+    /// Any other failure (genuine mismatches, unsupported functions, …).
+    Other,
+}
+
+impl CorpusResult {
+    /// The payload-free category, for counting and table rendering.
+    pub fn kind(&self) -> ResultKind {
+        match self {
+            CorpusResult::Succeeded => ResultKind::Succeeded,
+            CorpusResult::Timeout => ResultKind::Timeout,
+            CorpusResult::OutOfMemory => ResultKind::OutOfMemory,
+            CorpusResult::Crashed { .. } => ResultKind::Crashed,
+            CorpusResult::Other => ResultKind::Other,
+        }
+    }
+}
+
+/// [`CorpusResult`] without payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResultKind {
+    /// Validated.
+    Succeeded,
+    /// Timeout-class resource exhaustion.
+    Timeout,
+    /// Memory-class resource exhaustion.
+    OutOfMemory,
+    /// Isolated panic.
+    Crashed,
+    /// Everything else.
+    Other,
+}
+
+/// One attempt at validating one function.
+#[derive(Debug, Clone)]
+pub struct AttemptRecord {
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// The budget multiplier this attempt ran under
+    /// (`retry.factor^(attempt-1)`).
+    pub budget_scale: u64,
+    /// Wall-clock time of this attempt (as observed by the supervisor for
+    /// abandoned attempts).
+    pub time: Duration,
+    /// This attempt's classification.
+    pub result: CorpusResult,
+    /// Whether the watchdog had to abandon the worker (it never
+    /// acknowledged cancellation within the grace period).
+    pub abandoned: bool,
+}
+
+/// The final record of one corpus function.
+#[derive(Debug, Clone)]
+pub struct CorpusRow {
+    /// Function name.
+    pub name: String,
+    /// Index of the function in the validated module.
+    pub index: usize,
+    /// Instruction count (the Fig. 7 code-size axis).
+    pub size: usize,
+    /// Total validation wall-clock time across all attempts.
+    pub time: Duration,
+    /// Final category (from the last attempt).
+    pub result: CorpusResult,
+    /// Every attempt, in order.
+    pub attempts: Vec<AttemptRecord>,
+}
+
+/// Aggregated per-function rows, ordered by function index.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusSummary {
+    /// Per-function rows.
+    pub rows: Vec<CorpusRow>,
+}
+
+impl CorpusSummary {
+    /// Count of a category.
+    pub fn count(&self, kind: ResultKind) -> usize {
+        self.rows.iter().filter(|x| x.result.kind() == kind).count()
+    }
+
+    /// Total functions considered.
+    pub fn total(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Fraction validated.
+    pub fn success_rate(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.count(ResultKind::Succeeded) as f64 / self.total() as f64
+    }
+
+    /// Total attempts across all rows (≥ total when retries fired).
+    pub fn total_attempts(&self) -> usize {
+        self.rows.iter().map(|r| r.attempts.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(index: usize, result: CorpusResult) -> CorpusRow {
+        CorpusRow {
+            name: format!("f{index}"),
+            index,
+            size: 1,
+            time: Duration::ZERO,
+            result,
+            attempts: vec![],
+        }
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let s = CorpusSummary {
+            rows: vec![
+                row(0, CorpusResult::Succeeded),
+                row(1, CorpusResult::Crashed { message: "boom".into() }),
+                row(2, CorpusResult::Succeeded),
+            ],
+        };
+        assert_eq!(s.count(ResultKind::Succeeded), 2);
+        assert_eq!(s.count(ResultKind::Crashed), 1);
+        assert_eq!(s.total(), 3);
+        assert!((s.success_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

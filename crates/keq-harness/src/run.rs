@@ -1,0 +1,446 @@
+//! The supervisor: worker pool, watchdog, and escalating-budget retry.
+//!
+//! [`run_module`] validates every function of a module on a pool of worker
+//! threads and guarantees a classified [`CorpusRow`] for each one, no
+//! matter how the validation of an individual function misbehaves:
+//!
+//! * a panic unwinds into the worker's `catch_unwind` and becomes
+//!   [`CorpusResult::Crashed`] with the captured message;
+//! * a hard wall-clock deadline is enforced by raising the function's
+//!   [`CancelToken`]; cooperative code observes it at the next poll site
+//!   and reports a timeout-class failure;
+//! * a worker that keeps running past the deadline *plus* a grace period
+//!   (it is wedged, or an injected fault is eating its cancellation polls)
+//!   is **abandoned**: the supervisor retires it, detaches its thread,
+//!   spawns a replacement, and classifies the function
+//!   [`CorpusResult::Timeout`] — the late thread's eventual result (if
+//!   any) is discarded as stale;
+//! * budget-class failures are retried up to
+//!   [`RetryPolicy::max_attempts`] with deterministically escalated
+//!   budgets, each attempt recorded in the row.
+//!
+//! Results are deterministic in content: rows are ordered by function
+//! index and, faults and deadlines aside, classification does not depend
+//! on worker count or scheduling.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use keq_core::{FailureReason, KeqOptions, Verdict};
+use keq_isel::{IselOptions, VcOptions};
+use keq_llvm::ast::Module;
+use keq_smt::fault::{self, FaultPlan};
+use keq_smt::{Budget, CancelToken};
+
+use crate::panic_capture;
+use crate::result::{AttemptRecord, CorpusResult, CorpusRow, CorpusSummary};
+
+/// Escalating-budget retry policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per function (1 = never retry).
+    pub max_attempts: u32,
+    /// Budget multiplier between consecutive attempts: attempt `k`
+    /// (1-based) runs with all resource budgets scaled by
+    /// `factor^(k-1)`.
+    pub factor: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 1, factor: 4 }
+    }
+}
+
+impl RetryPolicy {
+    /// The budget multiplier of a 1-based attempt number.
+    pub fn scale(&self, attempt: u32) -> u64 {
+        self.factor.saturating_pow(attempt.saturating_sub(1))
+    }
+
+    /// The checker options of a 1-based attempt: every resource budget
+    /// (step fuel, conflict, term, and wall-clock limits) multiplied by
+    /// [`RetryPolicy::scale`].
+    pub fn options_for_attempt(&self, base: KeqOptions, attempt: u32) -> KeqOptions {
+        let scale = self.scale(attempt);
+        let scale32 = u32::try_from(scale).unwrap_or(u32::MAX);
+        KeqOptions {
+            max_steps: base.max_steps.saturating_mul(scale),
+            time_limit: base.time_limit.map(|d| d.saturating_mul(scale32)),
+            solver_budget: Budget {
+                max_conflicts: base.solver_budget.max_conflicts.saturating_mul(scale),
+                max_terms: base
+                    .solver_budget
+                    .max_terms
+                    .saturating_mul(usize::try_from(scale).unwrap_or(usize::MAX)),
+                max_time: base.solver_budget.max_time.map(|d| d.saturating_mul(scale32)),
+            },
+            ..base
+        }
+    }
+}
+
+/// Configuration of a supervised corpus run.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Base checker options of attempt 1 (later attempts scale them by
+    /// [`RetryPolicy`]).
+    pub keq: KeqOptions,
+    /// Instruction-selection options.
+    pub isel: IselOptions,
+    /// VC-generation options.
+    pub vc: VcOptions,
+    /// Worker threads; 0 picks the available parallelism.
+    pub workers: usize,
+    /// Hard per-attempt wall-clock deadline, enforced by cancellation
+    /// (`None` disables the watchdog's deadline duty).
+    pub deadline: Option<Duration>,
+    /// How long past a cancellation a worker may keep running before the
+    /// watchdog abandons it.
+    pub grace: Duration,
+    /// Watchdog sweep interval.
+    pub watchdog_tick: Duration,
+    /// Retry policy for budget-class failures.
+    pub retry: RetryPolicy,
+    /// Deterministic fault plan (use [`FaultPlan::quiet`] for none).
+    pub fault_plan: FaultPlan,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            keq: KeqOptions::default(),
+            isel: IselOptions::default(),
+            vc: VcOptions::default(),
+            workers: 0,
+            deadline: None,
+            grace: Duration::from_millis(500),
+            watchdog_tick: Duration::from_millis(10),
+            retry: RetryPolicy::default(),
+            fault_plan: FaultPlan::quiet(0),
+        }
+    }
+}
+
+/// One unit of queued work: one attempt at one function.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    id: u64,
+    func: usize,
+    attempt: u32,
+}
+
+/// Closable blocking job queue (FIFO).
+#[derive(Default)]
+struct JobQueue {
+    state: Mutex<(std::collections::VecDeque<Job>, bool)>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    fn push(&self, job: Job) {
+        let mut st = self.state.lock().expect("queue poisoned");
+        st.0.push_back(job);
+        self.ready.notify_one();
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().expect("queue poisoned");
+        st.1 = true;
+        self.ready.notify_all();
+    }
+
+    /// Blocks for the next job; `None` once closed and drained.
+    fn pop(&self) -> Option<Job> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = st.0.pop_front() {
+                return Some(job);
+            }
+            if st.1 {
+                return None;
+            }
+            st = self.ready.wait(st).expect("queue poisoned");
+        }
+    }
+}
+
+/// What one attempt produced, as reported by the worker.
+#[derive(Debug)]
+struct AttemptOutcome {
+    result: CorpusResult,
+    /// Whether the failure is budget-class and bigger budgets could help.
+    retryable: bool,
+    time: Duration,
+}
+
+enum Msg {
+    /// A worker picked up a job and will honor this cancellation token.
+    Started { job: u64, worker: usize, cancel: CancelToken },
+    /// A worker finished a job.
+    Finished { job: u64, outcome: AttemptOutcome },
+}
+
+struct Worker {
+    /// Raised by the supervisor to make the thread exit after its current
+    /// job (used when abandoning it, so a late finisher never picks up
+    /// fresh work).
+    retired: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Book-keeping for a job between `Started` and `Finished`.
+struct Inflight {
+    func: usize,
+    attempt: u32,
+    worker: usize,
+    cancel: CancelToken,
+    started: Instant,
+    deadline: Option<Instant>,
+    cancelled_at: Option<Instant>,
+}
+
+/// Validates every function of `module` under the harness, returning one
+/// classified row per function (ordered by function index). See the
+/// module docs for the guarantees.
+pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
+    panic_capture::install_hook();
+    let n = module.functions.len();
+    if n == 0 {
+        return CorpusSummary::default();
+    }
+    let module = Arc::new(module.clone());
+    let opts_arc = Arc::new(opts.clone());
+    let queue = Arc::new(JobQueue::default());
+    let (tx, rx) = mpsc::channel::<Msg>();
+
+    let workers = if opts.workers == 0 {
+        std::thread::available_parallelism().map_or(4, usize::from).min(n).max(1)
+    } else {
+        opts.workers
+    };
+    let mut pool: Vec<Worker> = Vec::new();
+    for id in 0..workers {
+        pool.push(spawn_worker(&module, &opts_arc, &queue, &tx, id));
+    }
+
+    // Seed one attempt-1 job per function.
+    let mut next_job: u64 = 0;
+    let mut job_meta: HashMap<u64, (usize, u32)> = HashMap::new();
+    for func in 0..n {
+        queue.push(Job { id: next_job, func, attempt: 1 });
+        job_meta.insert(next_job, (func, 1));
+        next_job += 1;
+    }
+
+    let mut attempts: Vec<Vec<AttemptRecord>> = vec![Vec::new(); n];
+    let mut finals: Vec<Option<CorpusResult>> = vec![None; n];
+    let mut inflight: HashMap<u64, Inflight> = HashMap::new();
+    let mut completed = 0usize;
+
+    while completed < n {
+        match rx.recv_timeout(opts.watchdog_tick) {
+            Ok(Msg::Started { job, worker, cancel }) => {
+                let Some(&(func, attempt)) = job_meta.get(&job) else { continue };
+                let now = Instant::now();
+                inflight.insert(
+                    job,
+                    Inflight {
+                        func,
+                        attempt,
+                        worker,
+                        cancel,
+                        started: now,
+                        deadline: opts.deadline.map(|d| now + d),
+                        cancelled_at: None,
+                    },
+                );
+            }
+            Ok(Msg::Finished { job, outcome }) => {
+                // A `Finished` with no inflight entry is a stale result
+                // from an abandoned worker: its function already has a
+                // Timeout row, so the late verdict is discarded.
+                let Some(info) = inflight.remove(&job) else { continue };
+                job_meta.remove(&job);
+                attempts[info.func].push(AttemptRecord {
+                    attempt: info.attempt,
+                    budget_scale: opts.retry.scale(info.attempt),
+                    time: outcome.time,
+                    result: outcome.result.clone(),
+                    abandoned: false,
+                });
+                // A supervisor-cancelled attempt hit the *hard* deadline;
+                // escalated budgets cannot outrun the wall clock, so it is
+                // final regardless of the in-band failure reason.
+                let may_retry = outcome.retryable
+                    && info.cancelled_at.is_none()
+                    && info.attempt < opts.retry.max_attempts;
+                if may_retry {
+                    queue.push(Job { id: next_job, func: info.func, attempt: info.attempt + 1 });
+                    job_meta.insert(next_job, (info.func, info.attempt + 1));
+                    next_job += 1;
+                } else {
+                    finals[info.func] = Some(outcome.result);
+                    completed += 1;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+
+        // Watchdog sweep: cancel past-deadline jobs, abandon workers that
+        // ignore the cancellation past the grace period.
+        let now = Instant::now();
+        let mut abandon: Vec<u64> = Vec::new();
+        for (&job, info) in inflight.iter_mut() {
+            if info.cancelled_at.is_none() && info.deadline.is_some_and(|d| now >= d) {
+                info.cancel.cancel();
+                info.cancelled_at = Some(now);
+            }
+            if info.cancelled_at.is_some_and(|t| now >= t + opts.grace) {
+                abandon.push(job);
+            }
+        }
+        for job in abandon {
+            let info = inflight.remove(&job).expect("selected above");
+            job_meta.remove(&job);
+            attempts[info.func].push(AttemptRecord {
+                attempt: info.attempt,
+                budget_scale: opts.retry.scale(info.attempt),
+                time: now - info.started,
+                result: CorpusResult::Timeout,
+                abandoned: true,
+            });
+            finals[info.func] = Some(CorpusResult::Timeout);
+            completed += 1;
+            // Retire the wedged worker (its thread stays detached) and
+            // keep the pool at strength with a fresh replacement.
+            retire_worker(&mut pool, info.worker);
+            let id = pool.len();
+            pool.push(spawn_worker(&module, &opts_arc, &queue, &tx, id));
+        }
+    }
+
+    queue.close();
+    drop(tx);
+    for w in &mut pool {
+        if w.retired.load(Ordering::Acquire) {
+            // Abandoned (possibly parked forever): detach, never join.
+            drop(w.handle.take());
+        } else if let Some(h) = w.handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    let mut summary = CorpusSummary::default();
+    for (index, f) in module.functions.iter().enumerate() {
+        let size: usize = f.blocks.iter().map(|b| b.instrs.len() + 1).sum();
+        let rows_attempts = std::mem::take(&mut attempts[index]);
+        let time = rows_attempts.iter().map(|a| a.time).sum();
+        summary.rows.push(CorpusRow {
+            name: f.name.clone(),
+            index,
+            size,
+            time,
+            result: finals[index].take().expect("every function finalized"),
+            attempts: rows_attempts,
+        });
+    }
+    summary
+}
+
+fn retire_worker(pool: &mut [Worker], worker: usize) {
+    if let Some(w) = pool.get_mut(worker) {
+        w.retired.store(true, Ordering::Release);
+    }
+}
+
+fn spawn_worker(
+    module: &Arc<Module>,
+    opts: &Arc<HarnessOptions>,
+    queue: &Arc<JobQueue>,
+    tx: &mpsc::Sender<Msg>,
+    id: usize,
+) -> Worker {
+    let module = Arc::clone(module);
+    let opts = Arc::clone(opts);
+    let queue = Arc::clone(queue);
+    let tx = tx.clone();
+    let retired = Arc::new(AtomicBool::new(false));
+    let retired_in = Arc::clone(&retired);
+    let handle = std::thread::Builder::new()
+        .name("keq-harness-worker".into())
+        .spawn(move || {
+            while !retired_in.load(Ordering::Acquire) {
+                let Some(job) = queue.pop() else { break };
+                let cancel = CancelToken::new();
+                let started = Msg::Started { job: job.id, worker: id, cancel: cancel.clone() };
+                if tx.send(started).is_err() {
+                    break;
+                }
+                let start = Instant::now();
+                let outcome = run_attempt(&module, &opts, job, &cancel, start);
+                if tx.send(Msg::Finished { job: job.id, outcome }).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn worker thread");
+    Worker { retired, handle: Some(handle) }
+}
+
+/// Runs one attempt on the worker thread: arm the unit's injected fault,
+/// validate under `catch_unwind`, classify.
+fn run_attempt(
+    module: &Module,
+    opts: &HarnessOptions,
+    job: Job,
+    cancel: &CancelToken,
+    start: Instant,
+) -> AttemptOutcome {
+    let func = &module.functions[job.func];
+    let keq = opts.retry.options_for_attempt(opts.keq, job.attempt);
+    let _fault = fault::install(&opts.fault_plan, job.func as u64);
+    let outcome = panic_capture::run_caught(|| {
+        keq_isel::validate_function_cancellable(
+            module,
+            func,
+            opts.isel,
+            opts.vc,
+            keq,
+            Some(cancel),
+        )
+    });
+    let (result, retryable) = match outcome {
+        Ok(Ok(v)) => classify(&v.report.verdict),
+        // Unsupported functions never get better with bigger budgets.
+        Ok(Err(_)) => (CorpusResult::Other, false),
+        Err(message) => (CorpusResult::Crashed { message }, false),
+    };
+    AttemptOutcome { result, retryable, time: start.elapsed() }
+}
+
+/// Maps a verdict to its Fig. 6 row and decides whether escalated budgets
+/// could change it.
+fn classify(verdict: &Verdict) -> (CorpusResult, bool) {
+    match verdict {
+        Verdict::Equivalent | Verdict::Refines => (CorpusResult::Succeeded, false),
+        Verdict::NotValidated(fail) => {
+            let retryable = matches!(
+                fail.reason,
+                FailureReason::FuelExhausted { .. }
+                    | FailureReason::TimeLimit
+                    | FailureReason::SolverBudget(_)
+            );
+            let result = match fail.reason.failure_class() {
+                keq_core::FailureClass::Timeout => CorpusResult::Timeout,
+                keq_core::FailureClass::OutOfMemory => CorpusResult::OutOfMemory,
+                keq_core::FailureClass::Other => CorpusResult::Other,
+            };
+            (result, retryable)
+        }
+    }
+}

@@ -19,6 +19,8 @@ pub enum Expr {
     Lt(Box<Expr>, Box<Expr>),
 }
 
+// The builders are associated constructors, not operator overloads.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// `Var` helper.
     pub fn var(name: impl Into<String>) -> Expr {

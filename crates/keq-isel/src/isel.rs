@@ -851,6 +851,7 @@ impl Lowerer<'_> {
     }
 
     /// Resolves a pointer operand into an address expression.
+    #[allow(clippy::only_used_in_recursion)] // `out` is the emission point for non-foldable GEPs
     fn addr_of_operand(&mut self, op: &Operand, out: &mut VxBlock) -> Result<Addr, IselError> {
         match op {
             Operand::Global(g) => Ok(Addr::global(g.clone(), 0)),

@@ -20,7 +20,11 @@ pub use isel::{
     IselError, IselOptions, IselOutput,
 };
 pub use liveness::{phi_uses_from, predecessors, Liveness};
-pub use pipeline::{validate_function, validate_regalloc, validate_translation, ValidationOutcome};
+pub use pipeline::{
+    validate_function, validate_function_cancellable, validate_regalloc,
+    validate_regalloc_cancellable, validate_translation, validate_translation_cancellable,
+    ValidationOutcome,
+};
 pub use ra_vcgen::regalloc_sync_points;
-pub use regalloc::{allocate, RaError, RaMap, VxLiveness};
+pub use regalloc::{allocate, allocate_cancellable, RaError, RaMap, VxLiveness};
 pub use vcgen::{generate_sync_points, render_sync_table, VcOptions};

@@ -8,6 +8,7 @@ use keq_core::{Keq, KeqOptions, KeqReport, SyncSet};
 use keq_llvm::ast::{Function, Module};
 use keq_llvm::layout::Layout;
 use keq_llvm::sem::LlvmSemantics;
+use keq_smt::CancelToken;
 use keq_vx86::sem::VxSemantics;
 
 use crate::isel::{select, IselError, IselOptions, IselOutput};
@@ -40,10 +41,31 @@ pub fn validate_function(
     vc_opts: VcOptions,
     keq_opts: KeqOptions,
 ) -> Result<ValidationOutcome, IselError> {
+    validate_function_cancellable(module, func, isel_opts, vc_opts, keq_opts, None)
+}
+
+/// [`validate_function`] with a supervisor cancellation token threaded into
+/// the checker and the SMT solver — the entry point the corpus harness
+/// drives so its watchdog can stop a wedged validation.
+///
+/// # Errors
+///
+/// Returns [`IselError`] when the function is outside the supported
+/// fragment; cancellation surfaces inside the report as
+/// `FailureReason::Cancelled`.
+pub fn validate_function_cancellable(
+    module: &Module,
+    func: &Function,
+    isel_opts: IselOptions,
+    vc_opts: VcOptions,
+    keq_opts: KeqOptions,
+    cancel: Option<&CancelToken>,
+) -> Result<ValidationOutcome, IselError> {
     let layout = Layout::of(module, func);
     let isel = select(module, func, &layout, isel_opts)?;
     let sync = generate_sync_points(func, &isel, vc_opts);
-    let report = validate_translation(module, func, &isel, &layout, &sync, keq_opts);
+    let report =
+        validate_translation_cancellable(module, func, &isel, &layout, &sync, keq_opts, cancel);
     Ok(ValidationOutcome { report, isel, sync, layout })
 }
 
@@ -57,13 +79,30 @@ pub fn validate_translation(
     sync: &SyncSet,
     keq_opts: KeqOptions,
 ) -> KeqReport {
+    validate_translation_cancellable(module, func, isel, layout, sync, keq_opts, None)
+}
+
+/// [`validate_translation`] with a supervisor cancellation token.
+#[allow(clippy::too_many_arguments)]
+pub fn validate_translation_cancellable(
+    module: &Module,
+    func: &Function,
+    isel: &IselOutput,
+    layout: &Layout,
+    sync: &SyncSet,
+    keq_opts: KeqOptions,
+    cancel: Option<&CancelToken>,
+) -> KeqReport {
     let left = LlvmSemantics::with_layout(module, func, layout.clone());
     let right = VxSemantics::new(
         &isel.func,
         layout.mem.clone(),
         layout.globals.iter().map(|(k, v)| (k.clone(), *v)).collect(),
     );
-    let keq = Keq::new(&left, &right).with_options(keq_opts);
+    let mut keq = Keq::new(&left, &right).with_options(keq_opts);
+    if let Some(c) = cancel {
+        keq = keq.with_cancel(c.clone());
+    }
     let mut bank = keq_smt::TermBank::new();
     keq.check(&mut bank, sync)
 }
@@ -81,13 +120,32 @@ pub fn validate_regalloc(
     layout: &Layout,
     keq_opts: KeqOptions,
 ) -> Result<(KeqReport, keq_vx86::ast::VxFunction), crate::regalloc::RaError> {
-    let (post, map) = crate::regalloc::allocate(pre)?;
+    validate_regalloc_cancellable(pre, layout, keq_opts, None)
+}
+
+/// [`validate_regalloc`] with a supervisor cancellation token threaded into
+/// both the allocator's liveness fixpoint and the KEQ check.
+///
+/// # Errors
+///
+/// Returns [`crate::regalloc::RaError`] when allocation would need a spill
+/// or is cancelled mid-analysis.
+pub fn validate_regalloc_cancellable(
+    pre: &keq_vx86::ast::VxFunction,
+    layout: &Layout,
+    keq_opts: KeqOptions,
+    cancel: Option<&CancelToken>,
+) -> Result<(KeqReport, keq_vx86::ast::VxFunction), crate::regalloc::RaError> {
+    let (post, map) = crate::regalloc::allocate_cancellable(pre, cancel)?;
     let sync = crate::ra_vcgen::regalloc_sync_points(pre, &post, &map);
     let globals: std::collections::BTreeMap<String, u64> =
         layout.globals.iter().map(|(k, v)| (k.clone(), *v)).collect();
     let left = VxSemantics::new(pre, layout.mem.clone(), globals.clone());
     let right = VxSemantics::new(&post, layout.mem.clone(), globals);
-    let keq = Keq::new(&left, &right).with_options(keq_opts);
+    let mut keq = Keq::new(&left, &right).with_options(keq_opts);
+    if let Some(c) = cancel {
+        keq = keq.with_cancel(c.clone());
+    }
     let mut bank = keq_smt::TermBank::new();
     Ok((keq.check(&mut bank, &sync), post))
 }

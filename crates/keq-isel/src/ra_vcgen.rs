@@ -42,8 +42,12 @@ fn right_havocs(pre: &VxFunction) -> Vec<(String, u32)> {
     h
 }
 
+/// A related register pair: left/right value expressions plus each side's
+/// `(register key, width)` for the liveness hints.
+type RelatedPair = (ValueExpr, ValueExpr, (String, u32), (String, u32));
+
 /// Relates a pre-RA register to its allocated location.
-fn relate(map: &RaMap, r: Reg) -> Option<(ValueExpr, ValueExpr, (String, u32), (String, u32))> {
+fn relate(map: &RaMap, r: Reg) -> Option<RelatedPair> {
     match r {
         Reg::Virt(id, w) => {
             let phys = *map.assignment.get(&id)?;

@@ -19,6 +19,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use keq_smt::{stop_requested, CancelToken};
 use keq_vx86::ast::{Addr, PhysReg, Reg, RegImm, VxBlock, VxFunction, VxInstr, VxTerm};
 
 /// A liveness key: a virtual register id or a physical register.
@@ -48,6 +49,8 @@ pub enum RaError {
         /// The uncolorable virtual register.
         vreg: u32,
     },
+    /// A supervisor cancelled the allocation mid-fixpoint.
+    Cancelled,
 }
 
 impl std::fmt::Display for RaError {
@@ -56,6 +59,7 @@ impl std::fmt::Display for RaError {
             RaError::NeedsSpill { vreg } => {
                 write!(f, "register allocation needs a spill for %vr{vreg} (unsupported)")
             }
+            RaError::Cancelled => write!(f, "register allocation cancelled by supervisor"),
         }
     }
 }
@@ -183,6 +187,21 @@ pub struct VxLiveness {
 impl VxLiveness {
     /// Runs the fixpoint.
     pub fn compute(func: &VxFunction) -> VxLiveness {
+        Self::compute_cancellable(func, None).expect("uncancellable fixpoint cannot be cancelled")
+    }
+
+    /// Runs the fixpoint, polling the supervisor's cancellation flag once
+    /// per sweep — the allocator's only unbounded loop, so this is the poll
+    /// site that keeps regalloc validation responsive to the harness's
+    /// watchdog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RaError::Cancelled`] when the flag is raised mid-fixpoint.
+    pub fn compute_cancellable(
+        func: &VxFunction,
+        cancel: Option<&CancelToken>,
+    ) -> Result<VxLiveness, RaError> {
         // Return value lives out of every Ret block.
         let ret_live: BTreeSet<RegKey> = if func.ret_width.is_some() {
             [RegKey::Phys(PhysReg::Rax)].into_iter().collect()
@@ -197,6 +216,9 @@ impl VxLiveness {
         }
         let mut changed = true;
         while changed {
+            if stop_requested(None, cancel).is_some() {
+                return Err(RaError::Cancelled);
+            }
             changed = false;
             for b in func.blocks.iter().rev() {
                 let mut out: BTreeSet<RegKey> = if matches!(b.term, VxTerm::Ret) {
@@ -257,7 +279,7 @@ impl VxLiveness {
                 }
             }
         }
-        VxLiveness { live_in, live_out }
+        Ok(VxLiveness { live_in, live_out })
     }
 }
 
@@ -317,9 +339,23 @@ fn interference(func: &VxFunction, lv: &VxLiveness) -> BTreeMap<RegKey, BTreeSet
 /// Returns [`RaError::NeedsSpill`] if the function's register pressure
 /// exceeds the pool.
 pub fn allocate(func: &VxFunction) -> Result<(VxFunction, RaMap), RaError> {
+    allocate_cancellable(func, None)
+}
+
+/// [`allocate`] with a supervisor cancellation token threaded into the
+/// liveness fixpoint.
+///
+/// # Errors
+///
+/// Returns [`RaError::NeedsSpill`] on excess register pressure and
+/// [`RaError::Cancelled`] when the token is raised mid-analysis.
+pub fn allocate_cancellable(
+    func: &VxFunction,
+    cancel: Option<&CancelToken>,
+) -> Result<(VxFunction, RaMap), RaError> {
     let mut func = func.clone();
     split_critical_edges(&mut func);
-    let lv = VxLiveness::compute(&func);
+    let lv = VxLiveness::compute_cancellable(&func, cancel)?;
     let graph = interference(&func, &lv);
     // Collect vregs and widths.
     let mut map = RaMap::default();

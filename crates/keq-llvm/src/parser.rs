@@ -164,6 +164,9 @@ fn is_word_char(c: char) -> bool {
     c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$' || c == '-'
 }
 
+/// Return type, callee, and typed arguments of a parsed call.
+type CallTail = (Type, String, Vec<(Type, Operand)>);
+
 struct Parser {
     tokens: Vec<SpannedTok>,
     pos: usize,
@@ -540,7 +543,7 @@ impl Parser {
         }
     }
 
-    fn call_tail(&mut self) -> Result<(Type, String, Vec<(Type, Operand)>), ParseError> {
+    fn call_tail(&mut self) -> Result<CallTail, ParseError> {
         let ret_ty = self.ty()?;
         let callee = match self.next()? {
             Tok::Global(g) => g,

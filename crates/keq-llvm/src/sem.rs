@@ -18,6 +18,9 @@ use crate::ast::{
 use crate::layout::Layout;
 use crate::types::Type;
 
+/// One leading phi of a block: destination, type, incomings.
+type PhiGroup<'a> = (&'a str, &'a Type, &'a [(Operand, String)]);
+
 /// The symbolic semantics of one LLVM function.
 #[derive(Debug)]
 pub struct LlvmSemantics<'m> {
@@ -169,7 +172,7 @@ impl<'m> LlvmSemantics<'m> {
         &self,
         bank: &mut TermBank,
         cfg: &SymConfig,
-        phis: &[(&str, &Type, &[(Operand, String)])],
+        phis: &[PhiGroup<'_>],
     ) -> Result<SymConfig, SemanticsError> {
         let prev = cfg.loc.prev.clone().ok_or_else(|| SemanticsError::Internal {
             what: format!("phi at {} with no predecessor", cfg.loc),
@@ -208,7 +211,7 @@ impl Language for LlvmSemantics<'_> {
         if cfg.loc.index < block.instrs.len() {
             // Atomic phi group at block start.
             if cfg.loc.index == 0 {
-                let phis: Vec<(&str, &Type, &[(Operand, String)])> = block
+                let phis: Vec<PhiGroup<'_>> = block
                     .instrs
                     .iter()
                     .map_while(|i| match i {

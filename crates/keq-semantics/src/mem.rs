@@ -37,7 +37,7 @@ pub fn read_bytes(bank: &mut TermBank, mem: TermId, addr: TermId, nbytes: u32) -
 /// Panics if the width of `value` is not a positive multiple of 8.
 pub fn write_bytes(bank: &mut TermBank, mem: TermId, addr: TermId, value: TermId) -> TermId {
     let w = bank.width(value);
-    assert!(w >= 8 && w % 8 == 0, "write of non-byte-multiple width {w}");
+    assert!(w >= 8 && w.is_multiple_of(8), "write of non-byte-multiple width {w}");
     let nbytes = w / 8;
     let mut m = mem;
     for i in 0..nbytes {

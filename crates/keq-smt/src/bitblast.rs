@@ -522,14 +522,10 @@ impl<'a> BitBlaster<'a> {
                     for s in shifted.iter_mut().take(amount) {
                         *s = zero;
                     }
-                    for j in amount..n {
-                        shifted[j] = cur[j - amount];
-                    }
+                    shifted[amount..n].copy_from_slice(&cur[..n - amount]);
                 }
                 ShiftKind::LogicalRight | ShiftKind::ArithRight => {
-                    for j in 0..(n - amount) {
-                        shifted[j] = cur[j + amount];
-                    }
+                    shifted[..n - amount].copy_from_slice(&cur[amount..n]);
                 }
             }
             cur = self.gate_mux_vec(ctrl, &shifted, &cur);

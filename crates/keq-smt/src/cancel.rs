@@ -1,0 +1,96 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a shared flag a supervisor raises to tell a running
+//! validation to stop at the next safe point. The hot loops that must
+//! observe it are the CDCL search ([`crate::sat`]) and the checker's
+//! frontier exploration (`keq-core`); both poll through
+//! [`stop_requested`], which also honors the fault-injection hook that
+//! models workers acknowledging cancellation late (or never).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::fault;
+
+/// A shared cancellation flag. Cloning shares the flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether the flag has been raised.
+    ///
+    /// This is the *raw* flag; resource-limited loops should normally call
+    /// [`stop_requested`] instead so fault injection can delay the
+    /// acknowledgement.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// What made a poll site stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The supervisor raised the cancellation flag.
+    Cancelled,
+    /// The wall-clock deadline elapsed.
+    DeadlineElapsed,
+}
+
+/// The standard poll: cancellation flag first, then the deadline.
+///
+/// Returns `None` to keep running. A positive answer consults
+/// [`fault::suppress_cancel`] so an injected slow-acknowledgement fault can
+/// swallow a bounded (or unbounded) number of observations — the mechanism
+/// behind the harness's watchdog tests.
+pub fn stop_requested(
+    deadline: Option<Instant>,
+    cancel: Option<&CancelToken>,
+) -> Option<StopCause> {
+    let cause = if cancel.is_some_and(CancelToken::is_cancelled) {
+        StopCause::Cancelled
+    } else if deadline.is_some_and(|d| Instant::now() > d) {
+        StopCause::DeadlineElapsed
+    } else {
+        return None;
+    };
+    if fault::suppress_cancel() {
+        return None;
+    }
+    Some(cause)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn token_is_shared_between_clones() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn stop_prefers_cancellation_over_deadline() {
+        let t = CancelToken::new();
+        t.cancel();
+        let past = Instant::now() - Duration::from_secs(1);
+        assert_eq!(stop_requested(Some(past), Some(&t)), Some(StopCause::Cancelled));
+        assert_eq!(stop_requested(Some(past), None), Some(StopCause::DeadlineElapsed));
+        assert_eq!(stop_requested(None, None), None);
+    }
+}

@@ -196,11 +196,7 @@ fn eval_rec(
             mask(w, x.wrapping_mul(y))
         }),
         Op::BvUdiv => bv2(arg(0, cache), arg(1, cache), |w, x, y| {
-            if y == 0 {
-                mask(w, u128::MAX)
-            } else {
-                x / y
-            }
+            x.checked_div(y).unwrap_or(mask(w, u128::MAX))
         }),
         Op::BvUrem => bv2(arg(0, cache), arg(1, cache), |_, x, y| {
             if y == 0 {

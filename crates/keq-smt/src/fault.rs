@@ -1,0 +1,338 @@
+//! Deterministic fault injection.
+//!
+//! Differential-validation campaigns live or die on how the driver behaves
+//! when something *inside* the pipeline misbehaves: a panic in a pass, a
+//! query that spuriously exhausts its budget, a worker that stops
+//! acknowledging cancellation. This module lets the corpus harness inject
+//! exactly those faults at fixed sites inside `keq-smt` and `keq-core`,
+//! from a fully deterministic, seeded [`FaultPlan`] — no wall clock, no
+//! global randomness — so robustness tests can predict the exact fault each
+//! corpus function receives and assert its classification.
+//!
+//! Faults are armed per worker thread via [`install`] (returning a guard
+//! that disarms on drop, including across panics), and fire at the poll
+//! sites:
+//!
+//! * [`FaultSite::SolverQuery`] — entry of [`crate::Solver::check_sat`];
+//!   hosts [`InjectedFault::Panic`] and [`InjectedFault::ForceBudget`];
+//! * [`FaultSite::CheckerStep`] — each symbolic step of the checker's
+//!   frontier loop; hosts [`InjectedFault::Hang`];
+//! * the cancellation/deadline poll helper [`crate::cancel::stop_requested`]
+//!   consults [`suppress_cancel`], which implements
+//!   [`InjectedFault::SlowCancel`] (and the never-acknowledging half of
+//!   `Hang`).
+//!
+//! When nothing is installed every hook is a cheap thread-local read, so
+//! production runs pay essentially nothing.
+
+use std::cell::RefCell;
+
+use crate::solver::BudgetKind;
+
+/// Where a fault can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Entry of a solver satisfiability query.
+    SolverQuery,
+    /// One symbolic execution step in the checker's frontier loop.
+    CheckerStep,
+}
+
+/// The injectable faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Panic at the first [`FaultSite::SolverQuery`] poll.
+    Panic,
+    /// Report a spurious budget exhaustion of the given kind at *every*
+    /// [`FaultSite::SolverQuery`] poll. Persistent on purpose: resilient
+    /// consumers (feasibility pruning, fast-path fallbacks) absorb a single
+    /// failed query, so a one-shot fault could vanish without a trace; a
+    /// unit under this fault deterministically classifies as
+    /// budget-exhausted, which is what robustness tests predict against.
+    ForceBudget(BudgetKind),
+    /// Ignore a bounded number of cancellation/deadline observations before
+    /// acknowledging (a slow-but-cooperative worker).
+    SlowCancel(u32),
+    /// Never finish and never acknowledge cancellation: park the thread at
+    /// the first [`FaultSite::CheckerStep`] poll. Only a watchdog can deal
+    /// with this worker.
+    Hang,
+}
+
+/// A rate `num/den`: the deterministic fraction of units affected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rate {
+    /// Numerator.
+    pub num: u32,
+    /// Denominator (0 disables the fault regardless of `num`).
+    pub den: u32,
+}
+
+impl Rate {
+    /// The always-off rate.
+    pub const ZERO: Rate = Rate { num: 0, den: 1 };
+
+    fn fraction_q32(self) -> u64 {
+        if self.den == 0 {
+            return 0;
+        }
+        ((u64::from(self.num) << 32) / u64::from(self.den)).min(1 << 32)
+    }
+}
+
+/// A seeded, deterministic plan assigning at most one fault to each unit
+/// of work (one corpus function = one unit).
+///
+/// The assignment depends only on `(seed, unit)`, so a test driving a
+/// corpus run can call [`FaultPlan::fault_for`] itself and predict every
+/// row of the result table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Plan seed; different seeds select different victim units.
+    pub seed: u64,
+    /// Fraction of units that panic.
+    pub panic: Rate,
+    /// Fraction of units whose first query reports conflict exhaustion.
+    pub force_conflicts: Rate,
+    /// Fraction of units whose first query reports term exhaustion.
+    pub force_terms: Rate,
+    /// Fraction of units that acknowledge cancellation late.
+    pub slow_cancel: Rate,
+    /// Observations swallowed by a `slow_cancel` fault.
+    pub slow_cancel_polls: u32,
+    /// Fraction of units that hang outright (watchdog fodder).
+    pub hang: Rate,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a base for struct update).
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            panic: Rate::ZERO,
+            force_conflicts: Rate::ZERO,
+            force_terms: Rate::ZERO,
+            slow_cancel: Rate::ZERO,
+            slow_cancel_polls: 0,
+            hang: Rate::ZERO,
+        }
+    }
+
+    /// The fault (if any) assigned to `unit`, chosen by hashing
+    /// `(seed, unit)` and carving the unit interval into consecutive
+    /// per-fault slices.
+    pub fn fault_for(&self, unit: u64) -> Option<InjectedFault> {
+        let h = keq_prng_mix(self.seed ^ unit.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        // 32 fractional bits are plenty for test-scale rates.
+        let x = u64::from((h >> 32) as u32);
+        let mut lo = 0u64;
+        let mut hit = |rate: Rate| {
+            let hi = lo + rate.fraction_q32();
+            let inside = x >= lo && x < hi;
+            lo = hi;
+            inside
+        };
+        if hit(self.panic) {
+            Some(InjectedFault::Panic)
+        } else if hit(self.force_conflicts) {
+            Some(InjectedFault::ForceBudget(BudgetKind::Conflicts))
+        } else if hit(self.force_terms) {
+            Some(InjectedFault::ForceBudget(BudgetKind::Terms))
+        } else if hit(self.slow_cancel) {
+            Some(InjectedFault::SlowCancel(self.slow_cancel_polls))
+        } else if hit(self.hang) {
+            Some(InjectedFault::Hang)
+        } else {
+            None
+        }
+    }
+}
+
+/// SplitMix64 finalizer (duplicated from `keq-prng` to keep this crate
+/// dependency-free at the bottom of the workspace).
+fn keq_prng_mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug)]
+struct Armed {
+    fault: InjectedFault,
+    /// One-shot faults disarm after firing.
+    fired: bool,
+    /// Remaining observations a `SlowCancel` may swallow.
+    suppress_left: u32,
+}
+
+thread_local! {
+    static ARMED: RefCell<Option<Armed>> = const { RefCell::new(None) };
+}
+
+/// Arms this thread with the fault the plan assigns to `unit` (if any).
+/// The returned guard disarms on drop — including during a panic unwind,
+/// so a fired [`InjectedFault::Panic`] cannot leak into the next job run
+/// on the same worker thread.
+pub fn install(plan: &FaultPlan, unit: u64) -> FaultGuard {
+    let fault = plan.fault_for(unit);
+    ARMED.with(|a| {
+        *a.borrow_mut() = fault.map(|f| Armed {
+            fault: f,
+            fired: false,
+            suppress_left: match f {
+                InjectedFault::SlowCancel(n) => n,
+                InjectedFault::Hang => u32::MAX,
+                _ => 0,
+            },
+        });
+    });
+    FaultGuard(())
+}
+
+/// Disarms the current thread's fault on drop.
+#[derive(Debug)]
+pub struct FaultGuard(());
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        ARMED.with(|a| *a.borrow_mut() = None);
+    }
+}
+
+/// What a poll site must do. [`InjectedFault::Panic`] and
+/// [`InjectedFault::Hang`] never return through here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Keep going.
+    None,
+    /// Report a spurious budget exhaustion of this kind.
+    ForceBudget(BudgetKind),
+}
+
+/// The poll hook, called from the instrumented sites.
+pub fn poll(site: FaultSite) -> FaultAction {
+    ARMED.with(|a| {
+        let mut armed = a.borrow_mut();
+        let Some(st) = armed.as_mut() else { return FaultAction::None };
+        match (st.fault, site) {
+            (InjectedFault::Panic, FaultSite::SolverQuery) if !st.fired => {
+                st.fired = true;
+                drop(armed);
+                panic!("injected fault: synthetic panic at solver query");
+            }
+            (InjectedFault::ForceBudget(kind), FaultSite::SolverQuery) => {
+                FaultAction::ForceBudget(kind)
+            }
+            (InjectedFault::Hang, FaultSite::CheckerStep) => {
+                drop(armed);
+                // Park forever without burning CPU; only process exit or a
+                // watchdog-side abandonment ends this thread's job.
+                loop {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            }
+            _ => FaultAction::None,
+        }
+    })
+}
+
+/// Whether an armed fault wants to swallow this cancellation/deadline
+/// observation (see [`crate::cancel::stop_requested`]).
+pub fn suppress_cancel() -> bool {
+    ARMED.with(|a| {
+        let mut armed = a.borrow_mut();
+        let Some(st) = armed.as_mut() else { return false };
+        if st.suppress_left > 0 {
+            if st.suppress_left != u32::MAX {
+                st.suppress_left -= 1;
+            }
+            true
+        } else {
+            false
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            panic: Rate { num: 1, den: 4 },
+            force_conflicts: Rate { num: 1, den: 4 },
+            force_terms: Rate { num: 1, den: 4 },
+            slow_cancel: Rate::ZERO,
+            slow_cancel_polls: 0,
+            hang: Rate { num: 1, den: 4 },
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_covers_all_faults() {
+        let plan = full(7);
+        let a: Vec<_> = (0..64).map(|i| plan.fault_for(i)).collect();
+        let b: Vec<_> = (0..64).map(|i| plan.fault_for(i)).collect();
+        assert_eq!(a, b);
+        assert!(a.contains(&Some(InjectedFault::Panic)));
+        assert!(a.contains(&Some(InjectedFault::ForceBudget(BudgetKind::Conflicts))));
+        assert!(a.contains(&Some(InjectedFault::ForceBudget(BudgetKind::Terms))));
+        assert!(a.contains(&Some(InjectedFault::Hang)));
+    }
+
+    #[test]
+    fn quiet_plan_assigns_nothing() {
+        let plan = FaultPlan::quiet(3);
+        assert!((0..128).all(|i| plan.fault_for(i).is_none()));
+    }
+
+    #[test]
+    fn rates_scale_selection_counts() {
+        let always = FaultPlan { panic: Rate { num: 1, den: 1 }, ..FaultPlan::quiet(1) };
+        assert!((0..32).all(|i| always.fault_for(i) == Some(InjectedFault::Panic)));
+    }
+
+    #[test]
+    fn force_budget_fires_on_every_query() {
+        let plan = FaultPlan { force_terms: Rate { num: 1, den: 1 }, ..FaultPlan::quiet(5) };
+        let _g = install(&plan, 0);
+        assert_eq!(poll(FaultSite::SolverQuery), FaultAction::ForceBudget(BudgetKind::Terms));
+        assert_eq!(poll(FaultSite::SolverQuery), FaultAction::ForceBudget(BudgetKind::Terms));
+        assert_eq!(poll(FaultSite::CheckerStep), FaultAction::None);
+    }
+
+    #[test]
+    fn guard_disarms_on_drop() {
+        let plan = FaultPlan { force_terms: Rate { num: 1, den: 1 }, ..FaultPlan::quiet(5) };
+        {
+            let _g = install(&plan, 0);
+        }
+        assert_eq!(poll(FaultSite::SolverQuery), FaultAction::None);
+    }
+
+    #[test]
+    fn slow_cancel_swallows_exactly_n_polls() {
+        let plan = FaultPlan {
+            slow_cancel: Rate { num: 1, den: 1 },
+            slow_cancel_polls: 3,
+            ..FaultPlan::quiet(9)
+        };
+        let _g = install(&plan, 0);
+        assert!(suppress_cancel());
+        assert!(suppress_cancel());
+        assert!(suppress_cancel());
+        assert!(!suppress_cancel());
+    }
+
+    #[test]
+    fn injected_panic_unwinds_with_message() {
+        let plan = FaultPlan { panic: Rate { num: 1, den: 1 }, ..FaultPlan::quiet(2) };
+        let _g = install(&plan, 0);
+        let err = std::panic::catch_unwind(|| poll(FaultSite::SolverQuery))
+            .expect_err("must panic");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("injected fault"), "got: {msg}");
+    }
+}

@@ -24,14 +24,19 @@
 //! ```
 
 pub mod bitblast;
+pub mod cancel;
 pub mod eval;
+pub mod fault;
 pub mod lower;
 pub mod sat;
 pub mod solver;
 pub mod sort;
 pub mod term;
 
+pub use cancel::{stop_requested, CancelToken, StopCause};
 pub use eval::{Assignment, MemValue, Value};
+pub use fault::{FaultAction, FaultGuard, FaultPlan, FaultSite, InjectedFault, Rate};
+pub use sat::SatBudget;
 pub use solver::{Budget, BudgetKind, CheckOutcome, Model, ProofOutcome, Solver, SolverStats};
 pub use sort::Sort;
 pub use term::{Op, TermBank, TermId, VarId};

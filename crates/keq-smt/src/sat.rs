@@ -11,6 +11,8 @@
 
 use std::fmt;
 
+use crate::cancel::{stop_requested, CancelToken};
+
 /// A boolean variable (0-based index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BVar(pub u32);
@@ -94,8 +96,19 @@ pub enum SatOutcome {
     Sat(Vec<bool>),
     /// Unsatisfiable.
     Unsat,
-    /// The conflict budget was exhausted before a verdict.
-    Budget,
+    /// A resource limit was hit before a verdict.
+    Budget(SatBudget),
+}
+
+/// Which limit stopped the search. Conflict exhaustion and wall-clock
+/// expiry are *different* failure classes downstream (the paper's timeout
+/// rows distinguish them), so the solver must not conflate them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatBudget {
+    /// The per-call conflict budget ran out.
+    Conflicts,
+    /// The wall-clock deadline elapsed or cancellation was requested.
+    Deadline,
 }
 
 #[derive(Debug, Clone)]
@@ -659,14 +672,33 @@ impl SatSolver {
 
     /// Solves the formula under an optional conflict budget.
     pub fn solve(&mut self, max_conflicts: Option<u64>) -> SatOutcome {
-        self.solve_with_deadline(max_conflicts, None)
+        self.solve_with_limits(max_conflicts, None, None)
     }
 
-    /// Solves with an additional wall-clock deadline (checked on conflicts).
+    /// Solves with an additional wall-clock deadline.
     pub fn solve_with_deadline(
         &mut self,
         max_conflicts: Option<u64>,
         deadline: Option<std::time::Instant>,
+    ) -> SatOutcome {
+        self.solve_with_limits(max_conflicts, deadline, None)
+    }
+
+    /// Solves under a conflict budget, a wall-clock deadline, and a
+    /// cooperative cancellation token.
+    ///
+    /// The deadline/cancellation pair is polled on *both* kinds of search
+    /// progress: every [`CONFLICT_POLL_INTERVAL`] conflicts and every
+    /// [`DECISION_POLL_INTERVAL`] decisions. Polling decisions matters on
+    /// near-satisfiable instances that propagate for a long time without
+    /// ever conflicting — with conflict-only polling those would sail past
+    /// any deadline. An already-expired deadline is reported before the
+    /// search takes a single decision.
+    pub fn solve_with_limits(
+        &mut self,
+        max_conflicts: Option<u64>,
+        deadline: Option<std::time::Instant>,
+        cancel: Option<&CancelToken>,
     ) -> SatOutcome {
         if !self.ok {
             return SatOutcome::Unsat;
@@ -675,9 +707,13 @@ impl SatSolver {
             self.ok = false;
             return SatOutcome::Unsat;
         }
+        if stop_requested(deadline, cancel).is_some() {
+            return SatOutcome::Budget(SatBudget::Deadline);
+        }
         let mut luby_index = 0u32;
         let mut conflicts_until_restart = 100 * luby(luby_index);
         let mut conflicts_this_call = 0u64;
+        let mut decisions_this_call = 0u64;
         let mut max_learnt = (self.clauses.len() as f64 * 0.3).max(1000.0);
         loop {
             if let Some(conflict) = self.propagate() {
@@ -701,18 +737,16 @@ impl SatSolver {
                 if let Some(budget) = max_conflicts {
                     if conflicts_this_call >= budget {
                         self.backtrack(0);
-                        return SatOutcome::Budget;
+                        return SatOutcome::Budget(SatBudget::Conflicts);
                     }
                 }
-                if let Some(d) = deadline {
-                    if conflicts_this_call % 256 == 0 && std::time::Instant::now() > d {
-                        self.backtrack(0);
-                        return SatOutcome::Budget;
-                    }
+                if conflicts_this_call.is_multiple_of(CONFLICT_POLL_INTERVAL)
+                    && stop_requested(deadline, cancel).is_some()
+                {
+                    self.backtrack(0);
+                    return SatOutcome::Budget(SatBudget::Deadline);
                 }
-                if conflicts_until_restart > 0 {
-                    conflicts_until_restart -= 1;
-                }
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
             } else {
                 if conflicts_until_restart == 0 {
                     luby_index += 1;
@@ -722,6 +756,13 @@ impl SatSolver {
                 if self.num_learnt as f64 > max_learnt {
                     self.reduce_db();
                     max_learnt *= 1.1;
+                }
+                decisions_this_call += 1;
+                if decisions_this_call.is_multiple_of(DECISION_POLL_INTERVAL)
+                    && stop_requested(deadline, cancel).is_some()
+                {
+                    self.backtrack(0);
+                    return SatOutcome::Budget(SatBudget::Deadline);
                 }
                 match self.pick_branch() {
                     None => {
@@ -742,6 +783,13 @@ impl SatSolver {
         }
     }
 }
+
+/// Deadline/cancellation poll cadence on the conflict path. `Instant::now`
+/// is a vDSO call but still too costly to issue per conflict.
+const CONFLICT_POLL_INTERVAL: u64 = 64;
+
+/// Poll cadence on the decision path (covers conflict-free propagation).
+const DECISION_POLL_INTERVAL: u64 = 64;
 
 /// The Luby restart sequence: 1 1 2 1 1 2 4 ...
 fn luby(i: u32) -> u64 {
@@ -878,7 +926,61 @@ mod tests {
                 }
             }
         }
-        assert_eq!(s.solve(Some(10)), SatOutcome::Budget);
+        assert_eq!(s.solve(Some(10)), SatOutcome::Budget(SatBudget::Conflicts));
+    }
+
+    #[test]
+    fn expired_deadline_reported_before_any_decision() {
+        // A conflict-free instance: without decision-path polling the old
+        // solver would happily return Sat even with an expired deadline.
+        let mut s = SatSolver::new();
+        let v = vars(&mut s, 200);
+        for i in 0..199 {
+            s.add_clause(&[Lit::neg(v[i]), Lit::pos(v[i + 1])]);
+        }
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(10);
+        assert_eq!(
+            s.solve_with_deadline(None, Some(past)),
+            SatOutcome::Budget(SatBudget::Deadline)
+        );
+    }
+
+    #[test]
+    fn conflict_free_search_polls_deadline_between_decisions() {
+        // No clauses at all: the search is pure decisions. With enough
+        // variables to cross the poll interval, a deadline that expires
+        // mid-search must stop it.
+        let mut s = SatSolver::new();
+        vars(&mut s, 4 * DECISION_POLL_INTERVAL as usize);
+        // Entry check passes (deadline in the future), then expires before
+        // the decision counter reaches the first poll.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_micros(1);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert_eq!(
+            s.solve_with_deadline(None, Some(deadline)),
+            SatOutcome::Budget(SatBudget::Deadline)
+        );
+    }
+
+    #[test]
+    fn cancellation_token_stops_the_search() {
+        let mut s = SatSolver::new();
+        vars(&mut s, 4 * DECISION_POLL_INTERVAL as usize);
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            s.solve_with_limits(None, None, Some(&token)),
+            SatOutcome::Budget(SatBudget::Deadline)
+        );
+    }
+
+    #[test]
+    fn unset_token_does_not_interfere() {
+        let mut s = SatSolver::new();
+        let v = vars(&mut s, 1);
+        s.add_clause(&[Lit::pos(v[0])]);
+        let token = CancelToken::new();
+        assert!(matches!(s.solve_with_limits(None, None, Some(&token)), SatOutcome::Sat(_)));
     }
 
     #[test]
@@ -914,7 +1016,7 @@ mod tests {
                 }
             }
             SatOutcome::Unsat => {} // possible but unlikely; still a valid outcome
-            SatOutcome::Budget => panic!("no budget was set"),
+            SatOutcome::Budget(k) => panic!("no budget was set, got {k:?}"),
         }
     }
 

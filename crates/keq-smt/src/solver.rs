@@ -10,9 +10,11 @@
 use std::time::{Duration, Instant};
 
 use crate::bitblast::BitBlaster;
+use crate::cancel::{stop_requested, CancelToken};
 use crate::eval::{eval, Assignment, Value};
+use crate::fault::{self, FaultAction, FaultSite};
 use crate::lower::lower;
-use crate::sat::{SatOutcome, SatSolver};
+use crate::sat::{SatBudget, SatOutcome, SatSolver};
 use crate::sort::Sort;
 use crate::term::{Op, TermBank, TermId};
 
@@ -59,12 +61,16 @@ pub enum CheckOutcome {
 }
 
 /// Which budget tripped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BudgetKind {
     /// CDCL conflict limit — the paper's "timeout" class.
     Conflicts,
     /// Term limit during lowering — the paper's "out of memory" class.
     Terms,
+    /// Wall-clock deadline expiry or supervisor cancellation — also the
+    /// timeout class, but distinct from conflict exhaustion so retry
+    /// policies and the Fig. 6 harness can tell them apart.
+    WallClock,
 }
 
 /// Outcome of a validity (proof) query.
@@ -139,6 +145,7 @@ pub struct SolverStats {
 pub struct Solver {
     budget: Budget,
     stats: SolverStats,
+    cancel: Option<CancelToken>,
     /// Memo of closed queries: identical assertion sets recur frequently
     /// across successor pairs and synchronization points.
     cache: std::collections::HashMap<Vec<TermId>, CheckOutcome>,
@@ -152,7 +159,14 @@ impl Solver {
 
     /// Creates a solver with an explicit budget.
     pub fn with_budget(budget: Budget) -> Self {
-        Solver { budget, stats: SolverStats::default(), cache: Default::default() }
+        Solver { budget, ..Self::default() }
+    }
+
+    /// Attaches a cooperative cancellation token; the CDCL core polls it
+    /// and reports [`BudgetKind::WallClock`] when it is raised.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
     }
 
     /// The active budget.
@@ -169,6 +183,14 @@ impl Solver {
     pub fn check_sat(&mut self, bank: &mut TermBank, assertions: &[TermId]) -> CheckOutcome {
         let start = Instant::now();
         self.stats.queries += 1;
+        if let FaultAction::ForceBudget(kind) = fault::poll(FaultSite::SolverQuery) {
+            self.stats.budget += 1;
+            return CheckOutcome::Budget(kind);
+        }
+        if stop_requested(None, self.cancel.as_ref()).is_some() {
+            self.stats.budget += 1;
+            return CheckOutcome::Budget(BudgetKind::WallClock);
+        }
         let mut key: Vec<TermId> = assertions.to_vec();
         key.sort_unstable();
         key.dedup();
@@ -223,14 +245,21 @@ impl Solver {
         let var_bits = blaster.var_bits().clone();
         let bool_vars = blaster.bool_vars().clone();
         let deadline = self.budget.max_time.map(|d| Instant::now() + d);
-        match sat.solve_with_deadline(Some(self.budget.max_conflicts), deadline) {
+        match sat.solve_with_limits(
+            Some(self.budget.max_conflicts),
+            deadline,
+            self.cancel.as_ref(),
+        ) {
             SatOutcome::Unsat => {
                 self.stats.conflicts += sat.conflicts();
                 CheckOutcome::Unsat
             }
-            SatOutcome::Budget => {
+            SatOutcome::Budget(kind) => {
                 self.stats.conflicts += sat.conflicts();
-                CheckOutcome::Budget(BudgetKind::Conflicts)
+                CheckOutcome::Budget(match kind {
+                    SatBudget::Conflicts => BudgetKind::Conflicts,
+                    SatBudget::Deadline => BudgetKind::WallClock,
+                })
             }
             SatOutcome::Sat(bits) => {
                 self.stats.conflicts += sat.conflicts();
@@ -331,6 +360,12 @@ impl Solver {
             return false;
         }
         for (&x, &y) in na.args.iter().zip(&nb.args) {
+            // Width-parameterised ops (extract, extensions) can share an op
+            // while taking differently-sorted arguments; positional pairing
+            // is meaningless there, so leave it to the monolithic query.
+            if bank.sort(x) != bank.sort(y) {
+                return false;
+            }
             let eq = bank.mk_eq(x, y);
             if bank.as_bool_const(eq) == Some(true) {
                 continue;
@@ -382,12 +417,30 @@ impl Solver {
     }
 
     /// Convenience: is the conjunction of `assertions` satisfiable at all?
-    /// Used to prune infeasible symbolic branches.
+    /// Used to prune infeasible symbolic branches. Budget exhaustion is
+    /// collapsed to `None`; callers that must classify the exhaustion
+    /// (e.g. the Fig. 6 failure rows) use [`Solver::feasibility`].
     pub fn is_feasible(&mut self, bank: &mut TermBank, assertions: &[TermId]) -> Option<bool> {
+        self.feasibility(bank, assertions).ok()
+    }
+
+    /// [`Solver::is_feasible`] preserving the budget kind on exhaustion,
+    /// so a term-limit hit inside a feasibility query still classifies as
+    /// the out-of-memory row rather than a conflict timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns the exhausted [`BudgetKind`] when the query ran out of
+    /// budget before deciding satisfiability.
+    pub fn feasibility(
+        &mut self,
+        bank: &mut TermBank,
+        assertions: &[TermId],
+    ) -> Result<bool, BudgetKind> {
         match self.check_sat(bank, assertions) {
-            CheckOutcome::Sat(_) => Some(true),
-            CheckOutcome::Unsat => Some(false),
-            CheckOutcome::Budget(_) => None,
+            CheckOutcome::Sat(_) => Ok(true),
+            CheckOutcome::Unsat => Ok(false),
+            CheckOutcome::Budget(k) => Err(k),
         }
     }
 }

@@ -70,7 +70,7 @@ impl fmt::Display for Sort {
 ///
 /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
 pub fn mask(width: u32, value: u128) -> u128 {
-    assert!(width >= 1 && width <= MAX_WIDTH, "invalid width {width}");
+    assert!((1..=MAX_WIDTH).contains(&width), "invalid width {width}");
     if width == 128 {
         value
     } else {

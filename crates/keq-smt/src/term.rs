@@ -531,7 +531,7 @@ impl TermBank {
     pub fn mk_bvudiv(&mut self, a: TermId, b: TermId) -> TermId {
         let w = self.bv_binop_widths(Op::BvUdiv, a, b);
         if let (Some((_, x)), Some((_, y))) = (self.as_bv_const(a), self.as_bv_const(b)) {
-            let r = if y == 0 { mask(w, u128::MAX) } else { x / y };
+            let r = x.checked_div(y).unwrap_or(mask(w, u128::MAX));
             return self.mk_bv(w, r);
         }
         if let Some((_, 1)) = self.as_bv_const(b) {

@@ -315,7 +315,7 @@ fn exec(
             let res = mask(w, res);
             match op {
                 AluOp::Add => {
-                    st.cf = l.checked_add(r).map_or(true, |s| s > mask(w, u128::MAX));
+                    st.cf = l.checked_add(r).is_none_or(|s| s > mask(w, u128::MAX));
                     st.of = to_signed(w, l)
                         .checked_add(to_signed(w, r))
                         .is_none_or(|s| s != to_signed(w, res));
@@ -593,6 +593,6 @@ mod tests {
         )
         .expect("runs")
         .expect("value");
-        assert_eq!(r, 0 + 1 + 2 + 3 + 4);
+        assert_eq!(r, 1 + 2 + 3 + 4);
     }
 }

@@ -1,7 +1,6 @@
 //! The corpus generator.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use keq_prng::Prng;
 
 use keq_llvm::ast::{BinOp, Global, IcmpPred, Instr, Module, Operand, Terminator};
 use keq_llvm::types::Type;
@@ -73,7 +72,7 @@ pub fn generate_corpus(cfg: GenConfig, n: usize) -> Module {
 /// Generates function `index` of the corpus (deterministic in
 /// `cfg.seed + index`).
 pub fn generate_function(cfg: GenConfig, index: usize) -> keq_llvm::ast::Function {
-    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(index as u64 * 0x9e37_79b9));
+    let mut rng = Prng::seed_from_u64(cfg.seed.wrapping_add(index as u64 * 0x9e37_79b9));
     // Long-tailed size: most functions are small, a few are much larger
     // (the Fig. 7 shape).
     let tail: usize = if rng.random_ratio(1, 12) { rng.random_range(10..40) } else { 0 };
@@ -106,7 +105,7 @@ pub fn generate_function(cfg: GenConfig, index: usize) -> keq_llvm::ast::Functio
 
 struct Gen {
     cfg: GenConfig,
-    rng: StdRng,
+    rng: Prng,
     /// The function's stack buffer (allocated lazily, once).
     buf: Option<String>,
 }

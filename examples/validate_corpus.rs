@@ -30,7 +30,7 @@ fn main() {
     }
     println!(
         "\nvalidated {}/{} ({:.1}%) — the paper reports 4331/4732 (91.52%)",
-        summary.count(keq_bench::CorpusResult::Succeeded),
+        summary.count(keq_bench::ResultKind::Succeeded),
         summary.total(),
         summary.success_rate() * 100.0
     );

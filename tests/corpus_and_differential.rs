@@ -36,7 +36,7 @@ fn corpus_validation_rate_matches_paper_shape() {
             .rows
             .iter()
             .filter(|r| r.result != keq_bench::CorpusResult::Succeeded)
-            .map(|r| (&r.name, r.result))
+            .map(|r| (&r.name, &r.result))
             .collect::<Vec<_>>()
     );
 }
