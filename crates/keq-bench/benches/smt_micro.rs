@@ -4,7 +4,10 @@
 //! * **§3 ablation** — the positive-form path-condition query
 //!   (`φ₁ ∧ Ψ₂`) versus the naive negated query (`φ₁ ∧ ¬φ₂`);
 //! * solver scaling on arithmetic identities by bit width;
-//! * end-to-end validation latency of the running example.
+//! * end-to-end validation latency of the running example;
+//! * **session prefix reuse** — a multi-obligation sync-point batch in
+//!   scratch mode versus session mode, with the bit-blast counters that
+//!   back the PR's ≥2× reuse acceptance bar.
 
 use std::time::{Duration, Instant};
 
@@ -100,8 +103,64 @@ fn bench_running_example() {
     });
 }
 
+/// One sync point, many obligations: scratch mode re-blasts the prefix
+/// per query, session mode blasts it once and adds each delta under an
+/// activation literal. The `terms_blasted` counter ratio is the PR's
+/// acceptance metric (session must blast ≥2× fewer nodes).
+fn bench_session_reuse() {
+    println!("--- session_prefix_reuse ---");
+    let obligations = 12usize;
+    let mut bank = TermBank::new();
+    let wl = keq_bench::sync_point_workload(&mut bank, 32, obligations);
+
+    let mut scratch = Solver::new();
+    let scratch_before = scratch.stats();
+    let scratch_start = Instant::now();
+    for (delta, expect_sat) in &wl.obligations {
+        let mut full = wl.prefix.clone();
+        full.extend_from_slice(delta);
+        let outcome = scratch.check_sat(&mut bank, &full);
+        assert_eq!(matches!(outcome, keq_smt::CheckOutcome::Sat(_)), *expect_sat);
+    }
+    let scratch_time = scratch_start.elapsed();
+    let scratch_stats = scratch.stats().since(&scratch_before);
+
+    let mut warm = Solver::new();
+    let warm_before = warm.stats();
+    let session_start = Instant::now();
+    let mut session = warm.open_session(&mut bank, &wl.prefix);
+    for (delta, expect_sat) in &wl.obligations {
+        let outcome = session.check_sat(&mut bank, delta);
+        assert_eq!(matches!(outcome, keq_smt::CheckOutcome::Sat(_)), *expect_sat);
+    }
+    drop(session);
+    let session_time = session_start.elapsed();
+    let session_stats = warm.stats().since(&warm_before);
+
+    println!(
+        "scratch/{obligations}-obligations {:>23}   blasted {:>6}",
+        format_duration(scratch_time),
+        scratch_stats.terms_blasted
+    );
+    println!(
+        "session/{obligations}-obligations {:>23}   blasted {:>6}  reused {:>6}  retained-clauses {:>6}",
+        format_duration(session_time),
+        session_stats.terms_blasted,
+        session_stats.terms_blast_reused,
+        session_stats.clauses_retained
+    );
+    assert!(
+        session_stats.terms_blasted * 2 <= scratch_stats.terms_blasted,
+        "session mode must bit-blast at least 2x fewer nodes \
+         (session {}, scratch {})",
+        session_stats.terms_blasted,
+        scratch_stats.terms_blasted
+    );
+}
+
 fn main() {
     bench_positive_form();
     bench_solver_scaling();
     bench_running_example();
+    bench_session_reuse();
 }

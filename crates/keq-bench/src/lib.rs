@@ -5,9 +5,11 @@
 
 pub mod corpus_run;
 pub mod histogram;
+pub mod session_workload;
 
 pub use corpus_run::{
     run_corpus, run_corpus_with, run_module, AttemptRecord, CorpusResult, CorpusRow,
     CorpusSummary, HarnessOptions, ResultKind, RetryPolicy,
 };
 pub use histogram::Histogram;
+pub use session_workload::{sync_point_workload, SessionWorkload};

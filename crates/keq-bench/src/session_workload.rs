@@ -1,0 +1,69 @@
+//! A multi-obligation synchronization-point workload for the
+//! session-reuse benches.
+//!
+//! Algorithm 1 discharges many solver obligations under one sync point's
+//! assumption set: the matching-variable equalities plus the accumulated
+//! path condition. This module builds a synthetic but faithfully shaped
+//! instance — one shared prefix, many small distinct deltas — so the
+//! benches can compare *scratch* mode (each query re-asserts
+//! `prefix ++ delta` in a fresh SAT problem) against *session* mode (the
+//! prefix is lowered, bit-blasted, and asserted once; each query adds only
+//! its delta under an activation literal).
+//!
+//! Deltas are pairwise distinct on purpose: the solver's whole-query memo
+//! cache must not be able to collapse the scratch run, or the comparison
+//! would measure the cache instead of prefix reuse.
+
+use keq_smt::{Sort, TermBank, TermId};
+
+/// One prefix plus its batch of obligations.
+pub struct SessionWorkload {
+    /// The sync point's assumption set, shared by every obligation.
+    pub prefix: Vec<TermId>,
+    /// `(delta, expect_sat)` pairs: feasibility-style queries expect `Sat`,
+    /// implication-style queries (negated goal) expect `Unsat`.
+    pub obligations: Vec<(Vec<TermId>, bool)>,
+}
+
+/// Builds a sync-point workload of `count` distinct obligations over
+/// `width`-bit state.
+///
+/// The prefix mirrors a KEQ sync point: left/right matching-variable
+/// equalities (`iL = iR`, `nL = nR`, `accL = accR`) and a path condition
+/// (`iL <u nL`). Obligations alternate between
+///
+/// * feasibility probes `(accL + c_k) <u nL` — satisfiable, like the
+///   checker's sibling-branch pruning queries; and
+/// * negated target constraints `¬(iR <u nR) ∧ accR ≠ c_k` — unsatisfiable
+///   (the prefix forces `iR <u nR` through the equalities), like the
+///   checker's `prove_implies` deltas.
+pub fn sync_point_workload(bank: &mut TermBank, width: u32, count: usize) -> SessionWorkload {
+    let il = bank.mk_var("iL", Sort::BitVec(width));
+    let ir = bank.mk_var("iR", Sort::BitVec(width));
+    let nl = bank.mk_var("nL", Sort::BitVec(width));
+    let nr = bank.mk_var("nR", Sort::BitVec(width));
+    let accl = bank.mk_var("accL", Sort::BitVec(width));
+    let accr = bank.mk_var("accR", Sort::BitVec(width));
+
+    let eq_i = bank.mk_eq(il, ir);
+    let eq_n = bank.mk_eq(nl, nr);
+    let eq_acc = bank.mk_eq(accl, accr);
+    let path = bank.mk_bvult(il, nl);
+    let prefix = vec![eq_i, eq_n, eq_acc, path];
+
+    let mut obligations = Vec::with_capacity(count);
+    for k in 0..count {
+        let c = bank.mk_bv(width, 1 + k as u128);
+        if k % 2 == 0 {
+            let probe_base = bank.mk_bvadd(accl, c);
+            let probe = bank.mk_bvult(probe_base, nl);
+            obligations.push((vec![probe], true));
+        } else {
+            let in_bounds = bank.mk_bvult(ir, nr);
+            let negated = bank.mk_not(in_bounds);
+            let distinct = bank.mk_ne(accr, c);
+            obligations.push((vec![negated, distinct], false));
+        }
+    }
+    SessionWorkload { prefix, obligations }
+}

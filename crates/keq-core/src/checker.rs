@@ -28,7 +28,8 @@ use keq_semantics::{
 };
 use keq_smt::fault::{self, FaultAction, FaultSite};
 use keq_smt::{
-    stop_requested, Budget, CancelToken, ProofOutcome, Solver, Sort, StopCause, TermBank, TermId,
+    stop_requested, Budget, CancelToken, ProofOutcome, Session, Solver, Sort, StopCause, TermBank,
+    TermId,
 };
 
 use crate::sync::{Side, SideSpec, SyncPoint, SyncSet, ValueExpr};
@@ -106,13 +107,28 @@ impl<'a> Keq<'a> {
         self
     }
 
-    /// Runs the check.
+    /// Runs the check with a fresh solver.
     pub fn check(&self, bank: &mut TermBank, sync: &SyncSet) -> KeqReport {
+        let mut solver = Solver::new();
+        self.check_with_solver(bank, sync, &mut solver)
+    }
+
+    /// Runs the check against a caller-supplied solver, so escalating-budget
+    /// retries can warm-start: the solver's query cache (and any closed
+    /// sub-obligations in it) carries over between attempts. The checker's
+    /// budget and cancellation token are installed onto the solver; its
+    /// statistics are reported as the *delta* accumulated by this run, so
+    /// reuse across runs does not inflate per-run reports.
+    pub fn check_with_solver(
+        &self,
+        bank: &mut TermBank,
+        sync: &SyncSet,
+        solver: &mut Solver,
+    ) -> KeqReport {
         let deadline = self.opts.time_limit.map(|d| std::time::Instant::now() + d);
-        let mut solver = Solver::with_budget(self.opts.solver_budget);
-        if let Some(cancel) = &self.cancel {
-            solver = solver.with_cancel(cancel.clone());
-        }
+        solver.set_budget(self.opts.solver_budget);
+        solver.set_cancel(self.cancel.clone());
+        let stats_before = solver.stats();
         let mut stats = KeqStats::default();
         let startable: Vec<&SyncPoint> = sync.iter().filter(|p| p.is_startable()).collect();
         if startable.is_empty() {
@@ -126,23 +142,27 @@ impl<'a> Keq<'a> {
         }
         for point in startable {
             stats.start_points += 1;
-            if let Err(reason) =
-                self.check_point(bank, &mut solver, sync, point, deadline, &mut stats)
+            if let Err(reason) = self.check_point(bank, solver, sync, point, deadline, &mut stats)
             {
-                stats.solver = solver.stats();
+                stats.solver = solver.stats().since(&stats_before);
                 return KeqReport {
                     verdict: Verdict::NotValidated(Failure { point: point.name.clone(), reason }),
                     stats,
                 };
             }
         }
-        stats.solver = solver.stats();
+        stats.solver = solver.stats().since(&stats_before);
         let verdict = if stats.absorbed_ub { Verdict::Refines } else { Verdict::Equivalent };
         KeqReport { verdict, stats }
     }
 
     /// The `check(p1, p2)` of Algorithm 1 for one start point.
-    #[allow(clippy::too_many_arguments)]
+    ///
+    /// Opens one incremental [`Session`] whose prefix is the point's
+    /// instantiation assumptions: every feasibility prune, error-rule
+    /// check, and target-constraint proof for this point shares that
+    /// prefix, so each query lowers and bit-blasts only its own path
+    /// delta (the paper's use of Z3's incremental interface).
     fn check_point(
         &self,
         bank: &mut TermBank,
@@ -153,29 +173,30 @@ impl<'a> Keq<'a> {
         stats: &mut KeqStats,
     ) -> Result<(), FailureReason> {
         let (c1, c2, assumptions) = instantiate(bank, point)?;
-        let n1 = self.frontier(bank, solver, sync, Side::Left, c1, &assumptions, deadline, stats)?;
-        let n2 =
-            self.frontier(bank, solver, sync, Side::Right, c2, &assumptions, deadline, stats)?;
+        let mut session = solver.open_session(bank, &assumptions);
+        let n1 = self.frontier(bank, &mut session, sync, Side::Left, c1, deadline, stats)?;
+        let n2 = self.frontier(bank, &mut session, sync, Side::Right, c2, deadline, stats)?;
         for s1 in &n1 {
             for s2 in &n2 {
                 check_stop(deadline, self.cancel.as_ref())?;
                 stats.pairs_checked += 1;
-                self.discharge_pair(bank, solver, sync, &assumptions, s1, s2, stats)?;
+                self.discharge_pair(bank, &mut session, sync, s1, s2, stats)?;
             }
         }
         Ok(())
     }
 
-    /// Symbolically executes `cfg` to its cut frontier (`next_i`).
+    /// Symbolically executes `cfg` to its cut frontier (`next_i`). The
+    /// session's prefix supplies the start point's assumptions, so each
+    /// feasibility prune submits only the successor's path delta.
     #[allow(clippy::too_many_arguments)]
     fn frontier(
         &self,
         bank: &mut TermBank,
-        solver: &mut Solver,
+        session: &mut Session<'_>,
         sync: &SyncSet,
         side: Side,
         cfg: SymConfig,
-        assumptions: &[TermId],
         deadline: Option<std::time::Instant>,
         stats: &mut KeqStats,
     ) -> Result<Vec<SymConfig>, FailureReason> {
@@ -231,12 +252,11 @@ impl<'a> Keq<'a> {
                     continue;
                 }
                 // Solver pruning for real branches only.
-                if branching && self.opts.prune_infeasible {
-                    let mut conj = assumptions.to_vec();
-                    conj.extend(s.path.iter().copied());
-                    if solver.is_feasible(bank, &conj) == Some(false) {
-                        continue;
-                    }
+                if branching
+                    && self.opts.prune_infeasible
+                    && session.is_feasible(bank, &s.path) == Some(false)
+                {
+                    continue;
                 }
                 work.push(s);
             }
@@ -258,13 +278,11 @@ impl<'a> Keq<'a> {
 
     /// Discharges one successor pair: the symbolic inclusion check of
     /// Algorithm 1 line 9.
-    #[allow(clippy::too_many_arguments)]
     fn discharge_pair(
         &self,
         bank: &mut TermBank,
-        solver: &mut Solver,
+        session: &mut Session<'_>,
         sync: &SyncSet,
-        assumptions: &[TermId],
         s1: &SymConfig,
         s2: &SymConfig,
         stats: &mut KeqStats,
@@ -275,14 +293,14 @@ impl<'a> Keq<'a> {
                 // but only on paths where the UB actually occurs together
                 // with the right behavior; if the intersection is
                 // infeasible this is vacuous either way.
-                if self.intersection_feasible(bank, solver, assumptions, s1, s2)? {
+                if self.intersection_feasible(bank, session, s1, s2)? {
                     stats.absorbed_ub = true;
                 }
                 Ok(())
             }
             ErrorRelation::MatchedErrors => Ok(()),
             ErrorRelation::Unrelated => {
-                if self.intersection_feasible(bank, solver, assumptions, s1, s2)? {
+                if self.intersection_feasible(bank, session, s1, s2)? {
                     Err(FailureReason::UnmatchedPair {
                         left: describe(s1),
                         right: describe(s2),
@@ -295,7 +313,7 @@ impl<'a> Keq<'a> {
                 let Some(target) = sync.iter().find(|p| {
                     pattern_matches(&p.left, s1) && pattern_matches(&p.right, s2)
                 }) else {
-                    return if self.intersection_feasible(bank, solver, assumptions, s1, s2)? {
+                    return if self.intersection_feasible(bank, session, s1, s2)? {
                         Err(FailureReason::UnmatchedPair {
                             left: describe(s1),
                             right: describe(s2),
@@ -304,39 +322,36 @@ impl<'a> Keq<'a> {
                         Ok(())
                     };
                 };
-                self.prove_target_constraints(bank, solver, assumptions, target, s1, s2, stats)
+                self.prove_target_constraints(bank, session, target, s1, s2, stats)
             }
         }
     }
 
+    /// Is `prefix ∧ path(s1) ∧ path(s2)` satisfiable? Only the two path
+    /// deltas are submitted; the session prefix carries the assumptions.
     fn intersection_feasible(
         &self,
         bank: &mut TermBank,
-        solver: &mut Solver,
-        assumptions: &[TermId],
+        session: &mut Session<'_>,
         s1: &SymConfig,
         s2: &SymConfig,
     ) -> Result<bool, FailureReason> {
-        let mut conj = assumptions.to_vec();
-        conj.extend(s1.path.iter().copied());
+        let mut conj = s1.path.clone();
         conj.extend(s2.path.iter().copied());
-        solver.feasibility(bank, &conj).map_err(FailureReason::SolverBudget)
+        session.feasibility(bank, &conj).map_err(FailureReason::SolverBudget)
     }
 
     /// Proves the equality and memory constraints of `target` for the pair.
-    #[allow(clippy::too_many_arguments)]
     fn prove_target_constraints(
         &self,
         bank: &mut TermBank,
-        solver: &mut Solver,
-        assumptions: &[TermId],
+        session: &mut Session<'_>,
         target: &SyncPoint,
         s1: &SymConfig,
         s2: &SymConfig,
         stats: &mut KeqStats,
     ) -> Result<(), FailureReason> {
-        let mut hyps = assumptions.to_vec();
-        hyps.extend(s1.path.iter().copied());
+        let mut hyps = s1.path.clone();
         hyps.extend(s2.path.iter().copied());
         let mut obligations: Vec<(String, TermId)> = Vec::new();
         for (e1, e2) in &target.equalities {
@@ -372,7 +387,7 @@ impl<'a> Keq<'a> {
         }
         for (desc, ob) in obligations {
             stats.obligations_proved += 1;
-            match solver.prove_implies(bank, &hyps, ob) {
+            match session.prove_implies(bank, &hyps, ob) {
                 ProofOutcome::Proved => {}
                 ProofOutcome::Refuted(model) => {
                     return Err(FailureReason::ConstraintUnproved {

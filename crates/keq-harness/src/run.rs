@@ -30,6 +30,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use keq_core::{FailureReason, KeqOptions, Verdict};
+use keq_isel::pipeline::ValidationContext;
 use keq_isel::{IselOptions, VcOptions};
 use keq_llvm::ast::Module;
 use keq_smt::fault::{self, FaultPlan};
@@ -107,6 +108,13 @@ pub struct HarnessOptions {
     pub retry: RetryPolicy,
     /// Deterministic fault plan (use [`FaultPlan::quiet`] for none).
     pub fault_plan: FaultPlan,
+    /// Carry a [`ValidationContext`] (term bank + solver query cache)
+    /// across retries of the same function, so an escalated-budget attempt
+    /// warm-starts from the sub-obligations its predecessors already
+    /// closed. Budgeted outcomes are never cached, so a starved attempt
+    /// cannot poison a richer one; a panicking attempt discards its
+    /// context entirely.
+    pub warm_start: bool,
 }
 
 impl Default for HarnessOptions {
@@ -121,9 +129,17 @@ impl Default for HarnessOptions {
             watchdog_tick: Duration::from_millis(10),
             retry: RetryPolicy::default(),
             fault_plan: FaultPlan::quiet(0),
+            warm_start: true,
         }
     }
 }
+
+/// Per-function warm-start contexts, keyed by function index. A worker
+/// *takes* the entry before an attempt and puts it back afterwards, so the
+/// map never hands the same context to two threads (the supervisor only
+/// ever has one attempt of a function in flight). The supervisor drops an
+/// entry when its function is finalized.
+type CtxMap = Mutex<HashMap<usize, ValidationContext>>;
 
 /// One unit of queued work: one attempt at one function.
 #[derive(Debug, Clone, Copy)]
@@ -215,6 +231,7 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
     let module = Arc::new(module.clone());
     let opts_arc = Arc::new(opts.clone());
     let queue = Arc::new(JobQueue::default());
+    let ctxs: Arc<CtxMap> = Arc::new(CtxMap::default());
     let (tx, rx) = mpsc::channel::<Msg>();
 
     let workers = if opts.workers == 0 {
@@ -224,7 +241,7 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
     };
     let mut pool: Vec<Worker> = Vec::new();
     for id in 0..workers {
-        pool.push(spawn_worker(&module, &opts_arc, &queue, &tx, id));
+        pool.push(spawn_worker(&module, &opts_arc, &queue, &ctxs, &tx, id));
     }
 
     // Seed one attempt-1 job per function.
@@ -285,6 +302,9 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
                 } else {
                     finals[info.func] = Some(outcome.result);
                     completed += 1;
+                    // No further attempt will run: release the function's
+                    // warm-start context.
+                    ctxs.lock().expect("ctx map poisoned").remove(&info.func);
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}
@@ -316,11 +336,16 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
             });
             finals[info.func] = Some(CorpusResult::Timeout);
             completed += 1;
+            // The abandoned worker still *owns* the function's context (it
+            // took it before the attempt) and may re-insert it if it ever
+            // finishes; that re-insert is a bounded, harmless leak since
+            // the function is final and nothing reads the entry again.
+            ctxs.lock().expect("ctx map poisoned").remove(&info.func);
             // Retire the wedged worker (its thread stays detached) and
             // keep the pool at strength with a fresh replacement.
             retire_worker(&mut pool, info.worker);
             let id = pool.len();
-            pool.push(spawn_worker(&module, &opts_arc, &queue, &tx, id));
+            pool.push(spawn_worker(&module, &opts_arc, &queue, &ctxs, &tx, id));
         }
     }
 
@@ -362,12 +387,14 @@ fn spawn_worker(
     module: &Arc<Module>,
     opts: &Arc<HarnessOptions>,
     queue: &Arc<JobQueue>,
+    ctxs: &Arc<CtxMap>,
     tx: &mpsc::Sender<Msg>,
     id: usize,
 ) -> Worker {
     let module = Arc::clone(module);
     let opts = Arc::clone(opts);
     let queue = Arc::clone(queue);
+    let ctxs = Arc::clone(ctxs);
     let tx = tx.clone();
     let retired = Arc::new(AtomicBool::new(false));
     let retired_in = Arc::clone(&retired);
@@ -382,7 +409,7 @@ fn spawn_worker(
                     break;
                 }
                 let start = Instant::now();
-                let outcome = run_attempt(&module, &opts, job, &cancel, start);
+                let outcome = run_attempt(&module, &opts, &ctxs, job, &cancel, start);
                 if tx.send(Msg::Finished { job: job.id, outcome }).is_err() {
                     break;
                 }
@@ -393,10 +420,12 @@ fn spawn_worker(
 }
 
 /// Runs one attempt on the worker thread: arm the unit's injected fault,
-/// validate under `catch_unwind`, classify.
+/// take the function's warm-start context, validate under `catch_unwind`,
+/// put the context back, classify.
 fn run_attempt(
     module: &Module,
     opts: &HarnessOptions,
+    ctxs: &CtxMap,
     job: Job,
     cancel: &CancelToken,
     start: Instant,
@@ -404,20 +433,35 @@ fn run_attempt(
     let func = &module.functions[job.func];
     let keq = opts.retry.options_for_attempt(opts.keq, job.attempt);
     let _fault = fault::install(&opts.fault_plan, job.func as u64);
-    let outcome = panic_capture::run_caught(|| {
-        keq_isel::validate_function_cancellable(
+    let mut ctx = if opts.warm_start {
+        ctxs.lock().expect("ctx map poisoned").remove(&job.func).unwrap_or_default()
+    } else {
+        ValidationContext::new()
+    };
+    // The context rides inside the closure so a panic mid-validation drops
+    // it during unwind: a context of unknown consistency is never reused
+    // (and panics are not retryable anyway).
+    let outcome = panic_capture::run_caught(move || {
+        let r = keq_isel::validate_function_with_context(
             module,
             func,
             opts.isel,
             opts.vc,
             keq,
             Some(cancel),
-        )
+            &mut ctx,
+        );
+        (r, ctx)
     });
     let (result, retryable) = match outcome {
-        Ok(Ok(v)) => classify(&v.report.verdict),
+        Ok((Ok(v), ctx)) => {
+            if opts.warm_start {
+                ctxs.lock().expect("ctx map poisoned").insert(job.func, ctx);
+            }
+            classify(&v.report.verdict)
+        }
         // Unsupported functions never get better with bigger budgets.
-        Ok(Err(_)) => (CorpusResult::Other, false),
+        Ok((Err(_), _)) => (CorpusResult::Other, false),
         Err(message) => (CorpusResult::Crashed { message }, false),
     };
     AttemptOutcome { result, retryable, time: start.elapsed() }

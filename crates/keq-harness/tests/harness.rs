@@ -293,6 +293,36 @@ fn slow_cancel_still_times_out_without_abandonment() {
 }
 
 #[test]
+fn warm_start_retries_classify_like_cold_ones() {
+    // A solver-budget-starved first attempt plus an escalated retry, run
+    // twice: once warm-starting the retry from the first attempt's
+    // ValidationContext (the default) and once from scratch. Budgeted
+    // outcomes are never cached, so the warm retry must reach the very
+    // same verdicts.
+    let module = small_corpus(5);
+    let rows = |warm_start: bool| {
+        let opts = HarnessOptions {
+            keq: KeqOptions {
+                solver_budget: Budget { max_conflicts: 1, ..Budget::default() },
+                ..KeqOptions::default()
+            },
+            workers: 2,
+            retry: RetryPolicy { max_attempts: 3, factor: 8 },
+            warm_start,
+            ..HarnessOptions::default()
+        };
+        run_module(&module, &opts)
+            .rows
+            .iter()
+            .map(|r| (r.result.kind(), r.attempts.len()))
+            .collect::<Vec<_>>()
+    };
+    let warm = rows(true);
+    let cold = rows(false);
+    assert_eq!(warm, cold, "warm-started retries must not change classification");
+}
+
+#[test]
 fn classification_does_not_depend_on_worker_count() {
     let module = small_corpus(6);
     let kinds = |workers: usize| -> Vec<ResultKind> {

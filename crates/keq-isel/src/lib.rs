@@ -21,8 +21,9 @@ pub use isel::{
 };
 pub use liveness::{phi_uses_from, predecessors, Liveness};
 pub use pipeline::{
-    validate_function, validate_function_cancellable, validate_regalloc,
-    validate_regalloc_cancellable, validate_translation, validate_translation_cancellable,
+    validate_function, validate_function_cancellable, validate_function_with_context,
+    validate_regalloc, validate_regalloc_cancellable, validate_translation,
+    validate_translation_cancellable, validate_translation_with_context, ValidationContext,
     ValidationOutcome,
 };
 pub use ra_vcgen::regalloc_sync_points;

@@ -27,6 +27,28 @@ pub struct ValidationOutcome {
     pub layout: Layout,
 }
 
+/// Persistent solver state carried across validation attempts of the *same*
+/// function, so an escalating-budget retry warm-starts instead of
+/// recomputing every solved sub-obligation: the term bank keeps its
+/// hash-consed terms and the solver keeps its bounded query cache (budgeted
+/// outcomes are never cached, so a cheap attempt cannot poison a richer
+/// retry).
+#[derive(Debug, Default)]
+pub struct ValidationContext {
+    /// Hash-consed term bank shared by all attempts.
+    pub bank: keq_smt::TermBank,
+    /// Solver whose query cache carries closed sub-obligations.
+    pub solver: keq_smt::Solver,
+}
+
+impl ValidationContext {
+    /// Creates an empty context.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Compiles `func` with the configured ISel and validates the translation.
 ///
 /// # Errors
@@ -61,11 +83,34 @@ pub fn validate_function_cancellable(
     keq_opts: KeqOptions,
     cancel: Option<&CancelToken>,
 ) -> Result<ValidationOutcome, IselError> {
+    let mut ctx = ValidationContext::new();
+    validate_function_with_context(module, func, isel_opts, vc_opts, keq_opts, cancel, &mut ctx)
+}
+
+/// [`validate_function_cancellable`] against a caller-owned
+/// [`ValidationContext`], the warm-start entry point for escalating-budget
+/// retries: pass the same context on every attempt for one function and
+/// each retry reuses the previous attempts' closed solver queries.
+///
+/// # Errors
+///
+/// Returns [`IselError`] when the function is outside the supported
+/// fragment.
+pub fn validate_function_with_context(
+    module: &Module,
+    func: &Function,
+    isel_opts: IselOptions,
+    vc_opts: VcOptions,
+    keq_opts: KeqOptions,
+    cancel: Option<&CancelToken>,
+    ctx: &mut ValidationContext,
+) -> Result<ValidationOutcome, IselError> {
     let layout = Layout::of(module, func);
     let isel = select(module, func, &layout, isel_opts)?;
     let sync = generate_sync_points(func, &isel, vc_opts);
-    let report =
-        validate_translation_cancellable(module, func, &isel, &layout, &sync, keq_opts, cancel);
+    let report = validate_translation_with_context(
+        module, func, &isel, &layout, &sync, keq_opts, cancel, ctx,
+    );
     Ok(ValidationOutcome { report, isel, sync, layout })
 }
 
@@ -93,6 +138,25 @@ pub fn validate_translation_cancellable(
     keq_opts: KeqOptions,
     cancel: Option<&CancelToken>,
 ) -> KeqReport {
+    let mut ctx = ValidationContext::new();
+    validate_translation_with_context(
+        module, func, isel, layout, sync, keq_opts, cancel, &mut ctx,
+    )
+}
+
+/// [`validate_translation_cancellable`] against a caller-owned
+/// [`ValidationContext`] (see [`validate_function_with_context`]).
+#[allow(clippy::too_many_arguments)]
+pub fn validate_translation_with_context(
+    module: &Module,
+    func: &Function,
+    isel: &IselOutput,
+    layout: &Layout,
+    sync: &SyncSet,
+    keq_opts: KeqOptions,
+    cancel: Option<&CancelToken>,
+    ctx: &mut ValidationContext,
+) -> KeqReport {
     let left = LlvmSemantics::with_layout(module, func, layout.clone());
     let right = VxSemantics::new(
         &isel.func,
@@ -103,8 +167,7 @@ pub fn validate_translation_cancellable(
     if let Some(c) = cancel {
         keq = keq.with_cancel(c.clone());
     }
-    let mut bank = keq_smt::TermBank::new();
-    keq.check(&mut bank, sync)
+    keq.check_with_solver(&mut ctx.bank, sync, &mut ctx.solver)
 }
 
 /// Validates the register-allocation pass on an SSA Virtual x86 function

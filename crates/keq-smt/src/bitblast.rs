@@ -15,53 +15,102 @@ use std::collections::HashMap;
 use crate::sat::{Lit, SatSolver};
 use crate::term::{Op, TermBank, TermId, VarId};
 
-/// Incremental bit-blaster over a shared SAT solver.
-#[derive(Debug)]
-pub struct BitBlaster<'a> {
-    bank: &'a TermBank,
-    sat: &'a mut SatSolver,
+/// Persistent bit-blasting state: per-`TermId` CNF memo plus the variable
+/// encoding tables, decoupled from the [`BitBlaster`] that fills it.
+///
+/// A cache is tied to one ([`TermBank`], [`SatSolver`]) pair for its whole
+/// life — the memoized literals name variables of that solver and the keys
+/// are ids of that bank. Sessions keep one `BlastCache` alive across
+/// queries so shared subterms are blasted once; the scratch path builds a
+/// fresh one per query.
+#[derive(Debug, Default)]
+pub struct BlastCache {
     bool_cache: HashMap<TermId, Lit>,
     bv_cache: HashMap<TermId, Vec<Lit>>,
     var_bits: HashMap<VarId, Vec<Lit>>,
     bool_vars: HashMap<VarId, Lit>,
-    lit_true: Lit,
+    lit_true: Option<Lit>,
+    terms_blasted: u64,
+    terms_reused: u64,
 }
 
-impl<'a> BitBlaster<'a> {
-    /// Creates a blaster over `bank`, emitting clauses into `sat`.
-    pub fn new(bank: &'a TermBank, sat: &'a mut SatSolver) -> Self {
-        let v = sat.new_var();
-        let lit_true = Lit::pos(v);
-        sat.add_clause(&[lit_true]);
-        BitBlaster {
-            bank,
-            sat,
-            bool_cache: HashMap::new(),
-            bv_cache: HashMap::new(),
-            var_bits: HashMap::new(),
-            bool_vars: HashMap::new(),
-            lit_true,
-        }
-    }
-
-    /// The always-true literal.
-    pub fn lit_true(&self) -> Lit {
-        self.lit_true
-    }
-
-    /// The always-false literal.
-    pub fn lit_false(&self) -> Lit {
-        self.lit_true.negate()
+impl BlastCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
     }
 
     /// Bit literals allocated for each bitvector variable (LSB first).
+    #[must_use]
     pub fn var_bits(&self) -> &HashMap<VarId, Vec<Lit>> {
         &self.var_bits
     }
 
     /// Literal allocated for each boolean variable.
+    #[must_use]
     pub fn bool_vars(&self) -> &HashMap<VarId, Lit> {
         &self.bool_vars
+    }
+
+    /// Number of term nodes translated to CNF via this cache (each node
+    /// counted once at translation time).
+    #[must_use]
+    pub fn terms_blasted(&self) -> u64 {
+        self.terms_blasted
+    }
+
+    /// Number of times a requested node was already memoized (shared
+    /// subterm hits, within and across queries).
+    #[must_use]
+    pub fn terms_reused(&self) -> u64 {
+        self.terms_reused
+    }
+}
+
+/// Incremental bit-blaster over a shared SAT solver.
+///
+/// The blaster itself is a transient view: it borrows the bank, the solver
+/// and a [`BlastCache`] and can be reconstructed at will — all state lives
+/// in the cache and the solver.
+#[derive(Debug)]
+pub struct BitBlaster<'a> {
+    bank: &'a TermBank,
+    sat: &'a mut SatSolver,
+    cache: &'a mut BlastCache,
+}
+
+impl<'a> BitBlaster<'a> {
+    /// Creates a blaster over `bank`, emitting clauses into `sat` and
+    /// memoizing into `cache`.
+    pub fn new(bank: &'a TermBank, sat: &'a mut SatSolver, cache: &'a mut BlastCache) -> Self {
+        if cache.lit_true.is_none() {
+            let v = sat.new_var();
+            let lit_true = Lit::pos(v);
+            sat.add_clause(&[lit_true]);
+            cache.lit_true = Some(lit_true);
+        }
+        BitBlaster { bank, sat, cache }
+    }
+
+    /// The always-true literal.
+    pub fn lit_true(&self) -> Lit {
+        self.cache.lit_true.expect("allocated in BitBlaster::new")
+    }
+
+    /// The always-false literal.
+    pub fn lit_false(&self) -> Lit {
+        self.lit_true().negate()
+    }
+
+    /// Bit literals allocated for each bitvector variable (LSB first).
+    pub fn var_bits(&self) -> &HashMap<VarId, Vec<Lit>> {
+        &self.cache.var_bits
+    }
+
+    /// Literal allocated for each boolean variable.
+    pub fn bool_vars(&self) -> &HashMap<VarId, Lit> {
+        &self.cache.bool_vars
     }
 
     /// Asserts that the boolean term `t` holds.
@@ -77,7 +126,7 @@ impl<'a> BitBlaster<'a> {
     /// Panics if `t` is not boolean or mentions memory operations.
     pub fn lit(&mut self, t: TermId) -> Lit {
         self.process(t);
-        self.bool_cache[&t]
+        self.cache.bool_cache[&t]
     }
 
     /// Returns the bit literals (LSB first) of the bitvector term `t`.
@@ -87,17 +136,21 @@ impl<'a> BitBlaster<'a> {
     /// Panics if `t` is not a bitvector or mentions memory operations.
     pub fn bits(&mut self, t: TermId) -> Vec<Lit> {
         self.process(t);
-        self.bv_cache[&t].clone()
+        self.cache.bv_cache[&t].clone()
     }
 
     /// Processes `t` and all its subterms in post-order.
     fn process(&mut self, root: TermId) {
         let mut stack = vec![(root, false)];
         while let Some((t, expanded)) = stack.pop() {
-            if self.bool_cache.contains_key(&t) || self.bv_cache.contains_key(&t) {
+            if self.cache.bool_cache.contains_key(&t) || self.cache.bv_cache.contains_key(&t) {
+                if !expanded {
+                    self.cache.terms_reused += 1;
+                }
                 continue;
             }
             if expanded {
+                self.cache.terms_blasted += 1;
                 self.blast_node(t);
             } else {
                 stack.push((t, true));
@@ -109,42 +162,42 @@ impl<'a> BitBlaster<'a> {
     }
 
     fn cached_lit(&self, t: TermId) -> Lit {
-        self.bool_cache[&t]
+        self.cache.bool_cache[&t]
     }
 
     fn cached_bits(&self, t: TermId) -> &[Lit] {
-        &self.bv_cache[&t]
+        &self.cache.bv_cache[&t]
     }
 
     fn blast_node(&mut self, t: TermId) {
         let node = self.bank.node(t).clone();
         match node.op {
             Op::BoolConst(b) => {
-                let l = if b { self.lit_true } else { self.lit_false() };
-                self.bool_cache.insert(t, l);
+                let l = if b { self.lit_true() } else { self.lit_false() };
+                self.cache.bool_cache.insert(t, l);
             }
             Op::BvConst { width, value } => {
                 let bits: Vec<Lit> = (0..width)
                     .map(|i| {
                         if (value >> i) & 1 == 1 {
-                            self.lit_true
+                            self.lit_true()
                         } else {
                             self.lit_false()
                         }
                     })
                     .collect();
-                self.bv_cache.insert(t, bits);
+                self.cache.bv_cache.insert(t, bits);
             }
             Op::Var(v) => match node.sort {
                 crate::sort::Sort::Bool => {
                     let l = Lit::pos(self.sat.new_var());
-                    self.bool_vars.insert(v, l);
-                    self.bool_cache.insert(t, l);
+                    self.cache.bool_vars.insert(v, l);
+                    self.cache.bool_cache.insert(t, l);
                 }
                 crate::sort::Sort::BitVec(w) => {
                     let bits: Vec<Lit> = (0..w).map(|_| Lit::pos(self.sat.new_var())).collect();
-                    self.var_bits.insert(v, bits.clone());
-                    self.bv_cache.insert(t, bits);
+                    self.cache.var_bits.insert(v, bits.clone());
+                    self.cache.bv_cache.insert(t, bits);
                 }
                 crate::sort::Sort::Memory => {
                     panic!("memory variable reached the bit-blaster; run array elimination first")
@@ -152,24 +205,24 @@ impl<'a> BitBlaster<'a> {
             },
             Op::Not => {
                 let a = self.cached_lit(node.args[0]);
-                self.bool_cache.insert(t, a.negate());
+                self.cache.bool_cache.insert(t, a.negate());
             }
             Op::And => {
                 let lits: Vec<Lit> = node.args.iter().map(|&a| self.cached_lit(a)).collect();
                 let g = self.gate_and(&lits);
-                self.bool_cache.insert(t, g);
+                self.cache.bool_cache.insert(t, g);
             }
             Op::Or => {
                 let lits: Vec<Lit> = node.args.iter().map(|&a| self.cached_lit(a)).collect();
                 let neg: Vec<Lit> = lits.iter().map(|l| l.negate()).collect();
                 let g = self.gate_and(&neg).negate();
-                self.bool_cache.insert(t, g);
+                self.cache.bool_cache.insert(t, g);
             }
             Op::Xor => {
                 let a = self.cached_lit(node.args[0]);
                 let b = self.cached_lit(node.args[1]);
                 let g = self.gate_xor(a, b);
-                self.bool_cache.insert(t, g);
+                self.cache.bool_cache.insert(t, g);
             }
             Op::Eq => {
                 let sa = self.bank.sort(node.args[0]);
@@ -178,165 +231,165 @@ impl<'a> BitBlaster<'a> {
                     let b = self.cached_lit(node.args[1]);
                     self.gate_xor(a, b).negate()
                 } else {
-                    let a = self.bv_cache[&node.args[0]].clone();
-                    let b = self.bv_cache[&node.args[1]].clone();
+                    let a = self.cache.bv_cache[&node.args[0]].clone();
+                    let b = self.cache.bv_cache[&node.args[1]].clone();
                     self.gate_bv_eq(&a, &b)
                 };
-                self.bool_cache.insert(t, g);
+                self.cache.bool_cache.insert(t, g);
             }
             Op::Ite => {
                 let c = self.cached_lit(node.args[0]);
-                let a = self.bv_cache[&node.args[1]].clone();
-                let b = self.bv_cache[&node.args[2]].clone();
+                let a = self.cache.bv_cache[&node.args[1]].clone();
+                let b = self.cache.bv_cache[&node.args[2]].clone();
                 let bits = self.gate_mux_vec(c, &a, &b);
-                self.bv_cache.insert(t, bits);
+                self.cache.bv_cache.insert(t, bits);
             }
             Op::BvNot => {
                 let bits: Vec<Lit> = self.cached_bits(node.args[0])
                     .iter()
                     .map(|l| l.negate())
                     .collect();
-                self.bv_cache.insert(t, bits);
+                self.cache.bv_cache.insert(t, bits);
             }
             Op::BvNeg => {
                 let a: Vec<Lit> = self.cached_bits(node.args[0])
                     .iter()
                     .map(|l| l.negate())
                     .collect();
-                let one = self.lit_true;
+                let one = self.lit_true();
                 let bits = self.gate_add(&a, None, one);
-                self.bv_cache.insert(t, bits);
+                self.cache.bv_cache.insert(t, bits);
             }
             Op::BvAdd => {
-                let a = self.bv_cache[&node.args[0]].clone();
-                let b = self.bv_cache[&node.args[1]].clone();
+                let a = self.cache.bv_cache[&node.args[0]].clone();
+                let b = self.cache.bv_cache[&node.args[1]].clone();
                 let f = self.lit_false();
                 let bits = self.gate_add(&a, Some(&b), f);
-                self.bv_cache.insert(t, bits);
+                self.cache.bv_cache.insert(t, bits);
             }
             Op::BvSub => {
-                let a = self.bv_cache[&node.args[0]].clone();
-                let nb: Vec<Lit> = self.bv_cache[&node.args[1]]
+                let a = self.cache.bv_cache[&node.args[0]].clone();
+                let nb: Vec<Lit> = self.cache.bv_cache[&node.args[1]]
                     .iter()
                     .map(|l| l.negate())
                     .collect();
-                let one = self.lit_true;
+                let one = self.lit_true();
                 let bits = self.gate_add(&a, Some(&nb), one);
-                self.bv_cache.insert(t, bits);
+                self.cache.bv_cache.insert(t, bits);
             }
             Op::BvMul => {
-                let a = self.bv_cache[&node.args[0]].clone();
-                let b = self.bv_cache[&node.args[1]].clone();
+                let a = self.cache.bv_cache[&node.args[0]].clone();
+                let b = self.cache.bv_cache[&node.args[1]].clone();
                 let bits = self.gate_mul(&a, &b);
-                self.bv_cache.insert(t, bits);
+                self.cache.bv_cache.insert(t, bits);
             }
             Op::BvUdiv => {
-                let a = self.bv_cache[&node.args[0]].clone();
-                let b = self.bv_cache[&node.args[1]].clone();
+                let a = self.cache.bv_cache[&node.args[0]].clone();
+                let b = self.cache.bv_cache[&node.args[1]].clone();
                 let (q, _) = self.gate_divrem(&a, &b);
-                self.bv_cache.insert(t, q);
+                self.cache.bv_cache.insert(t, q);
             }
             Op::BvUrem => {
-                let a = self.bv_cache[&node.args[0]].clone();
-                let b = self.bv_cache[&node.args[1]].clone();
+                let a = self.cache.bv_cache[&node.args[0]].clone();
+                let b = self.cache.bv_cache[&node.args[1]].clone();
                 let (_, r) = self.gate_divrem(&a, &b);
-                self.bv_cache.insert(t, r);
+                self.cache.bv_cache.insert(t, r);
             }
             Op::BvSdiv | Op::BvSrem => {
                 panic!("signed division must be lowered before bit-blasting")
             }
             Op::BvAnd => {
-                let a = self.bv_cache[&node.args[0]].clone();
-                let b = self.bv_cache[&node.args[1]].clone();
+                let a = self.cache.bv_cache[&node.args[0]].clone();
+                let b = self.cache.bv_cache[&node.args[1]].clone();
                 let bits: Vec<Lit> = a
                     .iter()
                     .zip(&b)
                     .map(|(&x, &y)| self.gate_and(&[x, y]))
                     .collect();
-                self.bv_cache.insert(t, bits);
+                self.cache.bv_cache.insert(t, bits);
             }
             Op::BvOr => {
-                let a = self.bv_cache[&node.args[0]].clone();
-                let b = self.bv_cache[&node.args[1]].clone();
+                let a = self.cache.bv_cache[&node.args[0]].clone();
+                let b = self.cache.bv_cache[&node.args[1]].clone();
                 let bits: Vec<Lit> = a
                     .iter()
                     .zip(&b)
                     .map(|(&x, &y)| self.gate_and(&[x.negate(), y.negate()]).negate())
                     .collect();
-                self.bv_cache.insert(t, bits);
+                self.cache.bv_cache.insert(t, bits);
             }
             Op::BvXor => {
-                let a = self.bv_cache[&node.args[0]].clone();
-                let b = self.bv_cache[&node.args[1]].clone();
+                let a = self.cache.bv_cache[&node.args[0]].clone();
+                let b = self.cache.bv_cache[&node.args[1]].clone();
                 let bits: Vec<Lit> = a
                     .iter()
                     .zip(&b)
                     .map(|(&x, &y)| self.gate_xor(x, y))
                     .collect();
-                self.bv_cache.insert(t, bits);
+                self.cache.bv_cache.insert(t, bits);
             }
             Op::BvShl => {
-                let a = self.bv_cache[&node.args[0]].clone();
-                let k = self.bv_cache[&node.args[1]].clone();
+                let a = self.cache.bv_cache[&node.args[0]].clone();
+                let k = self.cache.bv_cache[&node.args[1]].clone();
                 let bits = self.gate_shift(&a, &k, ShiftKind::Left);
-                self.bv_cache.insert(t, bits);
+                self.cache.bv_cache.insert(t, bits);
             }
             Op::BvLshr => {
-                let a = self.bv_cache[&node.args[0]].clone();
-                let k = self.bv_cache[&node.args[1]].clone();
+                let a = self.cache.bv_cache[&node.args[0]].clone();
+                let k = self.cache.bv_cache[&node.args[1]].clone();
                 let bits = self.gate_shift(&a, &k, ShiftKind::LogicalRight);
-                self.bv_cache.insert(t, bits);
+                self.cache.bv_cache.insert(t, bits);
             }
             Op::BvAshr => {
-                let a = self.bv_cache[&node.args[0]].clone();
-                let k = self.bv_cache[&node.args[1]].clone();
+                let a = self.cache.bv_cache[&node.args[0]].clone();
+                let k = self.cache.bv_cache[&node.args[1]].clone();
                 let bits = self.gate_shift(&a, &k, ShiftKind::ArithRight);
-                self.bv_cache.insert(t, bits);
+                self.cache.bv_cache.insert(t, bits);
             }
             Op::BvUlt => {
-                let a = self.bv_cache[&node.args[0]].clone();
-                let b = self.bv_cache[&node.args[1]].clone();
+                let a = self.cache.bv_cache[&node.args[0]].clone();
+                let b = self.cache.bv_cache[&node.args[1]].clone();
                 let g = self.gate_ult(&a, &b);
-                self.bool_cache.insert(t, g);
+                self.cache.bool_cache.insert(t, g);
             }
             Op::BvUle => {
-                let a = self.bv_cache[&node.args[0]].clone();
-                let b = self.bv_cache[&node.args[1]].clone();
+                let a = self.cache.bv_cache[&node.args[0]].clone();
+                let b = self.cache.bv_cache[&node.args[1]].clone();
                 let g = self.gate_ult(&b, &a).negate();
-                self.bool_cache.insert(t, g);
+                self.cache.bool_cache.insert(t, g);
             }
             Op::BvSlt => {
                 let a = self.signed_adjust(node.args[0]);
                 let b = self.signed_adjust(node.args[1]);
                 let g = self.gate_ult(&a, &b);
-                self.bool_cache.insert(t, g);
+                self.cache.bool_cache.insert(t, g);
             }
             Op::BvSle => {
                 let a = self.signed_adjust(node.args[0]);
                 let b = self.signed_adjust(node.args[1]);
                 let g = self.gate_ult(&b, &a).negate();
-                self.bool_cache.insert(t, g);
+                self.cache.bool_cache.insert(t, g);
             }
             Op::ZeroExt(to) => {
-                let mut bits = self.bv_cache[&node.args[0]].clone();
+                let mut bits = self.cache.bv_cache[&node.args[0]].clone();
                 bits.resize(to as usize, self.lit_false());
-                self.bv_cache.insert(t, bits);
+                self.cache.bv_cache.insert(t, bits);
             }
             Op::SignExt(to) => {
-                let mut bits = self.bv_cache[&node.args[0]].clone();
+                let mut bits = self.cache.bv_cache[&node.args[0]].clone();
                 let msb = *bits.last().expect("nonempty bitvector");
                 bits.resize(to as usize, msb);
-                self.bv_cache.insert(t, bits);
+                self.cache.bv_cache.insert(t, bits);
             }
             Op::Extract { hi, lo } => {
-                let bits = self.bv_cache[&node.args[0]][lo as usize..=hi as usize].to_vec();
-                self.bv_cache.insert(t, bits);
+                let bits = self.cache.bv_cache[&node.args[0]][lo as usize..=hi as usize].to_vec();
+                self.cache.bv_cache.insert(t, bits);
             }
             Op::Concat => {
-                let hi = self.bv_cache[&node.args[0]].clone();
-                let mut bits = self.bv_cache[&node.args[1]].clone();
+                let hi = self.cache.bv_cache[&node.args[0]].clone();
+                let mut bits = self.cache.bv_cache[&node.args[1]].clone();
                 bits.extend(hi);
-                self.bv_cache.insert(t, bits);
+                self.cache.bv_cache.insert(t, bits);
             }
             Op::Select | Op::Store => {
                 panic!("array operation reached the bit-blaster; run array elimination first")
@@ -346,7 +399,7 @@ impl<'a> BitBlaster<'a> {
 
     /// Flips the sign bit, mapping signed comparison onto unsigned.
     fn signed_adjust(&mut self, t: TermId) -> Vec<Lit> {
-        let mut bits = self.bv_cache[&t].clone();
+        let mut bits = self.cache.bv_cache[&t].clone();
         let last = bits.len() - 1;
         bits[last] = bits[last].negate();
         bits
@@ -361,14 +414,14 @@ impl<'a> BitBlaster<'a> {
             if l == self.lit_false() {
                 return self.lit_false();
             }
-            if l != self.lit_true {
+            if l != self.lit_true() {
                 essential.push(l);
             }
         }
         essential.sort_unstable();
         essential.dedup();
         match essential.len() {
-            0 => self.lit_true,
+            0 => self.lit_true(),
             1 => essential[0],
             _ => {
                 let g = Lit::pos(self.sat.new_var());
@@ -392,17 +445,17 @@ impl<'a> BitBlaster<'a> {
         if b == self.lit_false() {
             return a;
         }
-        if a == self.lit_true {
+        if a == self.lit_true() {
             return b.negate();
         }
-        if b == self.lit_true {
+        if b == self.lit_true() {
             return a.negate();
         }
         if a == b {
             return self.lit_false();
         }
         if a == b.negate() {
-            return self.lit_true;
+            return self.lit_true();
         }
         let g = Lit::pos(self.sat.new_var());
         self.sat.add_clause(&[g.negate(), a, b]);
@@ -414,7 +467,7 @@ impl<'a> BitBlaster<'a> {
 
     /// `g ↔ ite(c, a, b)`.
     fn gate_mux(&mut self, c: Lit, a: Lit, b: Lit) -> Lit {
-        if c == self.lit_true {
+        if c == self.lit_true() {
             return a;
         }
         if c == self.lit_false() {
@@ -487,7 +540,7 @@ impl<'a> BitBlaster<'a> {
             let ge = self.gate_ult(&shifted, &bext).negate();
             // diff = shifted - bext
             let nb: Vec<Lit> = bext.iter().map(|l| l.negate()).collect();
-            let one = self.lit_true;
+            let one = self.lit_true();
             let diff = self.gate_add(&shifted, Some(&nb), one);
             r = self.gate_mux_vec(ge, &diff, &shifted);
             q[i] = ge;
@@ -496,7 +549,7 @@ impl<'a> BitBlaster<'a> {
         // Division by zero: quotient = all ones, remainder = a.
         let nonzero: Vec<Lit> = b.to_vec();
         let b_is_zero = self.gate_and(&nonzero.iter().map(|l| l.negate()).collect::<Vec<_>>());
-        let ones = vec![self.lit_true; n];
+        let ones = vec![self.lit_true(); n];
         let q_final = self.gate_mux_vec(b_is_zero, &ones, &q);
         let r_final = self.gate_mux_vec(b_is_zero, a, &rem);
         (q_final, r_final)
@@ -538,7 +591,7 @@ impl<'a> BitBlaster<'a> {
         let n_bits: Vec<Lit> = (0..n)
             .map(|i| {
                 if (n as u128 >> i) & 1 == 1 {
-                    self.lit_true
+                    self.lit_true()
                 } else {
                     self.lit_false()
                 }

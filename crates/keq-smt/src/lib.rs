@@ -33,10 +33,14 @@ pub mod solver;
 pub mod sort;
 pub mod term;
 
+pub use bitblast::{BitBlaster, BlastCache};
 pub use cancel::{stop_requested, CancelToken, StopCause};
 pub use eval::{Assignment, MemValue, Value};
 pub use fault::{FaultAction, FaultGuard, FaultPlan, FaultSite, InjectedFault, Rate};
+pub use lower::{lower, Lowered, Lowerer, TermBudgetExceeded};
 pub use sat::SatBudget;
-pub use solver::{Budget, BudgetKind, CheckOutcome, Model, ProofOutcome, Solver, SolverStats};
+pub use solver::{
+    Budget, BudgetKind, CheckOutcome, Model, ProofOutcome, Session, Solver, SolverStats,
+};
 pub use sort::Sort;
 pub use term::{Op, TermBank, TermId, VarId};

@@ -46,6 +46,10 @@ impl std::error::Error for TermBudgetExceeded {}
 
 /// Lowers `assertions` so they can be bit-blasted.
 ///
+/// One-shot wrapper over [`Lowerer`]: every call starts with an empty memo,
+/// so shared subterms across *calls* are rewritten again. Sessions keep a
+/// [`Lowerer`] alive instead.
+///
 /// # Errors
 ///
 /// Returns [`TermBudgetExceeded`] if the rewritten formula would exceed
@@ -56,20 +60,96 @@ pub fn lower(
     assertions: &[TermId],
     max_terms: usize,
 ) -> Result<Lowered, TermBudgetExceeded> {
-    let mut ctx = LowerCtx {
-        cache: HashMap::new(),
-        reads: HashMap::new(),
-        reads_by_base: HashMap::new(),
-        max_terms,
-    };
-    let mut out = Lowered::default();
-    for &a in assertions {
-        out.assertions.push(ctx.rewrite(bank, a)?);
+    Lowerer::new().lower_incremental(bank, assertions, max_terms)
+}
+
+/// Persistent lowering context: per-`TermId` rewrite memo plus Ackermann
+/// read bookkeeping that survives across calls.
+///
+/// A `Lowerer` is tied to one [`TermBank`] for its whole life — the bank is
+/// append-only and hash-consed, so cached `TermId`s never dangle, but
+/// feeding ids from a *different* bank produces nonsense. Sessions enforce
+/// this by owning both.
+///
+/// Incremental Ackermann soundness: side conditions `i = j → rᵢ = rⱼ` over
+/// fresh read variables are emitted cumulatively — each call returns only
+/// the pairs involving at least one read introduced since the previous
+/// call. The caller must keep *all* previously returned side conditions
+/// asserted (sessions hard-assert them), because equisatisfiability of the
+/// Ackermann reduction holds for the full pairwise closure over every read
+/// introduced so far.
+#[derive(Debug, Default)]
+pub struct Lowerer {
+    cache: HashMap<TermId, TermId>,
+    /// (base memory var, rewritten index) → fresh read variable.
+    reads: HashMap<(VarId, TermId), TermId>,
+    /// base memory var → [(index, read var)] in creation order.
+    reads_by_base: HashMap<VarId, Vec<(TermId, TermId)>>,
+    /// base memory var → prefix length of `reads_by_base[base]` already
+    /// pairwise-covered by previously returned side conditions.
+    paired: HashMap<VarId, usize>,
+    /// Rewrite-memo hits across the lifetime of this lowerer (stats).
+    cache_hits: u64,
+    max_terms: usize,
+}
+
+impl Lowerer {
+    /// Creates an empty lowering context.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
     }
-    // Ackermann expansion: congruence for reads over the same base memory.
-    for reads in ctx.reads_by_base.values() {
-        for (k1, &(i1, r1)) in reads.iter().enumerate() {
-            for &(i2, r2) in reads.iter().skip(k1 + 1) {
+
+    /// Number of terms memoized so far.
+    #[must_use]
+    pub fn cached_terms(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Rewrite-memo hits accumulated across all calls.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Lowers `assertions`, reusing the memo from prior calls.
+    ///
+    /// `side_conditions` in the result contains only the Ackermann pairs
+    /// *new* since the previous call; see the type-level docs for why the
+    /// caller must keep earlier ones asserted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TermBudgetExceeded`] if the bank outgrows `max_terms`.
+    pub fn lower_incremental(
+        &mut self,
+        bank: &mut TermBank,
+        assertions: &[TermId],
+        max_terms: usize,
+    ) -> Result<Lowered, TermBudgetExceeded> {
+        self.max_terms = max_terms;
+        let mut out = Lowered::default();
+        for &a in assertions {
+            out.assertions.push(self.rewrite(bank, a)?);
+        }
+        // Ackermann expansion: congruence for reads over the same base
+        // memory, restricted to pairs with at least one new read.
+        let bases: Vec<VarId> = self.reads_by_base.keys().copied().collect();
+        for base in bases {
+            let reads = &self.reads_by_base[&base];
+            let already = *self.paired.get(&base).unwrap_or(&0);
+            if already == reads.len() {
+                continue;
+            }
+            let mut pairs = Vec::new();
+            for k2 in already..reads.len() {
+                let (i2, r2) = reads[k2];
+                for &(i1, r1) in &reads[..k2] {
+                    pairs.push((i1, r1, i2, r2));
+                }
+            }
+            self.paired.insert(base, self.reads_by_base[&base].len());
+            for (i1, r1, i2, r2) in pairs {
                 let idx_eq = bank.mk_eq(i1, i2);
                 let val_eq = bank.mk_eq(r1, r2);
                 let cond = bank.mk_implies(idx_eq, val_eq);
@@ -78,24 +158,16 @@ pub fn lower(
                 }
             }
         }
+        Ok(out)
     }
-    Ok(out)
-}
 
-struct LowerCtx {
-    cache: HashMap<TermId, TermId>,
-    /// (base memory var, rewritten index) → fresh read variable.
-    reads: HashMap<(VarId, TermId), TermId>,
-    /// base memory var → [(index, read var)] in creation order.
-    reads_by_base: HashMap<VarId, Vec<(TermId, TermId)>>,
-    max_terms: usize,
-}
-
-impl LowerCtx {
     fn rewrite(&mut self, bank: &mut TermBank, root: TermId) -> Result<TermId, TermBudgetExceeded> {
         let mut stack = vec![(root, false)];
         while let Some((t, expanded)) = stack.pop() {
             if self.cache.contains_key(&t) {
+                if !expanded {
+                    self.cache_hits += 1;
+                }
                 continue;
             }
             if bank.len() > self.max_terms {
@@ -305,6 +377,45 @@ mod tests {
         let ne = bank.mk_ne(ri, rj);
         let lowered = lower(&mut bank, &[ne], 1_000_000).expect("within budget");
         assert_eq!(lowered.side_conditions.len(), 1, "one pair of reads, one constraint");
+    }
+
+    #[test]
+    fn incremental_ackermann_emits_only_new_pairs() {
+        let mut bank = TermBank::new();
+        let mem = bank.mk_var("m", Sort::Memory);
+        let idx: Vec<TermId> =
+            (0..3).map(|k| bank.mk_var(&format!("i{k}"), Sort::BitVec(64))).collect();
+        let reads: Vec<TermId> = idx.iter().map(|&i| bank.mk_select(mem, i)).collect();
+        let zero = bank.mk_bv(8, 0);
+
+        let mut lw = Lowerer::new();
+        let g0 = bank.mk_eq(reads[0], zero);
+        let g1 = bank.mk_eq(reads[1], zero);
+        let first = lw
+            .lower_incremental(&mut bank, &[g0, g1], 1_000_000)
+            .expect("within budget");
+        assert_eq!(first.side_conditions.len(), 1, "two reads → one pair");
+
+        // Re-lowering the same assertions introduces no reads and no pairs.
+        let again = lw
+            .lower_incremental(&mut bank, &[g0, g1], 1_000_000)
+            .expect("within budget");
+        assert!(again.side_conditions.is_empty(), "no new reads, no new pairs");
+        assert!(lw.cache_hits() > 0, "memo must have been reused");
+
+        // A third read pairs against both existing ones.
+        let g2 = bank.mk_eq(reads[2], zero);
+        let third = lw
+            .lower_incremental(&mut bank, &[g2], 1_000_000)
+            .expect("within budget");
+        assert_eq!(third.side_conditions.len(), 2, "new read pairs with both old reads");
+
+        // Cumulative pairs match the one-shot closure over all three goals.
+        let oneshot = lower(&mut bank, &[g0, g1, g2], 1_000_000).expect("within budget");
+        assert_eq!(
+            first.side_conditions.len() + third.side_conditions.len(),
+            oneshot.side_conditions.len()
+        );
     }
 
     #[test]

@@ -276,6 +276,15 @@ impl SatSolver {
         self.conflicts
     }
 
+    /// Number of learnt clauses currently retained in the database.
+    ///
+    /// Incremental sessions use this to report how much derived knowledge
+    /// survives between queries (the paper's Z3 backend gets the same
+    /// effect from `push`/`pop`-free assumption solving).
+    pub fn learnt_clauses(&self) -> usize {
+        self.num_learnt
+    }
+
     /// Allocates a fresh variable.
     pub fn new_var(&mut self) -> BVar {
         let v = BVar(u32::try_from(self.values.len()).expect("too many SAT vars"));
@@ -700,6 +709,38 @@ impl SatSolver {
         deadline: Option<std::time::Instant>,
         cancel: Option<&CancelToken>,
     ) -> SatOutcome {
+        self.solve_under_assumptions(&[], max_conflicts, deadline, cancel)
+    }
+
+    /// Solves the formula under a set of *assumption literals* (MiniSat
+    /// style): each assumption is decided on its own decision level before
+    /// any free decision, so an `Unsat` answer means "unsatisfiable
+    /// together with the assumptions" and does **not** poison the solver —
+    /// the clause database, including everything learnt during the call,
+    /// is retained and the next call may assume a different set.
+    ///
+    /// This is the engine under [`crate::solver::Session`]: a session
+    /// asserts its shared prefix as hard clauses once, guards each query's
+    /// delta behind a fresh activation literal, and solves assuming the
+    /// activation literals of the current query only. Learnt clauses are
+    /// sound to keep across calls because conflict analysis only resolves
+    /// over database clauses — assumptions enter as decisions, never as
+    /// reasons.
+    ///
+    /// Budget, deadline, and cancellation polling behave exactly as in
+    /// [`SatSolver::solve_with_limits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption literal names a variable that was never
+    /// allocated with [`SatSolver::new_var`].
+    pub fn solve_under_assumptions(
+        &mut self,
+        assumptions: &[Lit],
+        max_conflicts: Option<u64>,
+        deadline: Option<std::time::Instant>,
+        cancel: Option<&CancelToken>,
+    ) -> SatOutcome {
         if !self.ok {
             return SatOutcome::Unsat;
         }
@@ -763,6 +804,35 @@ impl SatSolver {
                 {
                     self.backtrack(0);
                     return SatOutcome::Budget(SatBudget::Deadline);
+                }
+                // Assumptions are decided before any free decision, one
+                // decision level each (level i+1 hosts assumptions[i]), so
+                // restarts — which backtrack to level 0 — transparently
+                // re-establish them on the next decision step.
+                let mut enqueued_assumption = false;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.value_lit(p) {
+                        // Already implied: keep the level accounting with
+                        // an empty decision level.
+                        LBool::True => self.trail_lim.push(self.trail.len()),
+                        // Falsified by the formula (plus earlier
+                        // assumptions): unsat *under the assumptions* —
+                        // the solver itself stays usable.
+                        LBool::False => {
+                            self.backtrack(0);
+                            return SatOutcome::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(p, None);
+                            enqueued_assumption = true;
+                            break;
+                        }
+                    }
+                }
+                if enqueued_assumption {
+                    continue; // propagate the assumption before deciding
                 }
                 match self.pick_branch() {
                     None => {
@@ -1018,6 +1088,132 @@ mod tests {
             SatOutcome::Unsat => {} // possible but unlikely; still a valid outcome
             SatOutcome::Budget(k) => panic!("no budget was set, got {k:?}"),
         }
+    }
+
+    #[test]
+    fn assumptions_select_between_branches() {
+        // (a → x) ∧ (b → ¬x): assuming a forces x, assuming b forces ¬x,
+        // assuming both is unsat — all on the SAME solver instance.
+        let mut s = SatSolver::new();
+        let v = vars(&mut s, 3);
+        let (a, b, x) = (v[0], v[1], v[2]);
+        s.add_clause(&[Lit::neg(a), Lit::pos(x)]);
+        s.add_clause(&[Lit::neg(b), Lit::neg(x)]);
+        match s.solve_under_assumptions(&[Lit::pos(a)], None, None, None) {
+            SatOutcome::Sat(m) => assert!(m[x.0 as usize]),
+            other => panic!("expected sat, got {other:?}"),
+        }
+        match s.solve_under_assumptions(&[Lit::pos(b)], None, None, None) {
+            SatOutcome::Sat(m) => assert!(!m[x.0 as usize]),
+            other => panic!("expected sat, got {other:?}"),
+        }
+        assert_eq!(
+            s.solve_under_assumptions(&[Lit::pos(a), Lit::pos(b)], None, None, None),
+            SatOutcome::Unsat
+        );
+        // Unsat under assumptions must not poison the solver.
+        assert!(matches!(s.solve(None), SatOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn contradictory_assumptions_are_unsat_without_poisoning() {
+        let mut s = SatSolver::new();
+        let v = vars(&mut s, 1);
+        assert_eq!(
+            s.solve_under_assumptions(&[Lit::pos(v[0]), Lit::neg(v[0])], None, None, None),
+            SatOutcome::Unsat
+        );
+        assert!(matches!(s.solve(None), SatOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn activation_literal_guards_clause_group() {
+        // The Session pattern: pigeonhole clauses guarded behind ¬g.
+        // Assuming g activates the group (unsat); not assuming leaves the
+        // formula satisfiable via g = false.
+        let n = 4usize;
+        let h = 3usize;
+        let mut s = SatSolver::new();
+        let v = vars(&mut s, n * h + 1);
+        let g = v[n * h];
+        let p = |i: usize, j: usize| v[i * h + j];
+        for i in 0..n {
+            let mut c: Vec<Lit> = (0..h).map(|j| Lit::pos(p(i, j))).collect();
+            c.push(Lit::neg(g));
+            s.add_clause(&c);
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[Lit::neg(p(i1, j)), Lit::neg(p(i2, j)), Lit::neg(g)]);
+                }
+            }
+        }
+        assert_eq!(
+            s.solve_under_assumptions(&[Lit::pos(g)], None, None, None),
+            SatOutcome::Unsat
+        );
+        assert!(matches!(s.solve(None), SatOutcome::Sat(_)));
+        // Learnt clauses from the unsat call are retained for later calls.
+        assert_eq!(
+            s.solve_under_assumptions(&[Lit::pos(g)], None, None, None),
+            SatOutcome::Unsat
+        );
+    }
+
+    #[test]
+    fn assumptions_survive_restarts_and_retain_learnts() {
+        // A hard-ish instance under an activation literal: enough conflicts
+        // to cross restart boundaries, exercising assumption re-decision.
+        let n = 7usize;
+        let h = 6usize;
+        let mut s = SatSolver::new();
+        let v = vars(&mut s, n * h + 1);
+        let g = v[n * h];
+        let p = |i: usize, j: usize| v[i * h + j];
+        for i in 0..n {
+            let mut c: Vec<Lit> = (0..h).map(|j| Lit::pos(p(i, j))).collect();
+            c.push(Lit::neg(g));
+            s.add_clause(&c);
+        }
+        for j in 0..h {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[Lit::neg(p(i1, j)), Lit::neg(p(i2, j)), Lit::neg(g)]);
+                }
+            }
+        }
+        assert_eq!(
+            s.solve_under_assumptions(&[Lit::pos(g)], None, None, None),
+            SatOutcome::Unsat
+        );
+        let learnt_after_first = s.learnt_clauses();
+        let conflicts_first = s.conflicts();
+        assert!(conflicts_first > 100, "instance should be nontrivial");
+        assert!(learnt_after_first > 0, "learnt clauses must be retained");
+        // The second identical call reuses the learnt clauses; it must not
+        // need more conflicts than the first call took from scratch.
+        assert_eq!(
+            s.solve_under_assumptions(&[Lit::pos(g)], None, None, None),
+            SatOutcome::Unsat
+        );
+        let conflicts_second = s.conflicts() - conflicts_first;
+        assert!(
+            conflicts_second <= conflicts_first,
+            "retained clauses made the repeat harder: {conflicts_second} > {conflicts_first}"
+        );
+    }
+
+    #[test]
+    fn assumption_budget_and_cancel_polls_still_fire() {
+        let mut s = SatSolver::new();
+        let v = vars(&mut s, 4 * DECISION_POLL_INTERVAL as usize + 1);
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            s.solve_under_assumptions(&[Lit::pos(v[0])], None, None, Some(&token)),
+            SatOutcome::Budget(SatBudget::Deadline)
+        );
     }
 
     #[test]

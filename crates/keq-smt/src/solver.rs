@@ -7,14 +7,15 @@
 //! system, ask for unsatisfiability of `φ₁ ∧ (φ₂' ∨ …)` instead of
 //! `φ₁ ∧ ¬φ₂`.
 
+use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
-use crate::bitblast::BitBlaster;
+use crate::bitblast::{BitBlaster, BlastCache};
 use crate::cancel::{stop_requested, CancelToken};
 use crate::eval::{eval, Assignment, Value};
 use crate::fault::{self, FaultAction, FaultSite};
-use crate::lower::lower;
-use crate::sat::{SatBudget, SatOutcome, SatSolver};
+use crate::lower::{lower, Lowerer};
+use crate::sat::{Lit, SatBudget, SatOutcome, SatSolver};
 use crate::sort::Sort;
 use crate::term::{Op, TermBank, TermId};
 
@@ -136,8 +137,158 @@ pub struct SolverStats {
     pub conflicts: u64,
     /// Queries answered from the memo cache.
     pub cache_hits: u64,
+    /// Entries evicted from the bounded query cache.
+    pub cache_evictions: u64,
+    /// Sessions opened via [`Solver::open_session`].
+    pub sessions_opened: u64,
+    /// Session queries that reused an already-asserted prefix (every
+    /// session query that reached the SAT core without re-lowering or
+    /// re-asserting its prefix).
+    pub prefix_hits: u64,
+    /// Sum over session queries of the learnt clauses already in the
+    /// database when the query started — clause reuse made possible by
+    /// solving under assumptions instead of rebuilding the solver.
+    pub clauses_retained: u64,
+    /// Term nodes translated to CNF (each `blast_node` invocation, in both
+    /// scratch and session modes). The session-vs-scratch ratio of this
+    /// counter is the headline reuse metric.
+    pub terms_blasted: u64,
+    /// Term nodes whose CNF translation was served from a blast memo
+    /// (shared-subterm hits, within and across queries).
+    pub terms_blast_reused: u64,
     /// Total wall-clock time in the solver.
     pub time: Duration,
+}
+
+impl SolverStats {
+    /// Field-wise difference `self - earlier`, for reporting the cost of a
+    /// single run when the underlying solver is reused (warm-started)
+    /// across runs. Saturates at zero so a mismatched pair cannot panic.
+    #[must_use]
+    pub fn since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            queries: self.queries.saturating_sub(earlier.queries),
+            sat: self.sat.saturating_sub(earlier.sat),
+            unsat: self.unsat.saturating_sub(earlier.unsat),
+            budget: self.budget.saturating_sub(earlier.budget),
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+            sessions_opened: self.sessions_opened.saturating_sub(earlier.sessions_opened),
+            prefix_hits: self.prefix_hits.saturating_sub(earlier.prefix_hits),
+            clauses_retained: self.clauses_retained.saturating_sub(earlier.clauses_retained),
+            terms_blasted: self.terms_blasted.saturating_sub(earlier.terms_blasted),
+            terms_blast_reused: self
+                .terms_blast_reused
+                .saturating_sub(earlier.terms_blast_reused),
+            time: self.time.checked_sub(earlier.time).unwrap_or_default(),
+        }
+    }
+}
+
+/// Cache key for a closed query: the session prefix (empty for scratch
+/// queries) plus the query's own delta, both sorted and deduplicated.
+///
+/// Splitting the key keeps scratch and session answers for the same total
+/// assertion set distinct only in *how* they were asked, never in what they
+/// mean — `prefix ∧ delta` is the query either way, so an outcome cached
+/// under one split is sound to reuse for the identical split. (The two
+/// splits of one conjunction could in principle share answers, but
+/// detecting that would cost a normalization pass per lookup.)
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct QueryKey {
+    prefix: Vec<TermId>,
+    delta: Vec<TermId>,
+}
+
+impl QueryKey {
+    fn new(prefix: &[TermId], delta: &[TermId]) -> Self {
+        let mut delta = delta.to_vec();
+        delta.sort_unstable();
+        delta.dedup();
+        QueryKey { prefix: prefix.to_vec(), delta }
+    }
+
+    /// Approximate heap footprint of the key, for byte-bounded eviction.
+    fn approx_bytes(&self) -> usize {
+        (self.prefix.len() + self.delta.len()) * std::mem::size_of::<TermId>()
+    }
+}
+
+fn approx_outcome_bytes(outcome: &CheckOutcome) -> usize {
+    match outcome {
+        CheckOutcome::Sat(m) => m
+            .entries
+            .iter()
+            .map(|(n, _)| n.len() + std::mem::size_of::<(String, Value)>())
+            .sum(),
+        CheckOutcome::Unsat | CheckOutcome::Budget(_) => 0,
+    }
+}
+
+/// Bounded FIFO memo of closed queries. Identical assertion sets recur
+/// frequently across successor pairs and synchronization points, but a
+/// multi-hour corpus function must not grow the memo without bound — the
+/// cache evicts oldest-first once either the entry or the (approximate)
+/// byte limit is exceeded, counting evictions into
+/// [`SolverStats::cache_evictions`].
+#[derive(Debug, Clone)]
+struct QueryCache {
+    map: HashMap<QueryKey, CheckOutcome>,
+    order: VecDeque<QueryKey>,
+    bytes: usize,
+    max_entries: usize,
+    max_bytes: usize,
+}
+
+/// Default cap on cached query outcomes.
+const CACHE_MAX_ENTRIES: usize = 1 << 14;
+/// Default cap on the cache's approximate heap footprint (16 MiB).
+const CACHE_MAX_BYTES: usize = 16 << 20;
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        QueryCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            bytes: 0,
+            max_entries: CACHE_MAX_ENTRIES,
+            max_bytes: CACHE_MAX_BYTES,
+        }
+    }
+}
+
+impl QueryCache {
+    fn get(&self, key: &QueryKey) -> Option<&CheckOutcome> {
+        self.map.get(key)
+    }
+
+    fn insert(&mut self, key: QueryKey, outcome: CheckOutcome, evictions: &mut u64) {
+        let added = key.approx_bytes() + approx_outcome_bytes(&outcome);
+        if let Some(old) = self.map.insert(key.clone(), outcome) {
+            // Same key re-inserted (e.g. a budgeted retry that now closed):
+            // adjust bytes, keep the original FIFO position.
+            self.bytes = self.bytes.saturating_sub(key.approx_bytes() + approx_outcome_bytes(&old));
+        } else {
+            self.order.push_back(key);
+        }
+        self.bytes += added;
+        while (self.map.len() > self.max_entries || self.bytes > self.max_bytes)
+            && !self.order.is_empty()
+        {
+            let victim = self.order.pop_front().expect("nonempty");
+            if let Some(out) = self.map.remove(&victim) {
+                self.bytes = self
+                    .bytes
+                    .saturating_sub(victim.approx_bytes() + approx_outcome_bytes(&out));
+                *evictions += 1;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
 }
 
 /// The SMT solver facade.
@@ -146,9 +297,8 @@ pub struct Solver {
     budget: Budget,
     stats: SolverStats,
     cancel: Option<CancelToken>,
-    /// Memo of closed queries: identical assertion sets recur frequently
-    /// across successor pairs and synchronization points.
-    cache: std::collections::HashMap<Vec<TermId>, CheckOutcome>,
+    /// Bounded memo of closed queries, keyed by prefix+delta.
+    cache: QueryCache,
 }
 
 impl Solver {
@@ -174,33 +324,63 @@ impl Solver {
         self.budget
     }
 
+    /// Replaces the budget in place — the warm-start path: an escalating
+    /// retry raises the budget on the *same* solver so the query cache and
+    /// any session state built under the old budget stay valid (budgeted
+    /// outcomes are never cached, so nothing stale can leak).
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// Replaces (or clears) the cancellation token in place; the warm-start
+    /// analogue of [`Solver::with_cancel`].
+    pub fn set_cancel(&mut self, cancel: Option<CancelToken>) {
+        self.cancel = cancel;
+    }
+
     /// Cumulative statistics.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// Number of closed queries currently memoized.
+    pub fn cached_queries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The shared per-query entry preamble: fault-injection poll first, then
+    /// cooperative cancellation. Every query entry point (scratch
+    /// [`Solver::check_sat`] and every [`Session`] query) funnels through
+    /// this one guard so a new entry point cannot forget a poll.
+    ///
+    /// Returns `Some` with the forced outcome when the query must not run.
+    fn query_guard(&mut self) -> Option<CheckOutcome> {
+        if let FaultAction::ForceBudget(kind) = fault::poll(FaultSite::SolverQuery) {
+            self.stats.budget += 1;
+            return Some(CheckOutcome::Budget(kind));
+        }
+        if stop_requested(None, self.cancel.as_ref()).is_some() {
+            self.stats.budget += 1;
+            return Some(CheckOutcome::Budget(BudgetKind::WallClock));
+        }
+        None
     }
 
     /// Checks satisfiability of the conjunction of `assertions`.
     pub fn check_sat(&mut self, bank: &mut TermBank, assertions: &[TermId]) -> CheckOutcome {
         let start = Instant::now();
         self.stats.queries += 1;
-        if let FaultAction::ForceBudget(kind) = fault::poll(FaultSite::SolverQuery) {
-            self.stats.budget += 1;
-            return CheckOutcome::Budget(kind);
+        if let Some(forced) = self.query_guard() {
+            return forced;
         }
-        if stop_requested(None, self.cancel.as_ref()).is_some() {
-            self.stats.budget += 1;
-            return CheckOutcome::Budget(BudgetKind::WallClock);
-        }
-        let mut key: Vec<TermId> = assertions.to_vec();
-        key.sort_unstable();
-        key.dedup();
+        let key = QueryKey::new(&[], assertions);
         if let Some(hit) = self.cache.get(&key) {
             self.stats.cache_hits += 1;
             return hit.clone();
         }
         let outcome = self.check_sat_inner(bank, assertions);
         if !matches!(outcome, CheckOutcome::Budget(_)) {
-            self.cache.insert(key, outcome.clone());
+            self.cache.insert(key, outcome.clone(), &mut self.stats.cache_evictions);
         }
         match &outcome {
             CheckOutcome::Sat(_) => self.stats.sat += 1,
@@ -230,20 +410,25 @@ impl Solver {
             Err(_) => return CheckOutcome::Budget(BudgetKind::Terms),
         };
         let mut sat = SatSolver::new();
-        let mut blaster = BitBlaster::new(bank, &mut sat);
+        let mut blast = BlastCache::new();
         let mut lowered_asserts = Vec::new();
-        for &a in lowered.assertions.iter().chain(&lowered.side_conditions) {
-            match bank.as_bool_const(a) {
-                Some(true) => {}
-                Some(false) => return CheckOutcome::Unsat,
-                None => {
-                    blaster.assert_term(a);
-                    lowered_asserts.push(a);
+        {
+            let mut blaster = BitBlaster::new(bank, &mut sat, &mut blast);
+            for &a in lowered.assertions.iter().chain(&lowered.side_conditions) {
+                match bank.as_bool_const(a) {
+                    Some(true) => {}
+                    Some(false) => return CheckOutcome::Unsat,
+                    None => {
+                        blaster.assert_term(a);
+                        lowered_asserts.push(a);
+                    }
                 }
             }
         }
-        let var_bits = blaster.var_bits().clone();
-        let bool_vars = blaster.bool_vars().clone();
+        self.stats.terms_blasted += blast.terms_blasted();
+        self.stats.terms_blast_reused += blast.terms_reused();
+        let var_bits = blast.var_bits().clone();
+        let bool_vars = blast.bool_vars().clone();
         let deadline = self.budget.max_time.map(|d| Instant::now() + d);
         match sat.solve_with_limits(
             Some(self.budget.max_conflicts),
@@ -263,26 +448,7 @@ impl Solver {
             }
             SatOutcome::Sat(bits) => {
                 self.stats.conflicts += sat.conflicts();
-                let mut asg = Assignment::new();
-                let mut entries = Vec::new();
-                for (&v, lits) in &var_bits {
-                    let mut value = 0u128;
-                    for (i, l) in lits.iter().enumerate() {
-                        if bits[l.var().0 as usize] == l.is_pos() {
-                            value |= 1 << i;
-                        }
-                    }
-                    let (name, sort) = bank.var(v);
-                    let width = sort.width().expect("bitvector var");
-                    asg.set(v, Value::bv(width, value));
-                    entries.push((name.to_owned(), Value::bv(width, value)));
-                }
-                for (&v, l) in &bool_vars {
-                    let b = bits[l.var().0 as usize] == l.is_pos();
-                    let (name, _) = bank.var(v);
-                    asg.set(v, Value::Bool(b));
-                    entries.push((name.to_owned(), Value::Bool(b)));
-                }
+                let (model, asg) = extract_model(bank, &var_bits, &bool_vars, &bits);
                 // Validate the model against the lowered formula; a failure
                 // here indicates a bit-blasting bug and must be loud.
                 for &a in &lowered_asserts {
@@ -293,9 +459,7 @@ impl Solver {
                         bank.display(a)
                     );
                 }
-                entries.sort_by(|a, b| a.0.cmp(&b.0));
-                entries.retain(|(name, _)| !name.contains('!'));
-                CheckOutcome::Sat(Model { entries })
+                CheckOutcome::Sat(model)
             }
         }
     }
@@ -315,7 +479,11 @@ impl Solver {
         hyps: &[TermId],
         goal: TermId,
     ) -> ProofOutcome {
-        if self.prove_eq_by_congruence(bank, hyps, goal, 4) {
+        let mut refute =
+            |bank: &mut TermBank, solver: &mut Self, assertions: &[TermId]| {
+                matches!(solver.check_sat(bank, assertions), CheckOutcome::Unsat)
+            };
+        if prove_eq_by_congruence(bank, self, hyps, goal, 4, &mut refute) {
             return ProofOutcome::Proved;
         }
         let neg = bank.mk_not(goal);
@@ -326,61 +494,6 @@ impl Solver {
             CheckOutcome::Sat(m) => ProofOutcome::Refuted(m),
             CheckOutcome::Budget(k) => ProofOutcome::Budget(k),
         }
-    }
-
-    /// Congruence fast path for equality goals (see [`Solver::prove_implies`]).
-    fn prove_eq_by_congruence(
-        &mut self,
-        bank: &mut TermBank,
-        hyps: &[TermId],
-        goal: TermId,
-        depth: u32,
-    ) -> bool {
-        if depth == 0 {
-            return false;
-        }
-        let node = bank.node(goal).clone();
-        if node.op != Op::Eq {
-            return false;
-        }
-        let (a, b) = (node.args[0], node.args[1]);
-        if a == b {
-            return true;
-        }
-        let na = bank.node(a).clone();
-        let nb = bank.node(b).clone();
-        // Only worth decomposing when an expensive circuit lurks inside;
-        // otherwise the monolithic query is cheap and more complete.
-        if na.op != nb.op
-            || na.args.len() != nb.args.len()
-            || na.args.is_empty()
-            || matches!(na.op, Op::Select | Op::Store | Op::Ite)
-            || !contains_expensive(bank, a)
-        {
-            return false;
-        }
-        for (&x, &y) in na.args.iter().zip(&nb.args) {
-            // Width-parameterised ops (extract, extensions) can share an op
-            // while taking differently-sorted arguments; positional pairing
-            // is meaningless there, so leave it to the monolithic query.
-            if bank.sort(x) != bank.sort(y) {
-                return false;
-            }
-            let eq = bank.mk_eq(x, y);
-            if bank.as_bool_const(eq) == Some(true) {
-                continue;
-            }
-            let sub_ok = self.prove_eq_by_congruence(bank, hyps, eq, depth - 1) || {
-                let neg = bank.mk_not(eq);
-                let mut assertions = hyps.to_vec();
-                assertions.push(neg);
-                matches!(self.check_sat(bank, &assertions), CheckOutcome::Unsat)
-            };
-            if !sub_ok {
-                return false;
-            }
-        }
-        true
     }
 
     /// Proves `a ⇔ b` under shared hypotheses.
@@ -443,6 +556,452 @@ impl Solver {
             CheckOutcome::Budget(k) => Err(k),
         }
     }
+
+    /// Opens an incremental session whose `prefix` conjunction is lowered,
+    /// bit-blasted, and asserted **once**; every query through the session
+    /// is answered under `prefix ∧ delta` with only the delta lowered per
+    /// call. This is the paper's use of Z3's incremental interface: all of
+    /// a sync point's obligations share `assumptions ∧ path(n1) ∧ path(n2)`
+    /// prefixes, so re-asserting them per query wastes
+    /// O(queries × prefix) work.
+    ///
+    /// The session borrows the solver exclusively (stats, budget, cache and
+    /// cancellation are shared); it is tied to `bank` for its whole life —
+    /// pass the *same* bank to every subsequent call.
+    pub fn open_session<'s>(&'s mut self, bank: &mut TermBank, prefix: &[TermId]) -> Session<'s> {
+        self.stats.sessions_opened += 1;
+        let mut key_prefix = prefix.to_vec();
+        key_prefix.sort_unstable();
+        key_prefix.dedup();
+        let mut session = Session {
+            prefix: key_prefix,
+            sat: SatSolver::new(),
+            lowerer: Lowerer::new(),
+            blast: BlastCache::new(),
+            activation: HashMap::new(),
+            hard_asserts: Vec::new(),
+            state: SessionState::Live,
+            solver: self,
+        };
+        session.assert_prefix(bank, prefix);
+        session
+    }
+}
+
+/// How far a session got asserting its prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SessionState {
+    /// Prefix asserted; queries run incrementally.
+    Live,
+    /// The prefix alone is constant-false: every query answers `Unsat`
+    /// without touching the SAT core.
+    Unsat,
+    /// Prefix lowering blew a budget; every query reports it.
+    Poisoned(BudgetKind),
+}
+
+/// An incremental solving session: a shared prefix asserted once, per-query
+/// deltas guarded behind activation literals, and persistent lowering/
+/// bit-blasting memos ([`Lowerer`], [`BlastCache`]) plus one [`SatSolver`]
+/// that retains its learnt clauses across queries.
+///
+/// Invariants (violating any is a logic error, not UB):
+///
+/// - one bank: every call must pass the same [`TermBank`] the session was
+///   opened with — the memos key on its `TermId`s;
+/// - activation literals are 1:1 with unique *lowered* delta assertions:
+///   delta `d` gets a fresh SAT variable `a_d` and the hard clause
+///   `¬a_d ∨ lit(d)`, and a query assumes exactly the `a_d` of its own
+///   deltas. Unassumed activation variables are free, so stale deltas cost
+///   nothing (their clauses are satisfiable by `a_d = false`);
+/// - Ackermann side conditions from incremental lowering are hard-asserted
+///   cumulatively (sound: the reduction stays equisatisfiable for any
+///   superset of read pairs);
+/// - learnt clauses persist across queries (sound: conflict analysis only
+///   resolves over database clauses — assumptions are decisions, never
+///   reasons — so every learnt clause is implied by the database alone).
+#[derive(Debug)]
+pub struct Session<'s> {
+    solver: &'s mut Solver,
+    /// Sorted, deduplicated prefix — the cache-key component.
+    prefix: Vec<TermId>,
+    sat: SatSolver,
+    lowerer: Lowerer,
+    blast: BlastCache,
+    /// Unique lowered delta assertion → its activation literal.
+    activation: HashMap<TermId, Lit>,
+    /// Everything hard-asserted so far (lowered prefix + side conditions),
+    /// kept for debug-mode model validation.
+    hard_asserts: Vec<TermId>,
+    state: SessionState,
+}
+
+impl<'s> Session<'s> {
+    /// The session's (sorted, deduplicated) prefix.
+    pub fn prefix(&self) -> &[TermId] {
+        &self.prefix
+    }
+
+    /// Number of unique delta assertions guarded so far.
+    pub fn guarded_deltas(&self) -> usize {
+        self.activation.len()
+    }
+
+    fn assert_prefix(&mut self, bank: &mut TermBank, prefix: &[TermId]) {
+        let mut live = Vec::with_capacity(prefix.len());
+        for &a in prefix {
+            debug_assert!(bank.sort(a).is_bool(), "prefix assertion must be boolean");
+            match bank.as_bool_const(a) {
+                Some(true) => {}
+                Some(false) => {
+                    self.state = SessionState::Unsat;
+                    return;
+                }
+                None => live.push(a),
+            }
+        }
+        let max_terms = self.solver.budget.max_terms;
+        let lowered = match self.lowerer.lower_incremental(bank, &live, max_terms) {
+            Ok(l) => l,
+            Err(_) => {
+                self.state = SessionState::Poisoned(BudgetKind::Terms);
+                return;
+            }
+        };
+        let blasted_before = self.blast.terms_blasted();
+        let reused_before = self.blast.terms_reused();
+        let mut blaster = BitBlaster::new(bank, &mut self.sat, &mut self.blast);
+        for &a in lowered.assertions.iter().chain(&lowered.side_conditions) {
+            match bank.as_bool_const(a) {
+                Some(true) => {}
+                Some(false) => {
+                    self.state = SessionState::Unsat;
+                    return;
+                }
+                None => {
+                    blaster.assert_term(a);
+                    self.hard_asserts.push(a);
+                }
+            }
+        }
+        self.solver.stats.terms_blasted += self.blast.terms_blasted() - blasted_before;
+        self.solver.stats.terms_blast_reused += self.blast.terms_reused() - reused_before;
+    }
+
+    /// Checks satisfiability of `prefix ∧ delta`.
+    ///
+    /// Mirrors [`Solver::check_sat`]: same entry guard, same stats, same
+    /// bounded cache (keyed on prefix+delta), budgeted outcomes never
+    /// cached.
+    pub fn check_sat(&mut self, bank: &mut TermBank, delta: &[TermId]) -> CheckOutcome {
+        let start = Instant::now();
+        self.solver.stats.queries += 1;
+        if let Some(forced) = self.solver.query_guard() {
+            return forced;
+        }
+        match self.state {
+            SessionState::Unsat => {
+                self.solver.stats.unsat += 1;
+                return CheckOutcome::Unsat;
+            }
+            SessionState::Poisoned(k) => {
+                self.solver.stats.budget += 1;
+                return CheckOutcome::Budget(k);
+            }
+            SessionState::Live => {}
+        }
+        let key = QueryKey::new(&self.prefix, delta);
+        if let Some(hit) = self.solver.cache.get(&key) {
+            self.solver.stats.cache_hits += 1;
+            return hit.clone();
+        }
+        let outcome = self.check_sat_inner(bank, delta);
+        if !matches!(outcome, CheckOutcome::Budget(_)) {
+            self.solver
+                .cache
+                .insert(key, outcome.clone(), &mut self.solver.stats.cache_evictions);
+        }
+        match &outcome {
+            CheckOutcome::Sat(_) => self.solver.stats.sat += 1,
+            CheckOutcome::Unsat => self.solver.stats.unsat += 1,
+            CheckOutcome::Budget(_) => self.solver.stats.budget += 1,
+        }
+        self.solver.stats.time += start.elapsed();
+        outcome
+    }
+
+    fn check_sat_inner(&mut self, bank: &mut TermBank, delta: &[TermId]) -> CheckOutcome {
+        let mut live = Vec::with_capacity(delta.len());
+        for &a in delta {
+            debug_assert!(bank.sort(a).is_bool(), "delta assertion must be boolean");
+            match bank.as_bool_const(a) {
+                Some(true) => {}
+                Some(false) => return CheckOutcome::Unsat,
+                None => live.push(a),
+            }
+        }
+        let lowered = match self
+            .lowerer
+            .lower_incremental(bank, &live, self.solver.budget.max_terms)
+        {
+            Ok(l) => l,
+            Err(_) => return CheckOutcome::Budget(BudgetKind::Terms),
+        };
+        // From here on the query reuses the already-asserted prefix.
+        self.solver.stats.prefix_hits += 1;
+        self.solver.stats.clauses_retained += self.sat.learnt_clauses() as u64;
+        let blasted_before = self.blast.terms_blasted();
+        let reused_before = self.blast.terms_reused();
+        let mut delta_lits: Vec<(TermId, Lit)> = Vec::new();
+        {
+            let mut blaster = BitBlaster::new(bank, &mut self.sat, &mut self.blast);
+            // New Ackermann side conditions are facts about the session's
+            // fresh read variables, valid for every query: hard-assert.
+            for &sc in &lowered.side_conditions {
+                debug_assert_ne!(bank.as_bool_const(sc), Some(false));
+                if bank.as_bool_const(sc).is_none() {
+                    blaster.assert_term(sc);
+                    self.hard_asserts.push(sc);
+                }
+            }
+            for &d in &lowered.assertions {
+                match bank.as_bool_const(d) {
+                    Some(true) => {}
+                    Some(false) => return CheckOutcome::Unsat,
+                    None => {
+                        let l = blaster.lit(d);
+                        delta_lits.push((d, l));
+                    }
+                }
+            }
+        }
+        self.solver.stats.terms_blasted += self.blast.terms_blasted() - blasted_before;
+        self.solver.stats.terms_blast_reused += self.blast.terms_reused() - reused_before;
+        let mut assumptions: Vec<Lit> = Vec::with_capacity(delta_lits.len());
+        let mut active_asserts: Vec<TermId> = Vec::with_capacity(delta_lits.len());
+        for (d, l) in delta_lits {
+            let act = match self.activation.get(&d) {
+                Some(&a) => a,
+                None => {
+                    let a = Lit::pos(self.sat.new_var());
+                    self.sat.add_clause(&[a.negate(), l]);
+                    self.activation.insert(d, a);
+                    a
+                }
+            };
+            if !assumptions.contains(&act) {
+                assumptions.push(act);
+            }
+            active_asserts.push(d);
+        }
+        let deadline = self.solver.budget.max_time.map(|d| Instant::now() + d);
+        let conflicts_before = self.sat.conflicts();
+        let outcome = self.sat.solve_under_assumptions(
+            &assumptions,
+            Some(self.solver.budget.max_conflicts),
+            deadline,
+            self.solver.cancel.as_ref(),
+        );
+        self.solver.stats.conflicts += self.sat.conflicts() - conflicts_before;
+        match outcome {
+            SatOutcome::Unsat => CheckOutcome::Unsat,
+            SatOutcome::Budget(kind) => CheckOutcome::Budget(match kind {
+                SatBudget::Conflicts => BudgetKind::Conflicts,
+                SatBudget::Deadline => BudgetKind::WallClock,
+            }),
+            SatOutcome::Sat(bits) => {
+                let (model, asg) =
+                    extract_model(bank, self.blast.var_bits(), self.blast.bool_vars(), &bits);
+                // Validate against everything hard-asserted plus this
+                // query's active deltas. Inactive deltas from earlier
+                // queries are excluded by construction: their activation
+                // variables were not assumed, so the model need not (and
+                // may not) satisfy them.
+                for &a in self.hard_asserts.iter().chain(&active_asserts) {
+                    debug_assert_eq!(
+                        eval(bank, a, &asg),
+                        Value::Bool(true),
+                        "model does not satisfy session assertion {}",
+                        bank.display(a)
+                    );
+                }
+                CheckOutcome::Sat(model)
+            }
+        }
+    }
+
+    /// Session analogue of [`Solver::prove_implies`]: proves
+    /// `prefix ∧ ⋀ hyps ⇒ goal`, with the same congruence fast path.
+    pub fn prove_implies(
+        &mut self,
+        bank: &mut TermBank,
+        hyps: &[TermId],
+        goal: TermId,
+    ) -> ProofOutcome {
+        let mut refute = |bank: &mut TermBank, sess: &mut Self, assertions: &[TermId]| {
+            matches!(sess.check_sat(bank, assertions), CheckOutcome::Unsat)
+        };
+        if prove_eq_by_congruence(bank, self, hyps, goal, 4, &mut refute) {
+            return ProofOutcome::Proved;
+        }
+        let neg = bank.mk_not(goal);
+        let mut assertions = hyps.to_vec();
+        assertions.push(neg);
+        match self.check_sat(bank, &assertions) {
+            CheckOutcome::Unsat => ProofOutcome::Proved,
+            CheckOutcome::Sat(m) => ProofOutcome::Refuted(m),
+            CheckOutcome::Budget(k) => ProofOutcome::Budget(k),
+        }
+    }
+
+    /// Session analogue of [`Solver::prove_implies_positive`] (§3
+    /// positive-form query), under the session prefix.
+    pub fn prove_implies_positive(
+        &mut self,
+        bank: &mut TermBank,
+        hyp: &[TermId],
+        siblings: &[TermId],
+    ) -> ProofOutcome {
+        let disj = bank.mk_or(siblings.iter().copied());
+        let mut assertions = hyp.to_vec();
+        assertions.push(disj);
+        match self.check_sat(bank, &assertions) {
+            CheckOutcome::Unsat => ProofOutcome::Proved,
+            CheckOutcome::Sat(m) => ProofOutcome::Refuted(m),
+            CheckOutcome::Budget(k) => ProofOutcome::Budget(k),
+        }
+    }
+
+    /// Session analogue of [`Solver::prove_equiv`].
+    pub fn prove_equiv(
+        &mut self,
+        bank: &mut TermBank,
+        hyps: &[TermId],
+        a: TermId,
+        b: TermId,
+    ) -> ProofOutcome {
+        let goal = bank.mk_eq(a, b);
+        self.prove_implies(bank, hyps, goal)
+    }
+
+    /// Session analogue of [`Solver::feasibility`]: is `prefix ∧ delta`
+    /// satisfiable?
+    ///
+    /// # Errors
+    ///
+    /// Returns the exhausted [`BudgetKind`] when the query ran out of
+    /// budget before deciding satisfiability.
+    pub fn feasibility(
+        &mut self,
+        bank: &mut TermBank,
+        delta: &[TermId],
+    ) -> Result<bool, BudgetKind> {
+        match self.check_sat(bank, delta) {
+            CheckOutcome::Sat(_) => Ok(true),
+            CheckOutcome::Unsat => Ok(false),
+            CheckOutcome::Budget(k) => Err(k),
+        }
+    }
+
+    /// Session analogue of [`Solver::is_feasible`].
+    pub fn is_feasible(&mut self, bank: &mut TermBank, delta: &[TermId]) -> Option<bool> {
+        self.feasibility(bank, delta).ok()
+    }
+}
+
+/// Decodes a SAT model into named values plus an [`Assignment`] usable for
+/// `eval`-based validation. Internal variable names (containing `!`) are
+/// kept in the assignment but dropped from the user-facing model.
+fn extract_model(
+    bank: &TermBank,
+    var_bits: &HashMap<crate::term::VarId, Vec<Lit>>,
+    bool_vars: &HashMap<crate::term::VarId, Lit>,
+    bits: &[bool],
+) -> (Model, Assignment) {
+    let mut asg = Assignment::new();
+    let mut entries = Vec::new();
+    for (&v, lits) in var_bits {
+        let mut value = 0u128;
+        for (i, l) in lits.iter().enumerate() {
+            if bits[l.var().0 as usize] == l.is_pos() {
+                value |= 1 << i;
+            }
+        }
+        let (name, sort) = bank.var(v);
+        let width = sort.width().expect("bitvector var");
+        asg.set(v, Value::bv(width, value));
+        entries.push((name.to_owned(), Value::bv(width, value)));
+    }
+    for (&v, l) in bool_vars {
+        let b = bits[l.var().0 as usize] == l.is_pos();
+        let (name, _) = bank.var(v);
+        asg.set(v, Value::Bool(b));
+        entries.push((name.to_owned(), Value::Bool(b)));
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    entries.retain(|(name, _)| !name.contains('!'));
+    (Model { entries }, asg)
+}
+
+/// Congruence fast path shared by [`Solver::prove_implies`] and
+/// [`Session::prove_implies`]: `f(a…) = f(b…)` follows from the argument
+/// equalities, sparing the SAT core from proving two expensive circuits
+/// equivalent. `refute` must answer "is this assertion set unsatisfiable
+/// (together with the caller's ambient prefix)?" — sound but incomplete,
+/// so a `false` answer only means "fall back to the monolithic query".
+fn prove_eq_by_congruence<C>(
+    bank: &mut TermBank,
+    ctx: &mut C,
+    hyps: &[TermId],
+    goal: TermId,
+    depth: u32,
+    refute: &mut dyn FnMut(&mut TermBank, &mut C, &[TermId]) -> bool,
+) -> bool {
+    if depth == 0 {
+        return false;
+    }
+    let node = bank.node(goal).clone();
+    if node.op != Op::Eq {
+        return false;
+    }
+    let (a, b) = (node.args[0], node.args[1]);
+    if a == b {
+        return true;
+    }
+    let na = bank.node(a).clone();
+    let nb = bank.node(b).clone();
+    // Only worth decomposing when an expensive circuit lurks inside;
+    // otherwise the monolithic query is cheap and more complete.
+    if na.op != nb.op
+        || na.args.len() != nb.args.len()
+        || na.args.is_empty()
+        || matches!(na.op, Op::Select | Op::Store | Op::Ite)
+        || !contains_expensive(bank, a)
+    {
+        return false;
+    }
+    for (&x, &y) in na.args.iter().zip(&nb.args) {
+        // Width-parameterised ops (extract, extensions) can share an op
+        // while taking differently-sorted arguments; positional pairing
+        // is meaningless there, so leave it to the monolithic query.
+        if bank.sort(x) != bank.sort(y) {
+            return false;
+        }
+        let eq = bank.mk_eq(x, y);
+        if bank.as_bool_const(eq) == Some(true) {
+            continue;
+        }
+        let sub_ok = prove_eq_by_congruence(bank, ctx, hyps, eq, depth - 1, refute) || {
+            let neg = bank.mk_not(eq);
+            let mut assertions = hyps.to_vec();
+            assertions.push(neg);
+            refute(bank, ctx, &assertions)
+        };
+        if !sub_ok {
+            return false;
+        }
+    }
+    true
 }
 
 /// Returns `true` if `t` contains a multiplication/division subterm (the
@@ -699,5 +1258,168 @@ mod tests {
         let one = bank.mk_bv(8, 1);
         let d = bank.mk_bvsdiv(x, one);
         assert!(solver().prove_equiv(&mut bank, &[], d, x).is_proved());
+    }
+
+    #[test]
+    fn session_queries_agree_with_scratch() {
+        let mut bank = TermBank::new();
+        let x = bank.mk_var("x", Sort::BitVec(8));
+        let y = bank.mk_var("y", Sort::BitVec(8));
+        let ten = bank.mk_bv(8, 10);
+        let five = bank.mk_bv(8, 5);
+        let prefix = vec![bank.mk_bvult(x, ten), bank.mk_bvult(y, x)];
+
+        // Deltas: feasible, infeasible, and a proof obligation.
+        let d_feasible = bank.mk_bvult(y, five);
+        let big = bank.mk_bv(8, 200);
+        let d_infeasible = bank.mk_bvult(big, y);
+        let goal = bank.mk_bvult(y, ten); // prefix ⇒ y < 10
+
+        let mut s = solver();
+        let mut session = s.open_session(&mut bank, &prefix);
+        assert_eq!(session.is_feasible(&mut bank, &[d_feasible]), Some(true));
+        assert_eq!(session.is_feasible(&mut bank, &[d_infeasible]), Some(false));
+        assert!(session.prove_implies(&mut bank, &[], goal).is_proved());
+        drop(session);
+
+        let mut scratch = solver();
+        let mut conj = prefix.clone();
+        conj.push(d_feasible);
+        assert_eq!(scratch.is_feasible(&mut bank, &conj), Some(true));
+        let mut conj = prefix.clone();
+        conj.push(d_infeasible);
+        assert_eq!(scratch.is_feasible(&mut bank, &conj), Some(false));
+        let hyps = prefix.clone();
+        assert!(scratch.prove_implies(&mut bank, &hyps, goal).is_proved());
+
+        // The session must have reused the prefix and blasted fewer terms.
+        let st = s.stats();
+        assert_eq!(st.sessions_opened, 1);
+        assert!(st.prefix_hits >= 2, "prefix_hits = {}", st.prefix_hits);
+        assert!(
+            st.terms_blasted < scratch.stats().terms_blasted,
+            "session blasted {} >= scratch {}",
+            st.terms_blasted,
+            scratch.stats().terms_blasted
+        );
+    }
+
+    #[test]
+    fn session_repeated_delta_hits_cache() {
+        let mut bank = TermBank::new();
+        let x = bank.mk_var("x", Sort::BitVec(8));
+        let c = bank.mk_bv(8, 3);
+        let prefix = vec![bank.mk_bvult(c, x)];
+        let c200 = bank.mk_bv(8, 200);
+        let delta = bank.mk_bvult(x, c200);
+        let mut s = solver();
+        let mut session = s.open_session(&mut bank, &prefix);
+        assert_eq!(session.is_feasible(&mut bank, &[delta]), Some(true));
+        assert_eq!(session.is_feasible(&mut bank, &[delta]), Some(true));
+        drop(session);
+        assert_eq!(s.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn session_with_unsat_prefix_answers_unsat() {
+        let mut bank = TermBank::new();
+        let x = bank.mk_var("x", Sort::BitVec(8));
+        let zero = bank.mk_bv(8, 0);
+        let prefix = vec![bank.mk_bvult(x, zero)]; // x <u 0: unsatisfiable
+        let anything = bank.mk_eq(x, zero);
+        let mut s = solver();
+        let mut session = s.open_session(&mut bank, &prefix);
+        assert_eq!(session.check_sat(&mut bank, &[anything]), CheckOutcome::Unsat);
+        assert_eq!(session.check_sat(&mut bank, &[]), CheckOutcome::Unsat);
+    }
+
+    #[test]
+    fn session_memory_reads_accumulate_ackermann_soundly() {
+        // Two queries over the same base memory, each introducing a read;
+        // the cross-query congruence pair must still be in force.
+        let mut bank = TermBank::new();
+        let mem = bank.mk_var("m", Sort::Memory);
+        let i = bank.mk_var("i", Sort::BitVec(64));
+        let j = bank.mk_var("j", Sort::BitVec(64));
+        let ri = bank.mk_select(mem, i);
+        let rj = bank.mk_select(mem, j);
+        let idx_eq = bank.mk_eq(i, j);
+        let val_ne = bank.mk_ne(ri, rj);
+        let mut s = solver();
+        let mut session = s.open_session(&mut bank, &[idx_eq]);
+        // First query introduces read(m, i) only.
+        let zero8 = bank.mk_bv(8, 0);
+        let ri_zero = bank.mk_eq(ri, zero8);
+        assert_eq!(session.is_feasible(&mut bank, &[ri_zero]), Some(true));
+        // Second query introduces read(m, j); with i = j in the prefix the
+        // Ackermann pair forces r_i = r_j, so r_i ≠ r_j must be infeasible.
+        assert_eq!(session.is_feasible(&mut bank, &[val_ne]), Some(false));
+    }
+
+    #[test]
+    fn session_budget_outcomes_not_cached_and_warm_start_recovers() {
+        // A hard query under a tiny conflict budget, then the same query
+        // after raising the budget on the same solver: the budgeted outcome
+        // must not be cached, and the retry must succeed warm.
+        let mut bank = TermBank::new();
+        let x = bank.mk_var("x", Sort::BitVec(28));
+        let y = bank.mk_var("y", Sort::BitVec(28));
+        let prod = bank.mk_bvmul(x, y);
+        let c = bank.mk_bv(28, 0x0c32_1175);
+        let eq = bank.mk_eq(prod, c);
+        let one = bank.mk_bv(28, 1);
+        let x_big = bank.mk_bvult(one, x);
+        let y_big = bank.mk_bvult(one, y);
+        let mut s = Solver::with_budget(Budget {
+            max_conflicts: 5,
+            max_terms: 1_000_000,
+            max_time: None,
+        });
+        let mut session = s.open_session(&mut bank, &[x_big, y_big]);
+        let first = session.check_sat(&mut bank, &[eq]);
+        drop(session);
+        if matches!(first, CheckOutcome::Budget(_)) {
+            s.set_budget(Budget::default());
+            let mut session = s.open_session(&mut bank, &[x_big, y_big]);
+            match session.check_sat(&mut bank, &[eq]) {
+                CheckOutcome::Sat(_) | CheckOutcome::Unsat => {}
+                other => panic!("retry under full budget still budgeted: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn query_cache_eviction_is_bounded_and_counted() {
+        let mut bank = TermBank::new();
+        let mut s = solver();
+        s.cache.max_entries = 8;
+        let x = bank.mk_var("x", Sort::BitVec(8));
+        for k in 0..32u128 {
+            let c = bank.mk_bv(8, k);
+            let a = bank.mk_bvult(c, x);
+            let _ = s.check_sat(&mut bank, &[a]);
+        }
+        assert!(s.cached_queries() <= 8, "cache grew to {}", s.cached_queries());
+        assert!(s.stats().cache_evictions >= 24 - 8, "evictions = {}", s.stats().cache_evictions);
+    }
+
+    #[test]
+    fn scratch_and_session_caches_are_keyed_apart() {
+        // prefix=[p], delta=[d] and prefix=[], delta=[p, d] are the same
+        // conjunction but different keys; both must answer identically.
+        let mut bank = TermBank::new();
+        let x = bank.mk_var("x", Sort::BitVec(8));
+        let c10 = bank.mk_bv(8, 10);
+        let c3 = bank.mk_bv(8, 3);
+        let p = bank.mk_bvult(x, c10);
+        let d = bank.mk_bvult(c3, x);
+        let mut s = solver();
+        let mut session = s.open_session(&mut bank, &[p]);
+        let via_session = session.check_sat(&mut bank, &[d]);
+        drop(session);
+        let via_scratch = s.check_sat(&mut bank, &[p, d]);
+        assert!(matches!(via_session, CheckOutcome::Sat(_)));
+        assert!(matches!(via_scratch, CheckOutcome::Sat(_)));
+        assert_eq!(s.stats().cache_hits, 0, "distinct keys must not collide");
     }
 }

@@ -1,0 +1,245 @@
+//! Differential property test: a [`Session`] must answer every query batch
+//! exactly like a fleet of fresh scratch [`Solver`]s.
+//!
+//! Each seeded trial generates a random prefix and a batch of random delta
+//! queries over a shared pool of bitvector/bool/memory variables, then runs
+//! the batch twice:
+//!
+//! * **session**: one `Solver::open_session(prefix)`, every query submits
+//!   only its delta (activation literals, persistent lowering/blasting
+//!   caches, learnt-clause retention all in play);
+//! * **scratch**: a brand-new `Solver` per query, asserting
+//!   `prefix ++ delta` from nothing.
+//!
+//! The Sat/Unsat/Budget *kind* must agree query-by-query, and every Sat
+//! model must actually satisfy its own query — checked modulo assignment
+//! (different search orders pick different models) by re-asserting the
+//! model's `name = value` bindings next to the query in a fresh solver and
+//! demanding Sat. A final leg pins the fault-injection contract: under an
+//! installed `ForceBudget` plan (the [`keq_smt::fault::FaultSite::SolverQuery`]
+//! site fires at every poll) both paths report the identical `Budget`
+//! outcome.
+
+use keq_prng::Prng;
+use keq_smt::fault::{self, FaultPlan, Rate};
+use keq_smt::{BudgetKind, CheckOutcome, Model, Solver, Sort, TermBank, TermId, Value};
+
+const WIDTH: u32 = 8;
+const TRIALS: u64 = 32;
+
+/// The shared variable pool of one trial.
+struct Pool {
+    bvs: Vec<TermId>,
+    bools: Vec<TermId>,
+    mem: TermId,
+}
+
+impl Pool {
+    fn new(bank: &mut TermBank) -> Pool {
+        let bvs = (0..4).map(|i| bank.mk_var(&format!("x{i}"), Sort::BitVec(WIDTH))).collect();
+        let bools = (0..2).map(|i| bank.mk_var(&format!("p{i}"), Sort::Bool)).collect();
+        let mem = bank.mk_var("m", Sort::Memory);
+        Pool { bvs, bools, mem }
+    }
+}
+
+/// A random width-8 bitvector term of bounded depth. Memory selects are in
+/// the mix so batches exercise the session's *cross-query* incremental
+/// Ackermann expansion.
+fn gen_bv(rng: &mut Prng, bank: &mut TermBank, pool: &Pool, depth: u32) -> TermId {
+    if depth == 0 || rng.random_bool(0.3) {
+        return match rng.below(3) {
+            0 => pool.bvs[rng.below(pool.bvs.len() as u64) as usize],
+            1 => bank.mk_bv(WIDTH, rng.below(1 << WIDTH) as u128),
+            _ => {
+                let addr = pool.bvs[rng.below(pool.bvs.len() as u64) as usize];
+                let addr64 = bank.mk_zext(addr, 64);
+                bank.mk_select(pool.mem, addr64)
+            }
+        };
+    }
+    let a = gen_bv(rng, bank, pool, depth - 1);
+    let b = gen_bv(rng, bank, pool, depth - 1);
+    match rng.below(7) {
+        0 => bank.mk_bvadd(a, b),
+        1 => bank.mk_bvsub(a, b),
+        2 => bank.mk_bvand(a, b),
+        3 => bank.mk_bvor(a, b),
+        4 => bank.mk_bvxor(a, b),
+        5 => bank.mk_bvmul(a, b),
+        _ => {
+            let c = gen_bool(rng, bank, pool, depth - 1);
+            bank.mk_ite(c, a, b)
+        }
+    }
+}
+
+/// A random boolean term of bounded depth.
+fn gen_bool(rng: &mut Prng, bank: &mut TermBank, pool: &Pool, depth: u32) -> TermId {
+    if depth == 0 || rng.random_bool(0.25) {
+        return pool.bools[rng.below(pool.bools.len() as u64) as usize];
+    }
+    match rng.below(6) {
+        0 | 1 => {
+            let a = gen_bv(rng, bank, pool, depth - 1);
+            let b = gen_bv(rng, bank, pool, depth - 1);
+            match rng.below(4) {
+                0 => bank.mk_eq(a, b),
+                1 => bank.mk_bvult(a, b),
+                2 => bank.mk_bvule(a, b),
+                _ => bank.mk_bvslt(a, b),
+            }
+        }
+        2 => {
+            let a = gen_bool(rng, bank, pool, depth - 1);
+            let b = gen_bool(rng, bank, pool, depth - 1);
+            bank.mk_and([a, b])
+        }
+        3 => {
+            let a = gen_bool(rng, bank, pool, depth - 1);
+            let b = gen_bool(rng, bank, pool, depth - 1);
+            bank.mk_or([a, b])
+        }
+        4 => {
+            let a = gen_bool(rng, bank, pool, depth - 1);
+            bank.mk_not(a)
+        }
+        _ => {
+            let a = gen_bool(rng, bank, pool, depth - 1);
+            let b = gen_bool(rng, bank, pool, depth - 1);
+            bank.mk_xor(a, b)
+        }
+    }
+}
+
+fn gen_assertions(rng: &mut Prng, bank: &mut TermBank, pool: &Pool, count: u64) -> Vec<TermId> {
+    (0..count).map(|_| gen_bool(rng, bank, pool, 3)).collect()
+}
+
+/// The comparable shape of an outcome (models compare by satisfiability,
+/// not by value).
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Kind {
+    Sat,
+    Unsat,
+    Budget(BudgetKind),
+}
+
+fn kind(outcome: &CheckOutcome) -> Kind {
+    match outcome {
+        CheckOutcome::Sat(_) => Kind::Sat,
+        CheckOutcome::Unsat => Kind::Unsat,
+        CheckOutcome::Budget(k) => Kind::Budget(*k),
+    }
+}
+
+/// Checks that `model` satisfies `assertions`, modulo which model the
+/// producing solver happened to pick: re-assert the model's named bindings
+/// next to the assertions in a fresh solver and demand Sat. Memory
+/// variables have no named binding (models only carry bool/bv names), so
+/// memory stays free — which only makes the check sound, never vacuous.
+fn assert_model_satisfies(bank: &mut TermBank, assertions: &[TermId], model: &Model, who: &str) {
+    let mut constrained = assertions.to_vec();
+    for (name, value) in &model.entries {
+        let binding = match value {
+            Value::Bool(b) => {
+                let v = bank.mk_var(name, Sort::Bool);
+                let c = bank.mk_bool(*b);
+                bank.mk_eq(v, c)
+            }
+            Value::Bv { width, value } => {
+                let v = bank.mk_var(name, Sort::BitVec(*width));
+                let c = bank.mk_bv(*width, *value);
+                bank.mk_eq(v, c)
+            }
+            Value::Mem(_) => continue,
+        };
+        constrained.push(binding);
+    }
+    let mut fresh = Solver::new();
+    assert!(
+        matches!(fresh.check_sat(bank, &constrained), CheckOutcome::Sat(_)),
+        "{who}: claimed model does not satisfy its own query"
+    );
+}
+
+#[test]
+fn session_batches_agree_with_scratch_solvers() {
+    for seed in 0..TRIALS {
+        let mut rng = Prng::seed_from_u64(0x5e55_1000 ^ seed);
+        let mut bank = TermBank::new();
+        let pool = Pool::new(&mut bank);
+
+        let prefix_len = rng.below(3);
+        let prefix = gen_assertions(&mut rng, &mut bank, &pool, prefix_len);
+        let batch_len = 3 + rng.below(3);
+        let batch: Vec<Vec<TermId>> = (0..batch_len)
+            .map(|_| {
+                let delta_len = 1 + rng.below(2);
+                gen_assertions(&mut rng, &mut bank, &pool, delta_len)
+            })
+            .collect();
+
+        let mut session_solver = Solver::new();
+        let mut session = session_solver.open_session(&mut bank, &prefix);
+        let session_outcomes: Vec<CheckOutcome> =
+            batch.iter().map(|delta| session.check_sat(&mut bank, delta)).collect();
+        drop(session);
+
+        for (i, (delta, session_outcome)) in batch.iter().zip(&session_outcomes).enumerate() {
+            let mut scratch = Solver::new();
+            let mut full = prefix.clone();
+            full.extend_from_slice(delta);
+            let scratch_outcome = scratch.check_sat(&mut bank, &full);
+            assert_eq!(
+                kind(session_outcome),
+                kind(&scratch_outcome),
+                "seed {seed} query {i}: session and scratch disagree"
+            );
+            if let CheckOutcome::Sat(m) = session_outcome {
+                assert_model_satisfies(&mut bank, &full, m, &format!("seed {seed} query {i} session"));
+            }
+            if let CheckOutcome::Sat(m) = &scratch_outcome {
+                assert_model_satisfies(&mut bank, &full, m, &format!("seed {seed} query {i} scratch"));
+            }
+        }
+    }
+}
+
+#[test]
+fn session_and_scratch_report_identical_injected_budget_faults() {
+    // ForceBudget at FaultSite::SolverQuery fires at every poll, so *every*
+    // query on both paths must surface the same Budget outcome — the
+    // session must not mask the fault behind its caches or session state.
+    let plan = FaultPlan { force_conflicts: Rate { num: 1, den: 1 }, ..FaultPlan::quiet(7) };
+    let _guard = fault::install(&plan, 0);
+
+    for seed in 0..8u64 {
+        let mut rng = Prng::seed_from_u64(0xfa_017 ^ seed);
+        let mut bank = TermBank::new();
+        let pool = Pool::new(&mut bank);
+        let prefix = gen_assertions(&mut rng, &mut bank, &pool, 1);
+        let batch: Vec<Vec<TermId>> =
+            (0..3).map(|_| gen_assertions(&mut rng, &mut bank, &pool, 1)).collect();
+
+        let mut session_solver = Solver::new();
+        let mut session = session_solver.open_session(&mut bank, &prefix);
+        for (i, delta) in batch.iter().enumerate() {
+            let session_outcome = session.check_sat(&mut bank, delta);
+            let mut scratch = Solver::new();
+            let mut full = prefix.clone();
+            full.extend_from_slice(delta);
+            let scratch_outcome = scratch.check_sat(&mut bank, &full);
+            assert_eq!(
+                kind(&session_outcome),
+                Kind::Budget(BudgetKind::Conflicts),
+                "seed {seed} query {i}: session must surface the injected fault"
+            );
+            assert_eq!(
+                kind(&session_outcome),
+                kind(&scratch_outcome),
+                "seed {seed} query {i}: fault outcomes must match"
+            );
+        }
+    }
+}

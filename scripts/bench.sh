@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Machine-readable PR benchmark: session prefix-reuse rates plus the
+# Fig. 6 corpus timings, emitted as BENCH_PR2.json (see
+# crates/keq-bench/benches/bench_pr2.rs for the schema and knobs).
+#
+# Usage:
+#   scripts/bench.sh            # full-size run (defaults of bench_pr2)
+#   scripts/bench.sh --smoke    # CI-sized run, a few seconds total
+#
+# Any KEQ_PR2_* variable already in the environment wins over the smoke
+# defaults, so a partial override stays possible in either mode.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    export KEQ_PR2_N="${KEQ_PR2_N:-4}"
+    export KEQ_PR2_SECS="${KEQ_PR2_SECS:-5}"
+    export KEQ_PR2_OBLIGATIONS="${KEQ_PR2_OBLIGATIONS:-6}"
+fi
+
+# Cargo runs bench binaries from the package directory; anchor the output
+# at the repository root unless the caller chose a path.
+export KEQ_PR2_OUT="${KEQ_PR2_OUT:-$PWD/BENCH_PR2.json}"
+
+echo "==> cargo bench -p keq-bench --bench bench_pr2"
+cargo bench -p keq-bench --bench bench_pr2
+
+echo "==> wrote ${KEQ_PR2_OUT:-BENCH_PR2.json}"
