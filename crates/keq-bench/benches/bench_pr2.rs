@@ -25,7 +25,7 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use keq_bench::{run_corpus_with, HarnessOptions, ResultKind, RetryPolicy};
+use keq_bench::{outcome_table, run_corpus_with, HarnessOptions, RetryPolicy};
 use keq_core::KeqOptions;
 use keq_smt::{Budget, CheckOutcome, Solver, SolverStats, TermBank};
 
@@ -102,17 +102,12 @@ fn measure_fig6(seed: u64, n: usize, secs: u64, warm_start: bool) -> String {
     let start = Instant::now();
     let (_m, summary) = run_corpus_with(seed, n, &opts);
     let wall = start.elapsed();
+    // The outcome table is the shared `keq-trace` report type, so this
+    // section's keys match `RUN_REPORT.json`'s `outcome` object exactly.
     format!(
-        "{{\"wall_ms\": {}, \"succeeded\": {}, \"timeout\": {}, \"oom\": {}, \
-         \"crashed\": {}, \"other\": {}, \"total\": {}, \"attempts\": {}}}",
+        "{{\"wall_ms\": {}, \"outcome\": {}}}",
         wall.as_millis(),
-        summary.count(ResultKind::Succeeded),
-        summary.count(ResultKind::Timeout),
-        summary.count(ResultKind::OutOfMemory),
-        summary.count(ResultKind::Crashed),
-        summary.count(ResultKind::Other),
-        summary.total(),
-        summary.total_attempts()
+        outcome_table(&summary).to_json_string()
     )
 }
 

@@ -12,7 +12,7 @@
 
 use std::time::Duration;
 
-use keq_bench::{run_corpus, ResultKind};
+use keq_bench::{outcome_table, run_corpus, ResultKind};
 use keq_core::KeqOptions;
 use keq_smt::Budget;
 
@@ -52,4 +52,7 @@ fn main() {
         "success rate: {:.2}%  (paper: 91.52% = 4331/4732)",
         summary.success_rate() * 100.0
     );
+    // Machine-readable mirror of the table, in the shared report schema.
+    println!("outcome_json: {}", outcome_table(&summary).to_json_string());
+    println!("{}", summary.summary_line());
 }

@@ -4,12 +4,13 @@
 //! evaluation; see EXPERIMENTS.md at the repository root for the index.
 
 pub mod corpus_run;
-pub mod histogram;
 pub mod session_workload;
 
 pub use corpus_run::{
-    run_corpus, run_corpus_with, run_module, AttemptRecord, CorpusResult, CorpusRow,
-    CorpusSummary, HarnessOptions, ResultKind, RetryPolicy,
+    build_report, outcome_table, run_corpus, run_corpus_with, run_module, AttemptRecord,
+    CorpusResult, CorpusRow, CorpusSummary, HarnessOptions, ResultKind, RetryPolicy,
 };
-pub use histogram::Histogram;
+/// The shared histogram type (lives in `keq-trace` so the run report's
+/// latency distributions and the Fig. 7 plots use the same buckets).
+pub use keq_trace::Histogram;
 pub use session_workload::{sync_point_workload, SessionWorkload};

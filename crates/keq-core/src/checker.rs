@@ -145,6 +145,7 @@ impl<'a> Keq<'a> {
             if let Err(reason) = self.check_point(bank, solver, sync, point, deadline, &mut stats)
             {
                 stats.solver = solver.stats().since(&stats_before);
+                trace_check_counters(&stats);
                 return KeqReport {
                     verdict: Verdict::NotValidated(Failure { point: point.name.clone(), reason }),
                     stats,
@@ -152,6 +153,7 @@ impl<'a> Keq<'a> {
             }
         }
         stats.solver = solver.stats().since(&stats_before);
+        trace_check_counters(&stats);
         let verdict = if stats.absorbed_ub { Verdict::Refines } else { Verdict::Equivalent };
         KeqReport { verdict, stats }
     }
@@ -172,6 +174,7 @@ impl<'a> Keq<'a> {
         deadline: Option<std::time::Instant>,
         stats: &mut KeqStats,
     ) -> Result<(), FailureReason> {
+        let _span = keq_trace::span(keq_trace::Phase::SyncPoint);
         let (c1, c2, assumptions) = instantiate(bank, point)?;
         let mut session = solver.open_session(bank, &assumptions);
         let n1 = self.frontier(bank, &mut session, sync, Side::Left, c1, deadline, stats)?;
@@ -252,11 +255,13 @@ impl<'a> Keq<'a> {
                     continue;
                 }
                 // Solver pruning for real branches only.
-                if branching
-                    && self.opts.prune_infeasible
-                    && session.is_feasible(bank, &s.path) == Some(false)
-                {
-                    continue;
+                if branching && self.opts.prune_infeasible {
+                    let span = keq_trace::span(keq_trace::Phase::Feasibility);
+                    let feasible = session.is_feasible(bank, &s.path);
+                    span.done();
+                    if feasible == Some(false) {
+                        continue;
+                    }
                 }
                 work.push(s);
             }
@@ -289,6 +294,7 @@ impl<'a> Keq<'a> {
     ) -> Result<(), FailureReason> {
         match self.accept.relate(&s1.status, &s2.status) {
             ErrorRelation::LeftErrorAbsorbs => {
+                let _span = keq_trace::span(keq_trace::Phase::ErrorRule);
                 // Source-program UB: anything on the right is acceptable,
                 // but only on paths where the UB actually occurs together
                 // with the right behavior; if the intersection is
@@ -300,6 +306,7 @@ impl<'a> Keq<'a> {
             }
             ErrorRelation::MatchedErrors => Ok(()),
             ErrorRelation::Unrelated => {
+                let _span = keq_trace::span(keq_trace::Phase::ErrorRule);
                 if self.intersection_feasible(bank, session, s1, s2)? {
                     Err(FailureReason::UnmatchedPair {
                         left: describe(s1),
@@ -336,6 +343,7 @@ impl<'a> Keq<'a> {
         s1: &SymConfig,
         s2: &SymConfig,
     ) -> Result<bool, FailureReason> {
+        let _span = keq_trace::span(keq_trace::Phase::Feasibility);
         let mut conj = s1.path.clone();
         conj.extend(s2.path.iter().copied());
         session.feasibility(bank, &conj).map_err(FailureReason::SolverBudget)
@@ -351,6 +359,7 @@ impl<'a> Keq<'a> {
         s2: &SymConfig,
         stats: &mut KeqStats,
     ) -> Result<(), FailureReason> {
+        let _span = keq_trace::span(keq_trace::Phase::TargetConstraint);
         let mut hyps = s1.path.clone();
         hyps.extend(s2.path.iter().copied());
         let mut obligations: Vec<(String, TermId)> = Vec::new();
@@ -444,6 +453,27 @@ impl<'a> Keq<'a> {
         let bwd = solver.prove_implies_positive(bank, &hyp2, &sib1).is_proved();
         Some(fwd && bwd)
     }
+}
+
+/// Reports the check's headline counters to the trace journal (one branch
+/// when tracing is disabled).
+fn trace_check_counters(stats: &KeqStats) {
+    if !keq_trace::enabled() {
+        return;
+    }
+    keq_trace::emit(keq_trace::Event::Counter {
+        name: "check.start_points",
+        delta: stats.start_points,
+    });
+    keq_trace::emit(keq_trace::Event::Counter {
+        name: "check.pairs_checked",
+        delta: stats.pairs_checked,
+    });
+    keq_trace::emit(keq_trace::Event::Counter {
+        name: "check.obligations_proved",
+        delta: stats.obligations_proved,
+    });
+    keq_trace::emit(keq_trace::Event::Counter { name: "check.steps", delta: stats.steps });
 }
 
 /// Polls the deadline and the supervisor's cancellation flag at a safe

@@ -27,8 +27,11 @@
 //! Entry point: [`run_module`].
 
 pub mod panic_capture;
+pub mod report;
 pub mod result;
 pub mod run;
 
+pub use panic_capture::PanicInfo;
+pub use report::{build_report, outcome_table};
 pub use result::{AttemptRecord, CorpusResult, CorpusRow, CorpusSummary, ResultKind};
 pub use run::{run_module, HarnessOptions, RetryPolicy};

@@ -6,14 +6,39 @@
 //! chaining to the previous hook) records message *and* source location
 //! into a thread-local slot — but only for threads that armed capture, so
 //! panics everywhere else keep their normal stderr report.
+//!
+//! Message and location stay **separate fields** ([`PanicInfo`]) all the
+//! way into [`CorpusResult::Crashed`](crate::CorpusResult::Crashed) and
+//! the trace journal, so reports can render, group, and grep them
+//! independently instead of re-parsing a formatted string.
 
 use std::cell::{Cell, RefCell};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Once;
 
+/// A captured panic: the payload message and, when the hook saw the panic,
+/// its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicInfo {
+    /// The panic payload rendered as a string.
+    pub message: String,
+    /// `file:line:column` of the panic site, when available.
+    pub location: Option<String>,
+}
+
+impl PanicInfo {
+    /// One-line human rendering (`message at file:line:col`).
+    pub fn render(&self) -> String {
+        match &self.location {
+            Some(at) => format!("{} at {at}", self.message),
+            None => self.message.clone(),
+        }
+    }
+}
+
 thread_local! {
     static CAPTURING: Cell<bool> = const { Cell::new(false) };
-    static MESSAGE: RefCell<Option<String>> = const { RefCell::new(None) };
+    static CAPTURED: RefCell<Option<PanicInfo>> = const { RefCell::new(None) };
 }
 
 static INSTALL: Once = Once::new();
@@ -25,12 +50,11 @@ pub fn install_hook() {
         let prev = panic::take_hook();
         panic::set_hook(Box::new(move |info| {
             if CAPTURING.with(Cell::get) {
-                let msg = payload_message(info.payload());
-                let at = info
+                let message = payload_message(info.payload());
+                let location = info
                     .location()
-                    .map(|l| format!(" at {}:{}:{}", l.file(), l.line(), l.column()))
-                    .unwrap_or_default();
-                MESSAGE.with(|m| *m.borrow_mut() = Some(format!("{msg}{at}")));
+                    .map(|l| format!("{}:{}:{}", l.file(), l.line(), l.column()));
+                CAPTURED.with(|m| *m.borrow_mut() = Some(PanicInfo { message, location }));
             } else {
                 prev(info);
             }
@@ -48,20 +72,20 @@ fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Runs `f`, converting a panic into `Err(message)` with the panic's
+/// Runs `f`, converting a panic into `Err(PanicInfo)` with the panic's
 /// source location when available. Unwind safety is asserted: callers pass
 /// closures whose captured state is discarded on the error path.
-pub fn run_caught<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+pub fn run_caught<T>(f: impl FnOnce() -> T) -> Result<T, PanicInfo> {
     install_hook();
     CAPTURING.with(|c| c.set(true));
-    MESSAGE.with(|m| *m.borrow_mut() = None);
+    CAPTURED.with(|m| *m.borrow_mut() = None);
     let out = panic::catch_unwind(AssertUnwindSafe(f));
     CAPTURING.with(|c| c.set(false));
     match out {
         Ok(v) => Ok(v),
-        Err(payload) => Err(MESSAGE
-            .with(|m| m.borrow_mut().take())
-            .unwrap_or_else(|| payload_message(payload.as_ref()))),
+        Err(payload) => Err(CAPTURED.with(|m| m.borrow_mut().take()).unwrap_or_else(|| {
+            PanicInfo { message: payload_message(payload.as_ref()), location: None }
+        })),
     }
 }
 
@@ -70,10 +94,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn captures_message_and_location() {
+    fn captures_message_and_location_separately() {
         let err = run_caught(|| panic!("kaboom {}", 7)).expect_err("panics");
-        assert!(err.contains("kaboom 7"), "got: {err}");
-        assert!(err.contains("panic_capture.rs"), "got: {err}");
+        assert_eq!(err.message, "kaboom 7");
+        let at = err.location.as_deref().expect("hook sees the location");
+        assert!(at.contains("panic_capture.rs"), "got: {at}");
+        assert!(err.render().contains(" at "), "got: {}", err.render());
     }
 
     #[test]
@@ -85,7 +111,7 @@ mod tests {
     fn capture_is_rearmed_per_call() {
         let a = run_caught(|| panic!("first")).expect_err("panics");
         let b = run_caught(|| panic!("second")).expect_err("panics");
-        assert!(a.contains("first"));
-        assert!(b.contains("second"));
+        assert_eq!(a.message, "first");
+        assert_eq!(b.message, "second");
     }
 }

@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use keq_smt::SolverStats;
+
 /// Result category of one validated function — the paper's Fig. 6 rows
 /// plus [`CorpusResult::Crashed`], the harness's fault-isolation row for
 /// functions whose validation panicked instead of returning a verdict.
@@ -17,9 +19,12 @@ pub enum CorpusResult {
     /// The validation pipeline panicked; the supervisor isolated the panic
     /// and kept the corpus run alive.
     Crashed {
-        /// The captured panic message (with source location when the panic
-        /// hook saw it).
+        /// The captured panic message (payload only; the source location
+        /// is a separate field).
         message: String,
+        /// `file:line:column` of the panic site, when the panic hook saw
+        /// it.
+        location: Option<String>,
     },
     /// Any other failure (genuine mismatches, unsupported functions, …).
     Other,
@@ -53,6 +58,19 @@ pub enum ResultKind {
     Other,
 }
 
+impl ResultKind {
+    /// Stable wire name, shared by trace events and `RUN_REPORT.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResultKind::Succeeded => "succeeded",
+            ResultKind::Timeout => "timeout",
+            ResultKind::OutOfMemory => "out_of_memory",
+            ResultKind::Crashed => "crashed",
+            ResultKind::Other => "other",
+        }
+    }
+}
+
 /// One attempt at validating one function.
 #[derive(Debug, Clone)]
 pub struct AttemptRecord {
@@ -69,6 +87,17 @@ pub struct AttemptRecord {
     /// Whether the watchdog had to abandon the worker (it never
     /// acknowledged cancellation within the grace period).
     pub abandoned: bool,
+}
+
+impl AttemptRecord {
+    /// The captured panic source location of a crashed attempt, as its own
+    /// field (distinct from the message).
+    pub fn panic_location(&self) -> Option<&str> {
+        match &self.result {
+            CorpusResult::Crashed { location, .. } => location.as_deref(),
+            _ => None,
+        }
+    }
 }
 
 /// The final record of one corpus function.
@@ -93,6 +122,11 @@ pub struct CorpusRow {
 pub struct CorpusSummary {
     /// Per-function rows.
     pub rows: Vec<CorpusRow>,
+    /// Merged solver statistics across every delivered attempt (deltas
+    /// accumulated per attempt via [`SolverStats::since`] and summed with
+    /// [`SolverStats::merge`]; abandoned workers' stale late results are
+    /// excluded, like their rows).
+    pub solver: SolverStats,
 }
 
 impl CorpusSummary {
@@ -118,6 +152,29 @@ impl CorpusSummary {
     pub fn total_attempts(&self) -> usize {
         self.rows.iter().map(|r| r.attempts.len()).sum()
     }
+
+    /// The end-of-run summary line: the Fig. 6 outcome counts plus the
+    /// run-level solver reuse counters (cache evictions, session prefix
+    /// hits, learnt clauses retained).
+    pub fn summary_line(&self) -> String {
+        format!(
+            "corpus: {} functions, {} attempts | succeeded {} timeout {} oom {} crashed {} \
+             other {} | solver: queries {} cache_hits {} cache_evictions {} prefix_hits {} \
+             clauses_retained {}",
+            self.total(),
+            self.total_attempts(),
+            self.count(ResultKind::Succeeded),
+            self.count(ResultKind::Timeout),
+            self.count(ResultKind::OutOfMemory),
+            self.count(ResultKind::Crashed),
+            self.count(ResultKind::Other),
+            self.solver.queries,
+            self.solver.cache_hits,
+            self.solver.cache_evictions,
+            self.solver.prefix_hits,
+            self.solver.clauses_retained,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -140,13 +197,48 @@ mod tests {
         let s = CorpusSummary {
             rows: vec![
                 row(0, CorpusResult::Succeeded),
-                row(1, CorpusResult::Crashed { message: "boom".into() }),
+                row(
+                    1,
+                    CorpusResult::Crashed {
+                        message: "boom".into(),
+                        location: Some("x.rs:1:1".into()),
+                    },
+                ),
                 row(2, CorpusResult::Succeeded),
             ],
+            ..CorpusSummary::default()
         };
         assert_eq!(s.count(ResultKind::Succeeded), 2);
         assert_eq!(s.count(ResultKind::Crashed), 1);
         assert_eq!(s.total(), 3);
         assert!((s.success_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_line_surfaces_solver_reuse_counters() {
+        let mut s =
+            CorpusSummary { rows: vec![row(0, CorpusResult::Succeeded)], ..Default::default() };
+        s.solver.cache_evictions = 3;
+        s.solver.prefix_hits = 17;
+        s.solver.clauses_retained = 41;
+        let line = s.summary_line();
+        assert!(line.contains("cache_evictions 3"), "{line}");
+        assert!(line.contains("prefix_hits 17"), "{line}");
+        assert!(line.contains("clauses_retained 41"), "{line}");
+    }
+
+    #[test]
+    fn panic_location_is_a_distinct_field() {
+        let rec = AttemptRecord {
+            attempt: 1,
+            budget_scale: 1,
+            time: Duration::ZERO,
+            result: CorpusResult::Crashed {
+                message: "boom".into(),
+                location: Some("crates/x/src/lib.rs:9:5".into()),
+            },
+            abandoned: false,
+        };
+        assert_eq!(rec.panic_location(), Some("crates/x/src/lib.rs:9:5"));
     }
 }

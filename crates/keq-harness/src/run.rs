@@ -34,7 +34,7 @@ use keq_isel::pipeline::ValidationContext;
 use keq_isel::{IselOptions, VcOptions};
 use keq_llvm::ast::Module;
 use keq_smt::fault::{self, FaultPlan};
-use keq_smt::{Budget, CancelToken};
+use keq_smt::{Budget, CancelToken, SolverStats};
 
 use crate::panic_capture;
 use crate::result::{AttemptRecord, CorpusResult, CorpusRow, CorpusSummary};
@@ -115,6 +115,10 @@ pub struct HarnessOptions {
     /// cannot poison a richer one; a panicking attempt discards its
     /// context entirely.
     pub warm_start: bool,
+    /// Shared trace sink, installed on the supervisor thread and on every
+    /// worker so one journal collects a coherent, epoch-aligned event
+    /// stream (`None` disables tracing: probe sites cost one flag read).
+    pub trace: Option<keq_trace::TraceSink>,
 }
 
 impl Default for HarnessOptions {
@@ -130,6 +134,7 @@ impl Default for HarnessOptions {
             retry: RetryPolicy::default(),
             fault_plan: FaultPlan::quiet(0),
             warm_start: true,
+            trace: None,
         }
     }
 }
@@ -191,6 +196,10 @@ struct AttemptOutcome {
     /// Whether the failure is budget-class and bigger budgets could help.
     retryable: bool,
     time: Duration,
+    /// Solver-statistics delta of this attempt alone ([`SolverStats::since`]
+    /// over the attempt's context; zero for panicked attempts, whose
+    /// context died mid-flight).
+    solver: SolverStats,
 }
 
 enum Msg {
@@ -224,6 +233,9 @@ struct Inflight {
 /// module docs for the guarantees.
 pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
     panic_capture::install_hook();
+    // The supervisor thread traces too: deadline cancellations and
+    // watchdog abandonments are decided here, not on a worker.
+    let _trace_guard = opts.trace.as_ref().map(keq_trace::install);
     let n = module.functions.len();
     if n == 0 {
         return CorpusSummary::default();
@@ -257,6 +269,7 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
     let mut finals: Vec<Option<CorpusResult>> = vec![None; n];
     let mut inflight: HashMap<u64, Inflight> = HashMap::new();
     let mut completed = 0usize;
+    let mut solver_total = SolverStats::default();
 
     while completed < n {
         match rx.recv_timeout(opts.watchdog_tick) {
@@ -282,6 +295,7 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
                 // Timeout row, so the late verdict is discarded.
                 let Some(info) = inflight.remove(&job) else { continue };
                 job_meta.remove(&job);
+                solver_total.merge(&outcome.solver);
                 attempts[info.func].push(AttemptRecord {
                     attempt: info.attempt,
                     budget_scale: opts.retry.scale(info.attempt),
@@ -319,6 +333,10 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
             if info.cancelled_at.is_none() && info.deadline.is_some_and(|d| now >= d) {
                 info.cancel.cancel();
                 info.cancelled_at = Some(now);
+                keq_trace::emit(keq_trace::Event::DeadlineCancelled {
+                    func: info.func as u32,
+                    attempt: info.attempt,
+                });
             }
             if info.cancelled_at.is_some_and(|t| now >= t + opts.grace) {
                 abandon.push(job);
@@ -327,6 +345,10 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
         for job in abandon {
             let info = inflight.remove(&job).expect("selected above");
             job_meta.remove(&job);
+            keq_trace::emit(keq_trace::Event::WatchdogAbandoned {
+                func: info.func as u32,
+                attempt: info.attempt,
+            });
             attempts[info.func].push(AttemptRecord {
                 attempt: info.attempt,
                 budget_scale: opts.retry.scale(info.attempt),
@@ -360,7 +382,7 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
         }
     }
 
-    let mut summary = CorpusSummary::default();
+    let mut summary = CorpusSummary { solver: solver_total, ..CorpusSummary::default() };
     for (index, f) in module.functions.iter().enumerate() {
         let size: usize = f.blocks.iter().map(|b| b.instrs.len() + 1).sum();
         let rows_attempts = std::mem::take(&mut attempts[index]);
@@ -401,6 +423,7 @@ fn spawn_worker(
     let handle = std::thread::Builder::new()
         .name("keq-harness-worker".into())
         .spawn(move || {
+            let _trace_guard = opts.trace.as_ref().map(keq_trace::install);
             while !retired_in.load(Ordering::Acquire) {
                 let Some(job) = queue.pop() else { break };
                 let cancel = CancelToken::new();
@@ -433,11 +456,20 @@ fn run_attempt(
     let func = &module.functions[job.func];
     let keq = opts.retry.options_for_attempt(opts.keq, job.attempt);
     let _fault = fault::install(&opts.fault_plan, job.func as u64);
+    let _trace_ctx = keq_trace::with_attempt(job.func as u32, job.attempt);
+    keq_trace::emit(keq_trace::Event::AttemptStart {
+        func: job.func as u32,
+        attempt: job.attempt,
+        budget_scale: opts.retry.scale(job.attempt),
+    });
     let mut ctx = if opts.warm_start {
         ctxs.lock().expect("ctx map poisoned").remove(&job.func).unwrap_or_default()
     } else {
         ValidationContext::new()
     };
+    // The warm-start context carries cumulative solver statistics from
+    // earlier attempts; snapshot them so this attempt reports its delta.
+    let stats_before = ctx.solver.stats();
     // The context rides inside the closure so a panic mid-validation drops
     // it during unwind: a context of unknown consistency is never reused
     // (and panics are not retryable anyway).
@@ -453,18 +485,40 @@ fn run_attempt(
         );
         (r, ctx)
     });
+    let mut solver = SolverStats::default();
     let (result, retryable) = match outcome {
         Ok((Ok(v), ctx)) => {
+            solver = ctx.solver.stats().since(&stats_before);
             if opts.warm_start {
                 ctxs.lock().expect("ctx map poisoned").insert(job.func, ctx);
             }
             classify(&v.report.verdict)
         }
         // Unsupported functions never get better with bigger budgets.
-        Ok((Err(_), _)) => (CorpusResult::Other, false),
-        Err(message) => (CorpusResult::Crashed { message }, false),
+        Ok((Err(_), ctx)) => {
+            solver = ctx.solver.stats().since(&stats_before);
+            (CorpusResult::Other, false)
+        }
+        Err(panic) => {
+            if keq_trace::enabled() {
+                keq_trace::emit(keq_trace::Event::PanicCaptured {
+                    func: job.func as u32,
+                    attempt: job.attempt,
+                    message: panic.message.clone(),
+                    location: panic.location.clone(),
+                });
+            }
+            (CorpusResult::Crashed { message: panic.message, location: panic.location }, false)
+        }
     };
-    AttemptOutcome { result, retryable, time: start.elapsed() }
+    let time = start.elapsed();
+    keq_trace::emit(keq_trace::Event::AttemptEnd {
+        func: job.func as u32,
+        attempt: job.attempt,
+        result: result.kind().name(),
+        dur_us: u64::try_from(time.as_micros()).unwrap_or(u64::MAX),
+    });
+    AttemptOutcome { result, retryable, time, solver }
 }
 
 /// Maps a verdict to its Fig. 6 row and decides whether escalated budgets

@@ -122,12 +122,17 @@ fn injected_panic_is_isolated_into_crashed_rows() {
     let summary = run_module(&module, &opts);
     assert_eq!(summary.rows.len(), 4, "a panicking corpus still yields every row");
     for row in &summary.rows {
-        let CorpusResult::Crashed { message } = &row.result else {
+        let CorpusResult::Crashed { message, location } = &row.result else {
             panic!("{}: expected Crashed, got {:?}", row.name, row.result);
         };
         assert!(
             message.contains("injected fault"),
             "{}: captured message should carry the panic text, got {message:?}",
+            row.name
+        );
+        assert!(
+            location.as_deref().is_some_and(|l| l.contains("fault.rs")),
+            "{}: panic source location should be captured separately, got {location:?}",
             row.name
         );
         assert_eq!(row.attempts.len(), 1, "panics are not retryable");

@@ -105,9 +105,13 @@ pub fn validate_function_with_context(
     cancel: Option<&CancelToken>,
     ctx: &mut ValidationContext,
 ) -> Result<ValidationOutcome, IselError> {
+    let isel_span = keq_trace::span(keq_trace::Phase::Isel);
     let layout = Layout::of(module, func);
     let isel = select(module, func, &layout, isel_opts)?;
+    isel_span.done();
+    let vcgen_span = keq_trace::span(keq_trace::Phase::Vcgen);
     let sync = generate_sync_points(func, &isel, vc_opts);
+    vcgen_span.done();
     let report = validate_translation_with_context(
         module, func, &isel, &layout, &sync, keq_opts, cancel, ctx,
     );
@@ -167,6 +171,7 @@ pub fn validate_translation_with_context(
     if let Some(c) = cancel {
         keq = keq.with_cancel(c.clone());
     }
+    let _span = keq_trace::span(keq_trace::Phase::Check);
     keq.check_with_solver(&mut ctx.bank, sync, &mut ctx.solver)
 }
 
@@ -199,8 +204,10 @@ pub fn validate_regalloc_cancellable(
     keq_opts: KeqOptions,
     cancel: Option<&CancelToken>,
 ) -> Result<(KeqReport, keq_vx86::ast::VxFunction), crate::regalloc::RaError> {
+    let ra_span = keq_trace::span(keq_trace::Phase::Regalloc);
     let (post, map) = crate::regalloc::allocate_cancellable(pre, cancel)?;
     let sync = crate::ra_vcgen::regalloc_sync_points(pre, &post, &map);
+    ra_span.done();
     let globals: std::collections::BTreeMap<String, u64> =
         layout.globals.iter().map(|(k, v)| (k.clone(), *v)).collect();
     let left = VxSemantics::new(pre, layout.mem.clone(), globals.clone());
@@ -210,6 +217,7 @@ pub fn validate_regalloc_cancellable(
         keq = keq.with_cancel(c.clone());
     }
     let mut bank = keq_smt::TermBank::new();
+    let _span = keq_trace::span(keq_trace::Phase::Check);
     Ok((keq.check(&mut bank, &sync), post))
 }
 

@@ -36,6 +36,7 @@ impl std::error::Error for ParseError {}
 ///
 /// Returns a [`ParseError`] describing the first offending token.
 pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    let _span = keq_trace::span(keq_trace::Phase::Parse);
     let tokens = tokenize(src)?;
     let mut p = Parser { tokens, pos: 0 };
     p.module()

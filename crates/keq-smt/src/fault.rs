@@ -210,7 +210,27 @@ pub enum FaultAction {
     ForceBudget(BudgetKind),
 }
 
-/// The poll hook, called from the instrumented sites.
+/// Stable wire name of a poll site (the trace journal's `"site"` field).
+fn site_name(site: FaultSite) -> &'static str {
+    match site {
+        FaultSite::SolverQuery => "solver_query",
+        FaultSite::CheckerStep => "checker_step",
+    }
+}
+
+/// Stable wire name of a forced-budget kind.
+fn budget_fault_name(kind: BudgetKind) -> &'static str {
+    match kind {
+        BudgetKind::Conflicts => "force_budget_conflicts",
+        BudgetKind::Terms => "force_budget_terms",
+        BudgetKind::WallClock => "force_budget_wall_clock",
+    }
+}
+
+/// The poll hook, called from the instrumented sites. Every firing is
+/// also reported to the trace journal as a typed
+/// [`keq_trace::Event::FaultInjected`], stamped with the attempt context,
+/// so robustness tests can assert which attempt absorbed which fault.
 pub fn poll(site: FaultSite) -> FaultAction {
     ARMED.with(|a| {
         let mut armed = a.borrow_mut();
@@ -219,13 +239,25 @@ pub fn poll(site: FaultSite) -> FaultAction {
             (InjectedFault::Panic, FaultSite::SolverQuery) if !st.fired => {
                 st.fired = true;
                 drop(armed);
+                keq_trace::emit(keq_trace::Event::FaultInjected {
+                    site: site_name(site),
+                    fault: "panic",
+                });
                 panic!("injected fault: synthetic panic at solver query");
             }
             (InjectedFault::ForceBudget(kind), FaultSite::SolverQuery) => {
+                keq_trace::emit(keq_trace::Event::FaultInjected {
+                    site: site_name(site),
+                    fault: budget_fault_name(kind),
+                });
                 FaultAction::ForceBudget(kind)
             }
             (InjectedFault::Hang, FaultSite::CheckerStep) => {
                 drop(armed);
+                keq_trace::emit(keq_trace::Event::FaultInjected {
+                    site: site_name(site),
+                    fault: "hang",
+                });
                 // Park forever without burning CPU; only process exit or a
                 // watchdog-side abandonment ends this thread's job.
                 loop {
@@ -240,7 +272,7 @@ pub fn poll(site: FaultSite) -> FaultAction {
 /// Whether an armed fault wants to swallow this cancellation/deadline
 /// observation (see [`crate::cancel::stop_requested`]).
 pub fn suppress_cancel() -> bool {
-    ARMED.with(|a| {
+    let suppressed = ARMED.with(|a| {
         let mut armed = a.borrow_mut();
         let Some(st) = armed.as_mut() else { return false };
         if st.suppress_left > 0 {
@@ -251,7 +283,11 @@ pub fn suppress_cancel() -> bool {
         } else {
             false
         }
-    })
+    });
+    if suppressed {
+        keq_trace::emit(keq_trace::Event::FaultInjected { site: "cancel", fault: "slow_cancel" });
+    }
+    suppressed
 }
 
 #[cfg(test)]

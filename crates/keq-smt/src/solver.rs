@@ -161,6 +161,24 @@ pub struct SolverStats {
 }
 
 impl SolverStats {
+    /// Field-wise accumulation `self + other`, for merging the per-run
+    /// deltas of many corpus functions into one run-level total.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.queries += other.queries;
+        self.sat += other.sat;
+        self.unsat += other.unsat;
+        self.budget += other.budget;
+        self.conflicts += other.conflicts;
+        self.cache_hits += other.cache_hits;
+        self.cache_evictions += other.cache_evictions;
+        self.sessions_opened += other.sessions_opened;
+        self.prefix_hits += other.prefix_hits;
+        self.clauses_retained += other.clauses_retained;
+        self.terms_blasted += other.terms_blasted;
+        self.terms_blast_reused += other.terms_blast_reused;
+        self.time += other.time;
+    }
+
     /// Field-wise difference `self - earlier`, for reporting the cost of a
     /// single run when the underlying solver is reused (warm-started)
     /// across runs. Saturates at zero so a mismatched pair cannot panic.
@@ -373,10 +391,13 @@ impl Solver {
         if let Some(forced) = self.query_guard() {
             return forced;
         }
+        let stats_before = self.stats;
         let key = QueryKey::new(&[], assertions);
         if let Some(hit) = self.cache.get(&key) {
             self.stats.cache_hits += 1;
-            return hit.clone();
+            let outcome = hit.clone();
+            trace_query("scratch", &outcome, true, start.elapsed(), &self.stats.since(&stats_before));
+            return outcome;
         }
         let outcome = self.check_sat_inner(bank, assertions);
         if !matches!(outcome, CheckOutcome::Budget(_)) {
@@ -388,6 +409,7 @@ impl Solver {
             CheckOutcome::Budget(_) => self.stats.budget += 1,
         }
         self.stats.time += start.elapsed();
+        trace_query("scratch", &outcome, false, start.elapsed(), &self.stats.since(&stats_before));
         outcome
     }
 
@@ -570,6 +592,7 @@ impl Solver {
     /// pass the *same* bank to every subsequent call.
     pub fn open_session<'s>(&'s mut self, bank: &mut TermBank, prefix: &[TermId]) -> Session<'s> {
         self.stats.sessions_opened += 1;
+        keq_trace::emit(keq_trace::Event::SessionOpened { prefix_len: prefix.len() as u64 });
         let mut key_prefix = prefix.to_vec();
         key_prefix.sort_unstable();
         key_prefix.dedup();
@@ -699,21 +722,28 @@ impl<'s> Session<'s> {
         if let Some(forced) = self.solver.query_guard() {
             return forced;
         }
+        let stats_before = self.solver.stats;
         match self.state {
             SessionState::Unsat => {
                 self.solver.stats.unsat += 1;
-                return CheckOutcome::Unsat;
+                let outcome = CheckOutcome::Unsat;
+                self.trace("session", &outcome, false, start, &stats_before);
+                return outcome;
             }
             SessionState::Poisoned(k) => {
                 self.solver.stats.budget += 1;
-                return CheckOutcome::Budget(k);
+                let outcome = CheckOutcome::Budget(k);
+                self.trace("session", &outcome, false, start, &stats_before);
+                return outcome;
             }
             SessionState::Live => {}
         }
         let key = QueryKey::new(&self.prefix, delta);
         if let Some(hit) = self.solver.cache.get(&key) {
             self.solver.stats.cache_hits += 1;
-            return hit.clone();
+            let outcome = hit.clone();
+            self.trace("session", &outcome, true, start, &stats_before);
+            return outcome;
         }
         let outcome = self.check_sat_inner(bank, delta);
         if !matches!(outcome, CheckOutcome::Budget(_)) {
@@ -727,7 +757,25 @@ impl<'s> Session<'s> {
             CheckOutcome::Budget(_) => self.solver.stats.budget += 1,
         }
         self.solver.stats.time += start.elapsed();
+        self.trace("session", &outcome, false, start, &stats_before);
         outcome
+    }
+
+    fn trace(
+        &self,
+        mode: &'static str,
+        outcome: &CheckOutcome,
+        cache_hit: bool,
+        start: Instant,
+        stats_before: &SolverStats,
+    ) {
+        trace_query(
+            mode,
+            outcome,
+            cache_hit,
+            start.elapsed(),
+            &self.solver.stats.since(stats_before),
+        );
     }
 
     fn check_sat_inner(&mut self, bank: &mut TermBank, delta: &[TermId]) -> CheckOutcome {
@@ -907,6 +955,37 @@ impl<'s> Session<'s> {
     pub fn is_feasible(&mut self, bank: &mut TermBank, delta: &[TermId]) -> Option<bool> {
         self.feasibility(bank, delta).ok()
     }
+}
+
+/// Emits one [`keq_trace::Event::SolverQuery`] for a completed query.
+/// `delta` is the `SolverStats::since` difference attributable to this
+/// query alone. One branch and no allocation when tracing is disabled.
+fn trace_query(
+    mode: &'static str,
+    outcome: &CheckOutcome,
+    cache_hit: bool,
+    dur: Duration,
+    delta: &SolverStats,
+) {
+    if !keq_trace::enabled() {
+        return;
+    }
+    keq_trace::emit(keq_trace::Event::SolverQuery {
+        mode,
+        outcome: match outcome {
+            CheckOutcome::Sat(_) => "sat",
+            CheckOutcome::Unsat => "unsat",
+            CheckOutcome::Budget(_) => "budget",
+        },
+        cache_hit,
+        dur_us: u64::try_from(dur.as_micros()).unwrap_or(u64::MAX),
+        conflicts: delta.conflicts,
+        terms_blasted: delta.terms_blasted,
+        terms_blast_reused: delta.terms_blast_reused,
+        prefix_hits: delta.prefix_hits,
+        clauses_retained: delta.clauses_retained,
+        cache_evictions: delta.cache_evictions,
+    });
 }
 
 /// Decodes a SAT model into named values plus an [`Assignment`] usable for

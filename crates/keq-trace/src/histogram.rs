@@ -1,7 +1,11 @@
-//! Minimal text histograms for the Fig. 7 distribution plots.
+//! Fixed-bucket histograms: the Fig. 7 text plots and the report's
+//! log-bucketed latency distributions.
+//!
+//! (Moved here from `keq-bench` so the bench targets and the run report
+//! share one histogram type; `keq-bench` re-exports it.)
 
 /// A fixed-bucket histogram rendered as rows of `#` bars.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     /// Bucket upper bounds.
     pub bounds: Vec<f64>,
@@ -17,10 +21,27 @@ impl Histogram {
         Histogram { bounds, counts, label: label.into() }
     }
 
+    /// A log-bucketed latency histogram over microseconds: powers of four
+    /// from 1 µs to ~17 s (`4^0 .. 4^12`), the report's span-time shape.
+    pub fn log_us(label: impl Into<String>) -> Self {
+        let bounds = (0..=12).map(|i| 4f64.powi(i)).collect();
+        Histogram::new(label, bounds)
+    }
+
+    /// The label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
     /// Adds one sample.
     pub fn add(&mut self, value: f64) {
         let idx = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
         self.counts[idx] += 1;
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
     }
 
     /// Renders the histogram.
@@ -60,5 +81,16 @@ mod tests {
         assert_eq!(h.counts, vec![2, 1, 1]);
         let r = h.render();
         assert!(r.contains("t:"));
+    }
+
+    #[test]
+    fn log_buckets_cover_micro_to_seconds() {
+        let mut h = Histogram::log_us("lat");
+        h.add(0.5); // sub-µs
+        h.add(100.0); // 100 µs
+        h.add(5_000_000.0); // 5 s
+        h.add(1e12); // overflow
+        assert_eq!(h.total(), 4);
+        assert_eq!(*h.counts.last().expect("overflow bucket"), 1);
     }
 }

@@ -1,0 +1,764 @@
+//! The aggregated machine-readable run report (`RUN_REPORT.json`).
+//!
+//! One [`RunReport`] summarizes a corpus run: the Fig. 6 outcome table,
+//! per-phase span-time histograms, the merged solver counters, and one row
+//! per function with per-attempt timing, phase attribution, structured
+//! panic capture, and injected-fault markers. The same type backs the
+//! `--report` harness option and the bench targets, so bench JSON and
+//! harness telemetry share one schema.
+//!
+//! [`validate`] is the schema checker CI runs against an emitted report:
+//! it rejects missing keys, malformed tables, and non-monotonic span
+//! timestamps. [`check_phase_coverage`] is the accounting bar: top-level
+//! phase spans of each fully-observed function must sum to (almost) its
+//! recorded wall time, or the instrumentation has a blind spot.
+
+use crate::event::{Event, Phase, TraceEvent};
+use crate::histogram::Histogram;
+use crate::json::{self, Json};
+
+/// Schema identifier of the current report format.
+pub const REPORT_SCHEMA: &str = "keq-run-report/v1";
+
+/// The Fig. 6 outcome table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeTable {
+    /// Validated (equivalent or refines).
+    pub succeeded: u64,
+    /// Timeout-class resource exhaustion.
+    pub timeout: u64,
+    /// Memory-class resource exhaustion.
+    pub out_of_memory: u64,
+    /// Isolated panics.
+    pub crashed: u64,
+    /// Everything else.
+    pub other: u64,
+    /// Total functions.
+    pub total: u64,
+    /// Total attempts across all functions (≥ total when retries fired).
+    pub attempts: u64,
+}
+
+impl OutcomeTable {
+    fn to_json(self) -> Json {
+        json::obj(vec![
+            ("succeeded", json::num(self.succeeded)),
+            ("timeout", json::num(self.timeout)),
+            ("out_of_memory", json::num(self.out_of_memory)),
+            ("crashed", json::num(self.crashed)),
+            ("other", json::num(self.other)),
+            ("total", json::num(self.total)),
+            ("attempts", json::num(self.attempts)),
+        ])
+    }
+
+    /// Serializes the table as one compact JSON object (the form the bench
+    /// targets embed).
+    pub fn to_json_string(self) -> String {
+        let mut s = String::new();
+        self.to_json().write_compact(&mut s);
+        s
+    }
+}
+
+/// The merged solver counters of a run (`SolverStats`, flattened to stable
+/// wire names).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverCounters {
+    /// Total queries issued.
+    pub queries: u64,
+    /// Queries answered `Sat`.
+    pub sat: u64,
+    /// Queries answered `Unsat`.
+    pub unsat: u64,
+    /// Queries that exhausted a budget.
+    pub budget: u64,
+    /// Total CDCL conflicts.
+    pub conflicts: u64,
+    /// Queries answered from the memo cache.
+    pub cache_hits: u64,
+    /// Entries evicted from the bounded query cache.
+    pub cache_evictions: u64,
+    /// Incremental sessions opened.
+    pub sessions_opened: u64,
+    /// Session queries that reused an asserted prefix.
+    pub prefix_hits: u64,
+    /// Learnt clauses retained across session queries.
+    pub clauses_retained: u64,
+    /// Term nodes bit-blasted.
+    pub terms_blasted: u64,
+    /// Term nodes served from a blast memo.
+    pub terms_blast_reused: u64,
+    /// Total solver wall-clock, µs.
+    pub time_us: u64,
+}
+
+impl SolverCounters {
+    const FIELDS: [&'static str; 13] = [
+        "queries",
+        "sat",
+        "unsat",
+        "budget",
+        "conflicts",
+        "cache_hits",
+        "cache_evictions",
+        "sessions_opened",
+        "prefix_hits",
+        "clauses_retained",
+        "terms_blasted",
+        "terms_blast_reused",
+        "time_us",
+    ];
+
+    fn to_json(self) -> Json {
+        json::obj(vec![
+            ("queries", json::num(self.queries)),
+            ("sat", json::num(self.sat)),
+            ("unsat", json::num(self.unsat)),
+            ("budget", json::num(self.budget)),
+            ("conflicts", json::num(self.conflicts)),
+            ("cache_hits", json::num(self.cache_hits)),
+            ("cache_evictions", json::num(self.cache_evictions)),
+            ("sessions_opened", json::num(self.sessions_opened)),
+            ("prefix_hits", json::num(self.prefix_hits)),
+            ("clauses_retained", json::num(self.clauses_retained)),
+            ("terms_blasted", json::num(self.terms_blasted)),
+            ("terms_blast_reused", json::num(self.terms_blast_reused)),
+            ("time_us", json::num(self.time_us)),
+        ])
+    }
+}
+
+/// Aggregated span times of one phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSummary {
+    /// The phase.
+    pub phase: Phase,
+    /// Completed spans.
+    pub count: u64,
+    /// Summed span durations, µs.
+    pub total_us: u64,
+    /// Log-bucketed span-duration distribution (µs).
+    pub histogram: Histogram,
+}
+
+impl PhaseSummary {
+    fn to_json(&self) -> Json {
+        json::obj(vec![
+            ("phase", Json::Str(self.phase.name().to_string())),
+            ("count", json::num(self.count)),
+            ("total_us", json::num(self.total_us)),
+            (
+                "histogram",
+                json::obj(vec![
+                    (
+                        "bounds_us",
+                        Json::Arr(self.histogram.bounds.iter().map(|&b| Json::Num(b)).collect()),
+                    ),
+                    (
+                        "counts",
+                        Json::Arr(
+                            self.histogram.counts.iter().map(|&c| json::num(c as u64)).collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// One attempt of one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptReport {
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// Escalating-retry budget multiplier.
+    pub budget_scale: u64,
+    /// Attempt wall-clock, µs.
+    pub wall_us: u64,
+    /// Journal offset when the attempt started, µs (0 without a journal).
+    pub start_us: u64,
+    /// Journal offset when the attempt ended, µs.
+    pub end_us: u64,
+    /// Result category (stable wire name).
+    pub result: String,
+    /// Whether the watchdog abandoned the worker.
+    pub abandoned: bool,
+    /// Captured panic message, for crashed attempts.
+    pub panic_message: Option<String>,
+    /// Captured panic source location (`file:line:col`), when available.
+    pub panic_location: Option<String>,
+    /// Injected faults observed during the attempt (stable wire names).
+    pub faults: Vec<String>,
+    /// Summed span time per phase, µs (pipeline order).
+    pub phase_us: Vec<(Phase, u64)>,
+}
+
+impl AttemptReport {
+    fn to_json(&self) -> Json {
+        json::obj(vec![
+            ("attempt", json::num(u64::from(self.attempt))),
+            ("budget_scale", json::num(self.budget_scale)),
+            ("wall_us", json::num(self.wall_us)),
+            ("start_us", json::num(self.start_us)),
+            ("end_us", json::num(self.end_us)),
+            ("result", Json::Str(self.result.clone())),
+            ("abandoned", Json::Bool(self.abandoned)),
+            ("panic_message", json::opt_str(&self.panic_message)),
+            ("panic_location", json::opt_str(&self.panic_location)),
+            (
+                "faults",
+                Json::Arr(self.faults.iter().map(|f| Json::Str(f.clone())).collect()),
+            ),
+            (
+                "phase_us",
+                Json::Obj(
+                    self.phase_us
+                        .iter()
+                        .map(|(p, us)| (p.name().to_string(), json::num(*us)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// One corpus function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionReport {
+    /// Function name.
+    pub name: String,
+    /// Index in the validated module.
+    pub index: u64,
+    /// Instruction count.
+    pub size: u64,
+    /// Total wall-clock across attempts, µs.
+    pub wall_us: u64,
+    /// Final result category (stable wire name).
+    pub result: String,
+    /// Every attempt, in order.
+    pub attempts: Vec<AttemptReport>,
+}
+
+impl FunctionReport {
+    fn to_json(&self) -> Json {
+        json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("index", json::num(self.index)),
+            ("size", json::num(self.size)),
+            ("wall_us", json::num(self.wall_us)),
+            ("result", Json::Str(self.result.clone())),
+            ("attempts", Json::Arr(self.attempts.iter().map(AttemptReport::to_json).collect())),
+        ])
+    }
+}
+
+/// The aggregated report of one corpus run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Corpus seed.
+    pub seed: u64,
+    /// Functions in the run.
+    pub n_functions: u64,
+    /// Whether a trace journal backed the phase/fault sections.
+    pub trace_enabled: bool,
+    /// The outcome table.
+    pub outcome: OutcomeTable,
+    /// Merged solver counters.
+    pub solver: SolverCounters,
+    /// Per-phase span aggregates (phases with no spans are omitted).
+    pub phases: Vec<PhaseSummary>,
+    /// Per-function rows, ordered by index.
+    pub functions: Vec<FunctionReport>,
+    /// Events recorded into the journal.
+    pub events_recorded: u64,
+    /// Events the journal dropped to its capacity bound.
+    pub events_dropped: u64,
+}
+
+impl RunReport {
+    /// Serializes the report as pretty-printed JSON (the `RUN_REPORT.json`
+    /// payload).
+    pub fn to_json(&self) -> String {
+        let doc = json::obj(vec![
+            ("schema", Json::Str(REPORT_SCHEMA.to_string())),
+            ("seed", json::num(self.seed)),
+            ("n_functions", json::num(self.n_functions)),
+            ("trace_enabled", Json::Bool(self.trace_enabled)),
+            ("outcome", self.outcome.to_json()),
+            ("solver", self.solver.to_json()),
+            ("phases", Json::Arr(self.phases.iter().map(PhaseSummary::to_json).collect())),
+            (
+                "functions",
+                Json::Arr(self.functions.iter().map(FunctionReport::to_json).collect()),
+            ),
+            ("events_recorded", json::num(self.events_recorded)),
+            ("events_dropped", json::num(self.events_dropped)),
+        ]);
+        let mut out = String::new();
+        doc.write_pretty(&mut out);
+        out
+    }
+}
+
+/// Aggregates [`Event::Span`] events into per-phase summaries with
+/// log-bucketed latency histograms. Phases with no spans are omitted.
+pub fn phase_summaries(events: &[TraceEvent]) -> Vec<PhaseSummary> {
+    let mut out: Vec<PhaseSummary> = Vec::new();
+    for phase in Phase::ALL {
+        let mut summary = PhaseSummary {
+            phase,
+            count: 0,
+            total_us: 0,
+            histogram: Histogram::log_us(format!("{} span time (µs)", phase.name())),
+        };
+        for ev in events {
+            if let Event::Span { phase: p, dur_us, .. } = ev.event {
+                if p == phase {
+                    summary.count += 1;
+                    summary.total_us += dur_us;
+                    summary.histogram.add(dur_us as f64);
+                }
+            }
+        }
+        if summary.count > 0 {
+            out.push(summary);
+        }
+    }
+    out
+}
+
+/// A schema violation found by [`validate`].
+pub type Violation = String;
+
+fn require<'a>(doc: &'a Json, path: &str, key: &str, out: &mut Vec<Violation>) -> Option<&'a Json> {
+    let v = doc.get(key);
+    if v.is_none() {
+        out.push(format!("{path}: missing key \"{key}\""));
+    }
+    v
+}
+
+fn require_u64(doc: &Json, path: &str, key: &str, out: &mut Vec<Violation>) -> Option<u64> {
+    let v = require(doc, path, key, out)?;
+    let n = v.as_u64();
+    if n.is_none() {
+        out.push(format!("{path}.{key}: expected a non-negative integer"));
+    }
+    n
+}
+
+fn require_str<'a>(
+    doc: &'a Json,
+    path: &str,
+    key: &str,
+    out: &mut Vec<Violation>,
+) -> Option<&'a str> {
+    let v = require(doc, path, key, out)?;
+    let s = v.as_str();
+    if s.is_none() {
+        out.push(format!("{path}.{key}: expected a string"));
+    }
+    s
+}
+
+/// Validates a parsed `RUN_REPORT.json` document against the v1 schema:
+/// every required key present and well-typed, the outcome table internally
+/// consistent, and span timestamps monotonic (attempt windows ordered and
+/// non-inverted within every function).
+///
+/// # Errors
+///
+/// Returns the full list of violations (never just the first).
+pub fn validate(doc: &Json) -> Result<(), Vec<Violation>> {
+    let mut v: Vec<Violation> = Vec::new();
+    match require_str(doc, "$", "schema", &mut v) {
+        Some(s) if s == REPORT_SCHEMA => {}
+        Some(s) => v.push(format!("$.schema: unknown schema \"{s}\" (expected {REPORT_SCHEMA})")),
+        None => {}
+    }
+    require_u64(doc, "$", "seed", &mut v);
+    require_u64(doc, "$", "n_functions", &mut v);
+    require(doc, "$", "trace_enabled", &mut v);
+    require_u64(doc, "$", "events_recorded", &mut v);
+    require_u64(doc, "$", "events_dropped", &mut v);
+
+    if let Some(outcome) = require(doc, "$", "outcome", &mut v) {
+        let mut parts = 0u64;
+        for key in ["succeeded", "timeout", "out_of_memory", "crashed", "other"] {
+            parts += require_u64(outcome, "$.outcome", key, &mut v).unwrap_or(0);
+        }
+        let total = require_u64(outcome, "$.outcome", "total", &mut v);
+        require_u64(outcome, "$.outcome", "attempts", &mut v);
+        if let Some(t) = total {
+            if t != parts {
+                v.push(format!(
+                    "$.outcome: categories sum to {parts} but total is {t}"
+                ));
+            }
+        }
+    }
+
+    if let Some(solver) = require(doc, "$", "solver", &mut v) {
+        for key in SolverCounters::FIELDS {
+            require_u64(solver, "$.solver", key, &mut v);
+        }
+    }
+
+    if let Some(phases) = require(doc, "$", "phases", &mut v) {
+        match phases.as_arr() {
+            None => v.push("$.phases: expected an array".into()),
+            Some(items) => {
+                for (i, p) in items.iter().enumerate() {
+                    let path = format!("$.phases[{i}]");
+                    if let Some(name) = require_str(p, &path, "phase", &mut v) {
+                        if Phase::from_name(name).is_none() {
+                            v.push(format!("{path}.phase: unknown phase \"{name}\""));
+                        }
+                    }
+                    require_u64(p, &path, "count", &mut v);
+                    require_u64(p, &path, "total_us", &mut v);
+                    if let Some(h) = require(p, &path, "histogram", &mut v) {
+                        let bounds = h.get("bounds_us").and_then(Json::as_arr);
+                        let counts = h.get("counts").and_then(Json::as_arr);
+                        match (bounds, counts) {
+                            (Some(b), Some(c)) if c.len() == b.len() + 1 => {}
+                            (Some(_), Some(_)) => v.push(format!(
+                                "{path}.histogram: counts must have bounds_us+1 entries"
+                            )),
+                            _ => v.push(format!(
+                                "{path}.histogram: missing bounds_us/counts arrays"
+                            )),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(functions) = require(doc, "$", "functions", &mut v) {
+        match functions.as_arr() {
+            None => v.push("$.functions: expected an array".into()),
+            Some(items) => {
+                for (i, f) in items.iter().enumerate() {
+                    validate_function(f, i, &mut v);
+                }
+            }
+        }
+    }
+
+    if v.is_empty() {
+        Ok(())
+    } else {
+        Err(v)
+    }
+}
+
+fn validate_function(f: &Json, i: usize, v: &mut Vec<Violation>) {
+    let path = format!("$.functions[{i}]");
+    require_str(f, &path, "name", v);
+    require_u64(f, &path, "index", v);
+    require_u64(f, &path, "size", v);
+    require_u64(f, &path, "wall_us", v);
+    require_str(f, &path, "result", v);
+    let Some(attempts) = require(f, &path, "attempts", v) else { return };
+    let Some(items) = attempts.as_arr() else {
+        v.push(format!("{path}.attempts: expected an array"));
+        return;
+    };
+    let mut prev_attempt = 0u64;
+    let mut prev_start = 0u64;
+    for (j, a) in items.iter().enumerate() {
+        let apath = format!("{path}.attempts[{j}]");
+        let n = require_u64(a, &apath, "attempt", v);
+        require_u64(a, &apath, "budget_scale", v);
+        require_u64(a, &apath, "wall_us", v);
+        let start = require_u64(a, &apath, "start_us", v);
+        let end = require_u64(a, &apath, "end_us", v);
+        require_str(a, &apath, "result", v);
+        require(a, &apath, "abandoned", v);
+        require(a, &apath, "panic_message", v);
+        require(a, &apath, "panic_location", v);
+        require(a, &apath, "faults", v);
+        require(a, &apath, "phase_us", v);
+        if let Some(n) = n {
+            if n <= prev_attempt {
+                v.push(format!("{apath}: attempt numbers must increase (got {n} after {prev_attempt})"));
+            }
+            prev_attempt = n;
+        }
+        if let (Some(s), Some(e)) = (start, end) {
+            if e < s {
+                v.push(format!("{apath}: span inverted (end_us {e} < start_us {s})"));
+            }
+            if s < prev_start {
+                v.push(format!(
+                    "{apath}: non-monotonic span timestamps (start_us {s} before previous attempt's start {prev_start})"
+                ));
+            }
+            prev_start = s;
+        }
+    }
+}
+
+/// Checks the span-accounting bar: for every function whose attempts all
+/// completed under observation (no watchdog abandonment, journal not
+/// truncated), the top-level phase spans must sum to the function's
+/// recorded wall time within `slack_frac` (plus `slack_us` absolute noise
+/// floor). Functions shorter than `min_wall_us` are skipped — at that
+/// scale scheduler noise dominates any phase accounting.
+///
+/// # Errors
+///
+/// Returns one violation per function outside the tolerance.
+pub fn check_phase_coverage(
+    doc: &Json,
+    slack_frac: f64,
+    slack_us: u64,
+    min_wall_us: u64,
+) -> Result<(), Vec<Violation>> {
+    let mut v = Vec::new();
+    if doc.get("events_dropped").and_then(Json::as_u64).unwrap_or(0) > 0 {
+        // A truncated journal under-reports spans by construction.
+        return Ok(());
+    }
+    if doc.get("trace_enabled").and_then(Json::as_bool) != Some(true) {
+        return Ok(());
+    }
+    let functions = doc.get("functions").and_then(Json::as_arr).unwrap_or(&[]);
+    for f in functions {
+        let name = f.get("name").and_then(Json::as_str).unwrap_or("?");
+        let wall = f.get("wall_us").and_then(Json::as_u64).unwrap_or(0);
+        let attempts = f.get("attempts").and_then(Json::as_arr).unwrap_or(&[]);
+        let abandoned = attempts
+            .iter()
+            .any(|a| a.get("abandoned").and_then(Json::as_bool).unwrap_or(false));
+        if abandoned || wall < min_wall_us {
+            continue;
+        }
+        let mut phase_sum = 0u64;
+        for a in attempts {
+            if let Some(Json::Obj(fields)) = a.get("phase_us") {
+                for (key, val) in fields {
+                    if Phase::from_name(key).is_some_and(Phase::is_top_level) {
+                        phase_sum += val.as_u64().unwrap_or(0);
+                    }
+                }
+            }
+        }
+        let tolerance = (wall as f64 * slack_frac) as u64 + slack_us;
+        if phase_sum.abs_diff(wall) > tolerance {
+            v.push(format!(
+                "function {name}: top-level phase spans sum to {phase_sum} µs but wall time is \
+                 {wall} µs (tolerance {tolerance} µs)"
+            ));
+        }
+    }
+    if v.is_empty() {
+        Ok(())
+    } else {
+        Err(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small but fully-populated report used across the tests.
+    pub(crate) fn sample_report() -> RunReport {
+        let mut hist = Histogram::log_us("check span time (µs)");
+        hist.add(120.0);
+        hist.add(80_000.0);
+        RunReport {
+            seed: 2021,
+            n_functions: 2,
+            trace_enabled: true,
+            outcome: OutcomeTable {
+                succeeded: 1,
+                timeout: 0,
+                out_of_memory: 0,
+                crashed: 1,
+                other: 0,
+                total: 2,
+                attempts: 3,
+            },
+            solver: SolverCounters {
+                queries: 40,
+                sat: 22,
+                unsat: 17,
+                budget: 1,
+                conflicts: 90,
+                cache_hits: 6,
+                cache_evictions: 2,
+                sessions_opened: 4,
+                prefix_hits: 30,
+                clauses_retained: 55,
+                terms_blasted: 1000,
+                terms_blast_reused: 400,
+                time_us: 80_120,
+            },
+            phases: vec![PhaseSummary {
+                phase: Phase::Check,
+                count: 2,
+                total_us: 80_120,
+                histogram: hist,
+            }],
+            functions: vec![
+                FunctionReport {
+                    name: "f0".into(),
+                    index: 0,
+                    size: 12,
+                    wall_us: 90_000,
+                    result: "succeeded".into(),
+                    attempts: vec![
+                        AttemptReport {
+                            attempt: 1,
+                            budget_scale: 1,
+                            wall_us: 30_000,
+                            start_us: 100,
+                            end_us: 30_100,
+                            result: "timeout".into(),
+                            abandoned: false,
+                            panic_message: None,
+                            panic_location: None,
+                            faults: vec!["force_budget_conflicts".into()],
+                            phase_us: vec![(Phase::Isel, 2_000), (Phase::Check, 27_000)],
+                        },
+                        AttemptReport {
+                            attempt: 2,
+                            budget_scale: 4,
+                            wall_us: 60_000,
+                            start_us: 30_200,
+                            end_us: 90_200,
+                            result: "succeeded".into(),
+                            abandoned: false,
+                            panic_message: None,
+                            panic_location: None,
+                            faults: vec![],
+                            phase_us: vec![(Phase::Isel, 2_000), (Phase::Check, 56_000)],
+                        },
+                    ],
+                },
+                FunctionReport {
+                    name: "f1".into(),
+                    index: 1,
+                    size: 7,
+                    wall_us: 1_500,
+                    result: "crashed".into(),
+                    attempts: vec![AttemptReport {
+                        attempt: 1,
+                        budget_scale: 1,
+                        wall_us: 1_500,
+                        start_us: 95_000,
+                        end_us: 96_500,
+                        result: "crashed".into(),
+                        abandoned: false,
+                        panic_message: Some("boom \"quoted\"\nwith newline \\ and π".into()),
+                        panic_location: Some("crates/keq-smt/src/fault.rs:222:17".into()),
+                        faults: vec!["panic".into()],
+                        phase_us: vec![(Phase::Isel, 300), (Phase::Check, 1_100)],
+                    }],
+                },
+            ],
+            events_recorded: 123,
+            events_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn sample_report_serializes_and_validates() {
+        let text = sample_report().to_json();
+        let doc = Json::parse(&text).expect("report JSON parses");
+        validate(&doc).expect("report validates");
+        check_phase_coverage(&doc, 0.10, 2_000, 5_000).expect("coverage holds");
+    }
+
+    #[test]
+    fn missing_keys_are_reported() {
+        let text = sample_report().to_json();
+        let mut doc = Json::parse(&text).expect("parses");
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "solver");
+        }
+        let errs = validate(&doc).expect_err("must fail");
+        assert!(errs.iter().any(|e| e.contains("missing key \"solver\"")), "{errs:?}");
+    }
+
+    #[test]
+    fn non_monotonic_attempts_are_reported() {
+        let mut report = sample_report();
+        report.functions[0].attempts[1].start_us = 50; // before attempt 1
+        let doc = Json::parse(&report.to_json()).expect("parses");
+        let errs = validate(&doc).expect_err("must fail");
+        assert!(errs.iter().any(|e| e.contains("non-monotonic span timestamps")), "{errs:?}");
+    }
+
+    #[test]
+    fn inverted_span_is_reported() {
+        let mut report = sample_report();
+        report.functions[1].attempts[0].end_us = 10;
+        let doc = Json::parse(&report.to_json()).expect("parses");
+        let errs = validate(&doc).expect_err("must fail");
+        assert!(errs.iter().any(|e| e.contains("span inverted")), "{errs:?}");
+    }
+
+    #[test]
+    fn inconsistent_outcome_total_is_reported() {
+        let mut report = sample_report();
+        report.outcome.total = 99;
+        let doc = Json::parse(&report.to_json()).expect("parses");
+        let errs = validate(&doc).expect_err("must fail");
+        assert!(errs.iter().any(|e| e.contains("categories sum to")), "{errs:?}");
+    }
+
+    #[test]
+    fn coverage_gap_is_reported() {
+        let mut report = sample_report();
+        report.functions[0].attempts[1].phase_us = vec![(Phase::Isel, 10)];
+        let doc = Json::parse(&report.to_json()).expect("parses");
+        let errs = check_phase_coverage(&doc, 0.10, 2_000, 5_000).expect_err("must fail");
+        assert!(errs[0].contains("f0"), "{errs:?}");
+    }
+
+    #[test]
+    fn abandoned_and_tiny_functions_are_exempt_from_coverage() {
+        let mut report = sample_report();
+        // Huge gap, but the attempt was abandoned: exempt.
+        report.functions[0].attempts[1].phase_us.clear();
+        report.functions[0].attempts[1].abandoned = true;
+        let doc = Json::parse(&report.to_json()).expect("parses");
+        check_phase_coverage(&doc, 0.10, 2_000, 5_000).expect("abandoned rows are skipped");
+    }
+
+    #[test]
+    fn phase_summaries_aggregate_spans() {
+        let events = vec![
+            TraceEvent {
+                t_us: 10,
+                func: Some(0),
+                attempt: Some(1),
+                event: Event::Span { phase: Phase::Isel, start_us: 0, dur_us: 10 },
+            },
+            TraceEvent {
+                t_us: 30,
+                func: Some(0),
+                attempt: Some(1),
+                event: Event::Span { phase: Phase::Isel, start_us: 15, dur_us: 15 },
+            },
+            TraceEvent {
+                t_us: 60,
+                func: Some(0),
+                attempt: Some(1),
+                event: Event::Span { phase: Phase::Check, start_us: 30, dur_us: 30 },
+            },
+        ];
+        let phases = phase_summaries(&events);
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].phase, Phase::Isel);
+        assert_eq!(phases[0].count, 2);
+        assert_eq!(phases[0].total_us, 25);
+        assert_eq!(phases[1].phase, Phase::Check);
+        assert_eq!(phases[1].total_us, 30);
+    }
+}

@@ -2,16 +2,63 @@
 //! structured functions, compile each with ISel, and validate every
 //! translation, printing per-function results and the Fig. 6-style summary.
 //!
-//! Run with: `cargo run --release --example validate_corpus [N]`
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example validate_corpus -- [N] [--seed S] \
+//!     [--report RUN_REPORT.json] [--trace-jsonl trace.jsonl]
+//! ```
+//!
+//! `--report` turns on tracing, collects the run's event journal, and
+//! writes the aggregated machine-readable report (schema
+//! `keq-run-report/v1`; see DESIGN.md §Observability). `--trace-jsonl`
+//! additionally streams every raw event as one JSON line.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use keq_repro::core::KeqOptions;
+use keq_repro::harness::{build_report, HarnessOptions};
 use keq_repro::smt::Budget;
+use keq_repro::trace::{Fanout, Journal, JsonlSink, TraceSink};
+
+struct Cli {
+    n: usize,
+    seed: u64,
+    report: Option<String>,
+    trace_jsonl: Option<String>,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli { n: 20, seed: 2021, report: None, trace_jsonl: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                cli.seed = args.next().and_then(|s| s.parse().ok()).expect("--seed <u64>");
+            }
+            "--report" => cli.report = Some(args.next().expect("--report <path>")),
+            "--trace-jsonl" => {
+                cli.trace_jsonl = Some(args.next().expect("--trace-jsonl <path>"));
+            }
+            other => match other.parse() {
+                Ok(n) => cli.n = n,
+                Err(_) => {
+                    eprintln!(
+                        "usage: validate_corpus [N] [--seed S] [--report PATH] \
+                         [--trace-jsonl PATH]"
+                    );
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    cli
+}
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
-    let opts = KeqOptions {
+    let cli = parse_cli();
+    let keq = KeqOptions {
         time_limit: Some(Duration::from_secs(20)),
         solver_budget: Budget {
             max_conflicts: 500_000,
@@ -20,8 +67,25 @@ fn main() {
         },
         ..KeqOptions::default()
     };
-    println!("validating {n} generated functions...");
-    let (_module, summary) = keq_bench::run_corpus(2021, n, opts);
+
+    // Tracing is opt-in: without --report/--trace-jsonl every probe site
+    // in the pipeline stays on its one-branch disabled path.
+    let tracing = cli.report.is_some() || cli.trace_jsonl.is_some();
+    let journal = Arc::new(Journal::with_default_capacity());
+    let trace = if tracing {
+        let mut sinks = vec![TraceSink::from(Arc::clone(&journal))];
+        if let Some(path) = &cli.trace_jsonl {
+            let file = std::fs::File::create(path).expect("create --trace-jsonl file");
+            sinks.push(TraceSink::from(Arc::new(JsonlSink::new(file))));
+        }
+        Some(TraceSink::from(Arc::new(Fanout::new(sinks))))
+    } else {
+        None
+    };
+    let opts = HarnessOptions { keq, trace, ..HarnessOptions::default() };
+
+    println!("validating {} generated functions (seed {})...", cli.n, cli.seed);
+    let (_module, summary) = keq_bench::run_corpus_with(cli.seed, cli.n, &opts);
     for row in &summary.rows {
         println!(
             "  {:<8} {:>4} instrs  {:>9.2?}  {:?}",
@@ -34,4 +98,11 @@ fn main() {
         summary.total(),
         summary.success_rate() * 100.0
     );
+    println!("{}", summary.summary_line());
+
+    if let Some(path) = &cli.report {
+        let report = build_report(&summary, Some(&journal), cli.seed);
+        std::fs::write(path, report.to_json()).expect("write --report file");
+        eprintln!("wrote {path}");
+    }
 }

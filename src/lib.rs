@@ -1,9 +1,11 @@
 //! Facade crate re-exporting the full KEQ reproduction API.
 pub use keq_core as core;
+pub use keq_harness as harness;
 pub use keq_imp as imp;
 pub use keq_isel as isel;
 pub use keq_llvm as llvm;
 pub use keq_semantics as semantics;
 pub use keq_smt as smt;
+pub use keq_trace as trace;
 pub use keq_vx86 as vx86;
 pub use keq_workload as workload;
