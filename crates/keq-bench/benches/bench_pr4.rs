@@ -1,0 +1,141 @@
+//! **BENCH_PR4** — machine-readable obligation-cache benchmark.
+//!
+//! Runs the same generated corpus twice against one persistent obligation
+//! store: `cold` starts from an empty store and fills it, `warm` reloads
+//! the store and should discharge a large share of its obligations from
+//! the cache without lowering or bit-blasting. Emits `BENCH_PR4.json`
+//! (hand-rolled writer; the workspace is dependency-free) with one section
+//! per run — wall time, the shared-cache lookup counters, and the Fig. 6
+//! outcome table — plus the headline warm hit ratio.
+//!
+//! In-bench acceptance bars (the run aborts when missed):
+//!
+//! * the warm run discharges ≥ 30% of its obligations from the cache;
+//! * the warm run is not slower than the cold run (with slack for timer
+//!   noise on CI-sized corpora);
+//! * both runs classify every function identically — the cache must be
+//!   invisible to verdicts.
+//!
+//! Environment knobs:
+//!
+//! * `KEQ_PR4_N`    — corpus functions (default 24)
+//! * `KEQ_PR4_SECS` — per-function wall-clock limit (default 10)
+//! * `KEQ_PR4_SEED` — corpus seed (default 2021)
+//! * `KEQ_PR4_OUT`  — output path (default `BENCH_PR4.json`)
+//!
+//! `scripts/bench.sh pr4` drives this target; CI runs it smoke-sized.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use keq_bench::{outcome_table, run_corpus_with, CorpusSummary, HarnessOptions};
+use keq_core::KeqOptions;
+use keq_smt::Budget;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// One corpus sweep against the persistent store at `cache`.
+fn measure(seed: u64, n: usize, secs: u64, cache: &Path) -> (Duration, CorpusSummary) {
+    let opts = HarnessOptions {
+        keq: KeqOptions {
+            time_limit: Some(Duration::from_secs(secs)),
+            solver_budget: Budget {
+                max_conflicts: 500_000,
+                max_terms: 2_000_000,
+                max_time: Some(Duration::from_secs(secs / 4 + 1)),
+            },
+            ..KeqOptions::default()
+        },
+        cache_path: Some(cache.to_path_buf()),
+        ..HarnessOptions::default()
+    };
+    let start = Instant::now();
+    let (_m, summary) = run_corpus_with(seed, n, &opts);
+    (start.elapsed(), summary)
+}
+
+fn json_run(wall: Duration, summary: &CorpusSummary) -> String {
+    let s = &summary.solver;
+    format!(
+        "{{\"wall_ms\": {}, \"queries\": {}, \"obligation_cache_hits\": {}, \
+         \"obligation_cache_misses\": {}, \"obligation_cache_stores\": {}, \
+         \"hit_ratio\": {:.4}, \"disk_loaded\": {}, \"disk_persisted\": {}, \
+         \"disk_bytes\": {}, \"outcome\": {}}}",
+        wall.as_millis(),
+        s.queries,
+        s.obligation_cache_hits,
+        s.obligation_cache_misses,
+        s.obligation_cache_stores,
+        summary.obligation_cache_hit_ratio(),
+        summary.cache.disk_loaded,
+        summary.cache.disk_persisted,
+        summary.cache.disk_bytes,
+        outcome_table(summary).to_json_string()
+    )
+}
+
+fn main() {
+    let n = env_u64("KEQ_PR4_N", 24) as usize;
+    let secs = env_u64("KEQ_PR4_SECS", 10);
+    let seed = env_u64("KEQ_PR4_SEED", 2021);
+    let out = std::env::var("KEQ_PR4_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+
+    let store: PathBuf = std::env::temp_dir()
+        .join(format!("keq-bench-pr4-{}-{seed}.keqcache", std::process::id()));
+    let _ = std::fs::remove_file(&store);
+
+    eprintln!("cold: {n} corpus functions (seed {seed}, {secs}s/function), empty store...");
+    let (cold_wall, cold) = measure(seed, n, secs, &store);
+    eprintln!("warm: same corpus, store reloaded ({} bytes)...", cold.cache.disk_bytes);
+    let (warm_wall, warm) = measure(seed, n, secs, &store);
+    let _ = std::fs::remove_file(&store);
+
+    // The cache must be invisible to verdicts: the warm run classifies
+    // every function exactly as the cold run did.
+    let cold_rows: Vec<_> = cold.rows.iter().map(|r| (&r.name, r.result.kind())).collect();
+    let warm_rows: Vec<_> = warm.rows.iter().map(|r| (&r.name, r.result.kind())).collect();
+    assert_eq!(cold_rows, warm_rows, "warm-run verdicts drifted from the cold run");
+
+    assert!(
+        cold.cache.disk_persisted > 0,
+        "cold run persisted nothing — the store never left the ground"
+    );
+    assert!(
+        warm.cache.disk_loaded >= cold.cache.disk_persisted,
+        "warm run loaded {} records but the cold run persisted {}",
+        warm.cache.disk_loaded,
+        cold.cache.disk_persisted
+    );
+    let warm_ratio = warm.obligation_cache_hit_ratio();
+    assert!(
+        warm.solver.obligation_cache_hits > 0 && warm_ratio >= 0.30,
+        "acceptance bar: warm run must discharge >=30% of obligations from the \
+         cache (hits {}, misses {}, ratio {warm_ratio:.2})",
+        warm.solver.obligation_cache_hits,
+        warm.solver.obligation_cache_misses
+    );
+    // Wall-clock bar with slack for timer noise: CI-sized corpora finish
+    // in tens of milliseconds, where scheduling jitter dwarfs solver work.
+    assert!(
+        warm_wall <= cold_wall.mul_f64(1.05) + Duration::from_millis(250),
+        "acceptance bar: warm run must not be slower (cold {cold_wall:?}, warm {warm_wall:?})"
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_PR4\",");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"n_functions\": {n},");
+    let _ = writeln!(json, "  \"per_function_secs\": {secs},");
+    let _ = writeln!(json, "  \"cold\": {},", json_run(cold_wall, &cold));
+    let _ = writeln!(json, "  \"warm\": {},", json_run(warm_wall, &warm));
+    let _ = writeln!(json, "  \"warm_hit_ratio\": {warm_ratio:.4}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out, &json).expect("write BENCH_PR4 json");
+    print!("{json}");
+    eprintln!("wrote {out} (warm hit ratio {warm_ratio:.2})");
+}

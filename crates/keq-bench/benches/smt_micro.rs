@@ -158,9 +158,63 @@ fn bench_session_reuse() {
     );
 }
 
+/// Cold-path cost of obligation fingerprinting: the same sync-point batch
+/// solved by a detached solver (no shared cache — fingerprinting skipped
+/// entirely) versus one attached to an empty shared cache (every query
+/// fingerprints, looks up, misses, and — for unsat verdicts — stores).
+/// The attached run's overhead over the detached run is the PR's ≤5%
+/// acceptance bar; it is asserted with headroom for timer noise since a
+/// micro-run's wall clock jitters more than the fingerprint pass costs.
+fn bench_fingerprint_overhead() {
+    println!("--- obligation_fingerprint_overhead ---");
+    let obligations = 12usize;
+    let iters = 8u32;
+
+    let run = |attach: bool| -> Duration {
+        let mut total = Duration::ZERO;
+        for i in 0..=iters {
+            let mut bank = TermBank::new();
+            let wl = keq_bench::sync_point_workload(&mut bank, 32, obligations);
+            let mut solver = Solver::new();
+            if attach {
+                let cache = std::sync::Arc::new(keq_smt::SharedObligationCache::new());
+                solver.set_obligation_cache(Some(cache));
+            }
+            let start = Instant::now();
+            for (delta, expect_sat) in &wl.obligations {
+                let mut full = wl.prefix.clone();
+                full.extend_from_slice(delta);
+                let outcome = solver.check_sat(&mut bank, &full);
+                assert_eq!(matches!(outcome, keq_smt::CheckOutcome::Sat(_)), *expect_sat);
+            }
+            // Iteration 0 is the warm-up, outside the timed total.
+            if i > 0 {
+                total += start.elapsed();
+            }
+        }
+        total / iters
+    };
+
+    let detached = run(false);
+    let attached = run(true);
+    let overhead = attached.as_secs_f64() / detached.as_secs_f64().max(1e-9) - 1.0;
+    println!("detached/{obligations}-obligations {:>21}", format_duration(detached));
+    println!(
+        "attached/{obligations}-obligations {:>21}   overhead {:>6.1}%",
+        format_duration(attached),
+        overhead * 100.0
+    );
+    assert!(
+        attached <= detached.mul_f64(1.05) + Duration::from_millis(5),
+        "cold fingerprinting must cost <=5% over a detached solver \
+         (detached {detached:?}, attached {attached:?})"
+    );
+}
+
 fn main() {
     bench_positive_form();
     bench_solver_scaling();
     bench_running_example();
     bench_session_reuse();
+    bench_fingerprint_overhead();
 }

@@ -8,7 +8,7 @@ pub mod session_workload;
 
 pub use corpus_run::{
     build_report, outcome_table, run_corpus, run_corpus_with, run_module, AttemptRecord,
-    CorpusResult, CorpusRow, CorpusSummary, HarnessOptions, ResultKind, RetryPolicy,
+    CacheSummary, CorpusResult, CorpusRow, CorpusSummary, HarnessOptions, ResultKind, RetryPolicy,
 };
 /// The shared histogram type (lives in `keq-trace` so the run report's
 /// latency distributions and the Fig. 7 plots use the same buckets).

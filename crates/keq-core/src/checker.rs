@@ -474,6 +474,10 @@ fn trace_check_counters(stats: &KeqStats) {
         delta: stats.obligations_proved,
     });
     keq_trace::emit(keq_trace::Event::Counter { name: "check.steps", delta: stats.steps });
+    keq_trace::emit(keq_trace::Event::Counter {
+        name: "check.obligation_cache_hits",
+        delta: stats.solver.obligation_cache_hits,
+    });
 }
 
 /// Polls the deadline and the supervisor's cancellation flag at a safe

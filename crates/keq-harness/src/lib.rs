@@ -33,5 +33,5 @@ pub mod run;
 
 pub use panic_capture::PanicInfo;
 pub use report::{build_report, outcome_table};
-pub use result::{AttemptRecord, CorpusResult, CorpusRow, CorpusSummary, ResultKind};
+pub use result::{AttemptRecord, CacheSummary, CorpusResult, CorpusRow, CorpusSummary, ResultKind};
 pub use run::{run_module, HarnessOptions, RetryPolicy};

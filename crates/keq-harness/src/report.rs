@@ -11,8 +11,8 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use keq_trace::{
-    AttemptReport, Event, FunctionReport, Journal, OutcomeTable, Phase, RunReport, SolverCounters,
-    TraceEvent,
+    AttemptReport, CacheCounters, Event, FunctionReport, Journal, OutcomeTable, Phase, RunReport,
+    SolverCounters, TraceEvent,
 };
 
 use crate::result::{CorpusResult, CorpusSummary, ResultKind};
@@ -79,6 +79,28 @@ fn solver_counters(summary: &CorpusSummary) -> SolverCounters {
         terms_blasted: s.terms_blasted,
         terms_blast_reused: s.terms_blast_reused,
         time_us: duration_us(s.time),
+    }
+}
+
+/// The report's obligation-cache section. Lookup traffic (hits, misses,
+/// stores) comes from the solver's per-attempt deltas, so
+/// `hits + misses == obligations` holds by construction (the invariant
+/// [`keq_trace::validate`] enforces); cache-side bookkeeping and disk
+/// traffic come from the harness's [`CacheSummary`](crate::CacheSummary).
+fn cache_counters(summary: &CorpusSummary) -> CacheCounters {
+    let s = &summary.solver;
+    let c = &summary.cache;
+    CacheCounters {
+        obligations: s.obligation_cache_hits + s.obligation_cache_misses,
+        hits: s.obligation_cache_hits,
+        misses: s.obligation_cache_misses,
+        stores: s.obligation_cache_stores,
+        evictions: c.evictions,
+        entries: c.entries,
+        disk_loaded: c.disk_loaded,
+        disk_rejected: c.disk_rejected,
+        disk_persisted: c.disk_persisted,
+        disk_bytes: c.disk_bytes,
     }
 }
 
@@ -157,6 +179,7 @@ pub fn build_report(summary: &CorpusSummary, journal: Option<&Journal>, seed: u6
         trace_enabled: journal.is_some(),
         outcome: outcome_table(summary),
         solver: solver_counters(summary),
+        cache: cache_counters(summary),
         phases: keq_trace::phase_summaries(&events),
         functions,
         events_recorded: journal.map_or(0, Journal::recorded),

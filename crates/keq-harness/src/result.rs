@@ -117,6 +117,28 @@ pub struct CorpusRow {
     pub attempts: Vec<AttemptRecord>,
 }
 
+/// Run-level state of the shared obligation cache: in-memory shape at the
+/// end of the run plus the on-disk warm-start traffic. Hit/miss/store
+/// counts live in [`SolverStats`] (they are attributed per attempt, like
+/// every other solver counter); this records what the solver cannot see —
+/// the cache's own bookkeeping and its persistence round-trip.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSummary {
+    /// Entries evicted by the byte bound during the run.
+    pub evictions: u64,
+    /// Entries resident when the run finished.
+    pub entries: u64,
+    /// Records accepted from the on-disk store at startup.
+    pub disk_loaded: u64,
+    /// Records rejected at startup (bad checksum, torn tail, unknown
+    /// verdict) — each skipped individually, never fatal.
+    pub disk_rejected: u64,
+    /// Records written back at shutdown.
+    pub disk_persisted: u64,
+    /// Size of the on-disk store after the shutdown write, in bytes.
+    pub disk_bytes: u64,
+}
+
 /// Aggregated per-function rows, ordered by function index.
 #[derive(Debug, Clone, Default)]
 pub struct CorpusSummary {
@@ -127,6 +149,8 @@ pub struct CorpusSummary {
     /// [`SolverStats::merge`]; abandoned workers' stale late results are
     /// excluded, like their rows).
     pub solver: SolverStats,
+    /// Shared obligation-cache state (zeros when the run had no cache).
+    pub cache: CacheSummary,
 }
 
 impl CorpusSummary {
@@ -153,14 +177,26 @@ impl CorpusSummary {
         self.rows.iter().map(|r| r.attempts.len()).sum()
     }
 
+    /// Fraction of shared obligation-cache lookups that hit (0.0 when the
+    /// run performed none).
+    pub fn obligation_cache_hit_ratio(&self) -> f64 {
+        let hits = self.solver.obligation_cache_hits;
+        let lookups = hits + self.solver.obligation_cache_misses;
+        if lookups == 0 {
+            return 0.0;
+        }
+        hits as f64 / lookups as f64
+    }
+
     /// The end-of-run summary line: the Fig. 6 outcome counts plus the
     /// run-level solver reuse counters (cache evictions, session prefix
-    /// hits, learnt clauses retained).
+    /// hits, learnt clauses retained) and the shared obligation cache's
+    /// hit ratio and on-disk footprint.
     pub fn summary_line(&self) -> String {
         format!(
             "corpus: {} functions, {} attempts | succeeded {} timeout {} oom {} crashed {} \
              other {} | solver: queries {} cache_hits {} cache_evictions {} prefix_hits {} \
-             clauses_retained {}",
+             clauses_retained {} | obcache: hits {} misses {} hit_ratio {:.2} store_bytes {}",
             self.total(),
             self.total_attempts(),
             self.count(ResultKind::Succeeded),
@@ -173,6 +209,10 @@ impl CorpusSummary {
             self.solver.cache_evictions,
             self.solver.prefix_hits,
             self.solver.clauses_retained,
+            self.solver.obligation_cache_hits,
+            self.solver.obligation_cache_misses,
+            self.obligation_cache_hit_ratio(),
+            self.cache.disk_bytes,
         )
     }
 }
@@ -221,10 +261,22 @@ mod tests {
         s.solver.cache_evictions = 3;
         s.solver.prefix_hits = 17;
         s.solver.clauses_retained = 41;
+        s.solver.obligation_cache_hits = 30;
+        s.solver.obligation_cache_misses = 10;
+        s.cache.disk_bytes = 2_048;
         let line = s.summary_line();
         assert!(line.contains("cache_evictions 3"), "{line}");
         assert!(line.contains("prefix_hits 17"), "{line}");
         assert!(line.contains("clauses_retained 41"), "{line}");
+        assert!(line.contains("obcache: hits 30 misses 10 hit_ratio 0.75"), "{line}");
+        assert!(line.contains("store_bytes 2048"), "{line}");
+    }
+
+    #[test]
+    fn hit_ratio_of_a_cacheless_run_is_zero() {
+        let s = CorpusSummary::default();
+        assert_eq!(s.obligation_cache_hit_ratio(), 0.0);
+        assert!(s.summary_line().contains("hit_ratio 0.00"), "{}", s.summary_line());
     }
 
     #[test]

@@ -34,10 +34,10 @@ use keq_isel::pipeline::ValidationContext;
 use keq_isel::{IselOptions, VcOptions};
 use keq_llvm::ast::Module;
 use keq_smt::fault::{self, FaultPlan};
-use keq_smt::{Budget, CancelToken, SolverStats};
+use keq_smt::{Budget, CancelToken, SharedObligationCache, SolverStats};
 
 use crate::panic_capture;
-use crate::result::{AttemptRecord, CorpusResult, CorpusRow, CorpusSummary};
+use crate::result::{AttemptRecord, CacheSummary, CorpusResult, CorpusRow, CorpusSummary};
 
 /// Escalating-budget retry policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +119,12 @@ pub struct HarnessOptions {
     /// worker so one journal collects a coherent, epoch-aligned event
     /// stream (`None` disables tracing: probe sites cost one flag read).
     pub trace: Option<keq_trace::TraceSink>,
+    /// On-disk obligation store for persistent warm starts: loaded into
+    /// the run's [`SharedObligationCache`] before the first attempt and
+    /// written back (append-only for a store of the current semantics
+    /// revision) after the last. `None` keeps the cache purely in-memory —
+    /// it is still shared across workers within the run.
+    pub cache_path: Option<std::path::PathBuf>,
 }
 
 impl Default for HarnessOptions {
@@ -135,16 +141,70 @@ impl Default for HarnessOptions {
             fault_plan: FaultPlan::quiet(0),
             warm_start: true,
             trace: None,
+            cache_path: None,
         }
     }
 }
 
-/// Per-function warm-start contexts, keyed by function index. A worker
-/// *takes* the entry before an attempt and puts it back afterwards, so the
-/// map never hands the same context to two threads (the supervisor only
-/// ever has one attempt of a function in flight). The supervisor drops an
-/// entry when its function is finalized.
-type CtxMap = Mutex<HashMap<usize, ValidationContext>>;
+/// Per-function warm-start contexts, keyed by function index and guarded
+/// by a per-function *generation*. A worker [`WarmStarts::take`]s the
+/// entry (and the function's current generation) before an attempt and
+/// [`WarmStarts::put`]s it back afterwards, so the map never hands the
+/// same context to two threads (the supervisor only ever has one attempt
+/// of a function in flight).
+///
+/// When the supervisor finalizes a function — on a delivered result *or*
+/// by abandoning a wedged worker — it [`WarmStarts::retire`]s the entry,
+/// which bumps the generation. A detached, watchdog-abandoned thread that
+/// eventually finishes still tries to put its context back; its stale
+/// generation no longer matches, so the context is dropped on the floor
+/// instead of being resurrected into the map (where nothing would ever
+/// read it again, pinning a dead function's term bank for the rest of the
+/// run).
+#[derive(Default)]
+struct WarmStarts {
+    inner: Mutex<WarmInner>,
+}
+
+#[derive(Default)]
+struct WarmInner {
+    generations: HashMap<usize, u64>,
+    ctxs: HashMap<usize, ValidationContext>,
+}
+
+impl WarmStarts {
+    /// Removes and returns the function's context (if any) together with
+    /// the generation the caller must present to [`WarmStarts::put`].
+    fn take(&self, func: usize) -> (u64, Option<ValidationContext>) {
+        let mut st = self.inner.lock().expect("warm-start map poisoned");
+        let generation = st.generations.get(&func).copied().unwrap_or(0);
+        (generation, st.ctxs.remove(&func))
+    }
+
+    /// Puts a context back for the function's next attempt — unless the
+    /// supervisor retired the function since the matching
+    /// [`WarmStarts::take`], in which case the stale context is dropped.
+    fn put(&self, func: usize, generation: u64, ctx: ValidationContext) {
+        let mut st = self.inner.lock().expect("warm-start map poisoned");
+        if st.generations.get(&func).copied().unwrap_or(0) == generation {
+            st.ctxs.insert(func, ctx);
+        }
+    }
+
+    /// Finalizes the function: drops its context and bumps its generation
+    /// so any in-flight (possibly abandoned) attempt can no longer put one
+    /// back.
+    fn retire(&self, func: usize) {
+        let mut st = self.inner.lock().expect("warm-start map poisoned");
+        *st.generations.entry(func).or_insert(0) += 1;
+        st.ctxs.remove(&func);
+    }
+
+    #[cfg(test)]
+    fn contains(&self, func: usize) -> bool {
+        self.inner.lock().expect("warm-start map poisoned").ctxs.contains_key(&func)
+    }
+}
 
 /// One unit of queued work: one attempt at one function.
 #[derive(Debug, Clone, Copy)]
@@ -243,8 +303,21 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
     let module = Arc::new(module.clone());
     let opts_arc = Arc::new(opts.clone());
     let queue = Arc::new(JobQueue::default());
-    let ctxs: Arc<CtxMap> = Arc::new(CtxMap::default());
+    let ctxs = Arc::new(WarmStarts::default());
     let (tx, rx) = mpsc::channel::<Msg>();
+
+    // One obligation cache for the whole run, shared by every worker (and
+    // every replacement worker), warm-started from the on-disk store when
+    // one is configured. A corrupt or stale store degrades to a cold
+    // cache, never to a failed run.
+    let shared = Arc::new(SharedObligationCache::new());
+    let mut disk_loaded = 0u64;
+    let mut disk_rejected = 0u64;
+    if let Some(path) = &opts.cache_path {
+        let load = shared.load(path);
+        disk_loaded = load.loaded;
+        disk_rejected = load.rejected;
+    }
 
     let workers = if opts.workers == 0 {
         std::thread::available_parallelism().map_or(4, usize::from).min(n).max(1)
@@ -253,7 +326,7 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
     };
     let mut pool: Vec<Worker> = Vec::new();
     for id in 0..workers {
-        pool.push(spawn_worker(&module, &opts_arc, &queue, &ctxs, &tx, id));
+        pool.push(spawn_worker(&module, &opts_arc, &queue, &ctxs, &shared, &tx, id));
     }
 
     // Seed one attempt-1 job per function.
@@ -318,7 +391,7 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
                     completed += 1;
                     // No further attempt will run: release the function's
                     // warm-start context.
-                    ctxs.lock().expect("ctx map poisoned").remove(&info.func);
+                    ctxs.retire(info.func);
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}
@@ -359,15 +432,15 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
             finals[info.func] = Some(CorpusResult::Timeout);
             completed += 1;
             // The abandoned worker still *owns* the function's context (it
-            // took it before the attempt) and may re-insert it if it ever
-            // finishes; that re-insert is a bounded, harmless leak since
-            // the function is final and nothing reads the entry again.
-            ctxs.lock().expect("ctx map poisoned").remove(&info.func);
+            // took it before the attempt) and may try to re-insert it if
+            // it ever finishes; retiring bumps the generation so that late
+            // insert is dropped instead of resurrecting a dead entry.
+            ctxs.retire(info.func);
             // Retire the wedged worker (its thread stays detached) and
             // keep the pool at strength with a fresh replacement.
             retire_worker(&mut pool, info.worker);
             let id = pool.len();
-            pool.push(spawn_worker(&module, &opts_arc, &queue, &ctxs, &tx, id));
+            pool.push(spawn_worker(&module, &opts_arc, &queue, &ctxs, &shared, &tx, id));
         }
     }
 
@@ -382,7 +455,28 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
         }
     }
 
-    let mut summary = CorpusSummary { solver: solver_total, ..CorpusSummary::default() };
+    // Write the cache back before summarizing, so the summary reports the
+    // store's post-run size. Persistence is best-effort: an I/O error
+    // costs next run's warm start, not this run's results.
+    let mut disk_persisted = 0u64;
+    let mut disk_bytes = 0u64;
+    if let Some(path) = &opts.cache_path {
+        if let Ok(persist) = shared.persist(path) {
+            disk_persisted = persist.written;
+            disk_bytes = persist.file_bytes;
+        }
+    }
+    let cache_stats = shared.stats();
+    let cache = CacheSummary {
+        evictions: cache_stats.evictions,
+        entries: cache_stats.entries,
+        disk_loaded,
+        disk_rejected,
+        disk_persisted,
+        disk_bytes,
+    };
+
+    let mut summary = CorpusSummary { solver: solver_total, cache, ..CorpusSummary::default() };
     for (index, f) in module.functions.iter().enumerate() {
         let size: usize = f.blocks.iter().map(|b| b.instrs.len() + 1).sum();
         let rows_attempts = std::mem::take(&mut attempts[index]);
@@ -409,7 +503,8 @@ fn spawn_worker(
     module: &Arc<Module>,
     opts: &Arc<HarnessOptions>,
     queue: &Arc<JobQueue>,
-    ctxs: &Arc<CtxMap>,
+    ctxs: &Arc<WarmStarts>,
+    shared: &Arc<SharedObligationCache>,
     tx: &mpsc::Sender<Msg>,
     id: usize,
 ) -> Worker {
@@ -417,6 +512,7 @@ fn spawn_worker(
     let opts = Arc::clone(opts);
     let queue = Arc::clone(queue);
     let ctxs = Arc::clone(ctxs);
+    let shared = Arc::clone(shared);
     let tx = tx.clone();
     let retired = Arc::new(AtomicBool::new(false));
     let retired_in = Arc::clone(&retired);
@@ -432,7 +528,7 @@ fn spawn_worker(
                     break;
                 }
                 let start = Instant::now();
-                let outcome = run_attempt(&module, &opts, &ctxs, job, &cancel, start);
+                let outcome = run_attempt(&module, &opts, &ctxs, &shared, job, &cancel, start);
                 if tx.send(Msg::Finished { job: job.id, outcome }).is_err() {
                     break;
                 }
@@ -448,7 +544,8 @@ fn spawn_worker(
 fn run_attempt(
     module: &Module,
     opts: &HarnessOptions,
-    ctxs: &CtxMap,
+    ctxs: &WarmStarts,
+    shared: &Arc<SharedObligationCache>,
     job: Job,
     cancel: &CancelToken,
     start: Instant,
@@ -462,11 +559,16 @@ fn run_attempt(
         attempt: job.attempt,
         budget_scale: opts.retry.scale(job.attempt),
     });
-    let mut ctx = if opts.warm_start {
-        ctxs.lock().expect("ctx map poisoned").remove(&job.func).unwrap_or_default()
+    let (generation, mut ctx) = if opts.warm_start {
+        let (generation, ctx) = ctxs.take(job.func);
+        (generation, ctx.unwrap_or_default())
     } else {
-        ValidationContext::new()
+        (0, ValidationContext::new())
     };
+    // (Re-)attach the run's shared obligation cache on every attempt:
+    // fresh contexts start detached, and a warm-started context carries
+    // whatever was attached last time.
+    ctx.attach_obligation_cache(Some(Arc::clone(shared)));
     // The warm-start context carries cumulative solver statistics from
     // earlier attempts; snapshot them so this attempt reports its delta.
     let stats_before = ctx.solver.stats();
@@ -490,7 +592,9 @@ fn run_attempt(
         Ok((Ok(v), ctx)) => {
             solver = ctx.solver.stats().since(&stats_before);
             if opts.warm_start {
-                ctxs.lock().expect("ctx map poisoned").insert(job.func, ctx);
+                // Dropped, not inserted, if the supervisor retired the
+                // function while this attempt ran (watchdog abandonment).
+                ctxs.put(job.func, generation, ctx);
             }
             classify(&v.report.verdict)
         }
@@ -540,5 +644,67 @@ fn classify(verdict: &Verdict) -> (CorpusResult, bool) {
             };
             (result, retryable)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The stale-context resurrection regression: a watchdog-abandoned
+    /// worker's detached thread finishes *after* the supervisor retired
+    /// its function. Its put must be dropped — before the generation
+    /// check, the late insert parked a dead function's term bank in the
+    /// map for the rest of the run.
+    #[test]
+    fn late_put_after_retire_is_dropped() {
+        let warm = WarmStarts::default();
+        warm.put(3, 0, ValidationContext::new());
+        let (generation, ctx) = warm.take(3);
+        assert!(ctx.is_some());
+
+        // Supervisor abandons the attempt and finalizes the function.
+        warm.retire(3);
+
+        // The detached worker eventually finishes and puts "back".
+        warm.put(3, generation, ValidationContext::new());
+        assert!(!warm.contains(3), "retired function must not resurrect its context");
+
+        // And a *current*-generation put after the retire still works
+        // (not relevant to finalized functions, but proves retire only
+        // invalidates earlier takes, not the map entry forever).
+        let (generation, ctx) = warm.take(3);
+        assert!(ctx.is_none());
+        warm.put(3, generation, ValidationContext::new());
+        assert!(warm.contains(3));
+    }
+
+    #[test]
+    fn put_with_matching_generation_round_trips() {
+        let warm = WarmStarts::default();
+        let (generation, ctx) = warm.take(7);
+        assert_eq!(generation, 0);
+        assert!(ctx.is_none(), "fresh function has no context yet");
+        warm.put(7, generation, ValidationContext::new());
+        assert!(warm.contains(7));
+
+        // A take hands the context out exclusively.
+        let (generation, ctx) = warm.take(7);
+        assert!(ctx.is_some());
+        assert!(!warm.contains(7));
+        warm.put(7, generation, ctx.unwrap());
+        assert!(warm.contains(7));
+    }
+
+    #[test]
+    fn retire_is_per_function() {
+        let warm = WarmStarts::default();
+        let (g1, _) = warm.take(1);
+        let (g2, _) = warm.take(2);
+        warm.retire(1);
+        warm.put(1, g1, ValidationContext::new());
+        warm.put(2, g2, ValidationContext::new());
+        assert!(!warm.contains(1), "retired function dropped");
+        assert!(warm.contains(2), "unrelated function unaffected");
     }
 }

@@ -47,6 +47,19 @@ impl ValidationContext {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Attaches (or detaches, with `None`) a corpus-wide
+    /// [`keq_smt::SharedObligationCache`] to the context's solver, so
+    /// canonically-identical obligations proved by *other* functions or
+    /// earlier runs are discharged without lowering or bit-blasting. The
+    /// harness calls this on every attempt; a detached context pays no
+    /// fingerprinting overhead.
+    pub fn attach_obligation_cache(
+        &mut self,
+        cache: Option<std::sync::Arc<keq_smt::SharedObligationCache>>,
+    ) {
+        self.solver.set_obligation_cache(cache);
+    }
 }
 
 /// Compiles `func` with the configured ISel and validates the translation.

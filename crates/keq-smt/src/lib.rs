@@ -27,7 +27,9 @@ pub mod bitblast;
 pub mod cancel;
 pub mod eval;
 pub mod fault;
+pub mod fingerprint;
 pub mod lower;
+pub mod obcache;
 pub mod sat;
 pub mod solver;
 pub mod sort;
@@ -37,7 +39,12 @@ pub use bitblast::{BitBlaster, BlastCache};
 pub use cancel::{stop_requested, CancelToken, StopCause};
 pub use eval::{Assignment, MemValue, Value};
 pub use fault::{FaultAction, FaultGuard, FaultPlan, FaultSite, InjectedFault, Rate};
+pub use fingerprint::{fingerprint_obligation, ObligationFingerprint, ShapeMemo};
 pub use lower::{lower, Lowered, Lowerer, TermBudgetExceeded};
+pub use obcache::{
+    CachedVerdict, LoadOutcome, ObligationCacheStats, PersistOutcome, SharedObligationCache,
+    SEMANTICS_REVISION,
+};
 pub use sat::SatBudget;
 pub use solver::{
     Budget, BudgetKind, CheckOutcome, Model, ProofOutcome, Session, Solver, SolverStats,

@@ -1,0 +1,511 @@
+//! Corpus-wide shared obligation cache with an append-only on-disk store.
+//!
+//! The [`SharedObligationCache`] is the cross-function / cross-run reuse
+//! layer on top of the per-solver query memo: it maps canonical
+//! [`ObligationFingerprint`]s to *model-free* verdicts, shared by every
+//! worker thread of a corpus run (mutex-striped shards, so worker A's
+//! closed obligations prune worker B's queries in-flight) and optionally
+//! persisted between runs.
+//!
+//! # Cacheability
+//!
+//! Only [`CachedVerdict::Unsat`] — the "obligation discharged" verdict —
+//! is ever stored. `Sat` outcomes carry a counterexample model that is
+//! bank-specific, and budget/deadline/fault outcomes describe the attempt,
+//! not the obligation; callers must never insert either (the solver
+//! integration filters them, and a harness test asserts a faulted run
+//! leaves no trace in the persisted store).
+//!
+//! # On-disk format (hermetic, hand-rolled)
+//!
+//! ```text
+//! header:  magic "KEQOBCH1" (8 bytes)
+//!          store format version  u32 LE
+//!          semantics revision    u64 LE
+//! record:  payload length        u32 LE   (currently 17)
+//!          fingerprint lo        u64 LE
+//!          fingerprint hi        u64 LE
+//!          verdict               u8       (1 = Unsat)
+//!          FNV-1a-32 checksum of the payload  u32 LE
+//! ```
+//!
+//! Loading is fail-soft and record-by-record: a header mismatch (foreign
+//! file, stale [`SEMANTICS_REVISION`]) discards the whole store; a record
+//! with a bad checksum or unknown verdict is skipped; a torn tail
+//! (truncated final record) keeps every record before it. Nothing panics —
+//! a corrupted store only makes the next run cold.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::fingerprint::ObligationFingerprint;
+
+/// Bump when term semantics, normalization, or the fingerprint algorithm
+/// change in any way that could alter what a fingerprint means. A persisted
+/// store with a different revision is discarded wholesale at load.
+pub const SEMANTICS_REVISION: u64 = 1;
+
+/// On-disk container format version (layout of header/records, not the
+/// meaning of fingerprints — that is [`SEMANTICS_REVISION`]).
+pub const STORE_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"KEQOBCH1";
+const HEADER_LEN: usize = 8 + 4 + 8;
+/// Payload bytes of the one record shape we write today.
+const PAYLOAD_LEN: u32 = 8 + 8 + 1;
+/// Upper bound accepted when reading (forward-compat headroom; anything
+/// larger is treated as corruption).
+const MAX_PAYLOAD_LEN: u32 = 64;
+
+/// A cacheable, model-free verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachedVerdict {
+    /// The obligation's negation is unsatisfiable — the proof obligation is
+    /// discharged, independent of which bank or run asked.
+    Unsat,
+}
+
+impl CachedVerdict {
+    fn to_byte(self) -> u8 {
+        match self {
+            CachedVerdict::Unsat => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<CachedVerdict> {
+        match b {
+            1 => Some(CachedVerdict::Unsat),
+            _ => None,
+        }
+    }
+}
+
+/// Approximate in-memory footprint of one entry (map slot + FIFO slot).
+const ENTRY_BYTES: usize = 48;
+/// Shard count: enough stripes that 8–16 workers rarely collide.
+const SHARDS: usize = 16;
+/// Default byte bound across all shards (FIFO eviction past this).
+const DEFAULT_MAX_BYTES: usize = 64 << 20;
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<u128, CachedVerdict>,
+    order: VecDeque<u128>,
+    /// Entries proven this run and not yet persisted.
+    dirty: Vec<(u128, CachedVerdict)>,
+}
+
+/// Aggregated cache statistics at one point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObligationCacheStats {
+    /// Lookups answered.
+    pub hits: u64,
+    /// Lookups missed.
+    pub misses: u64,
+    /// Verdicts inserted.
+    pub inserts: u64,
+    /// Entries evicted by the byte bound.
+    pub evictions: u64,
+    /// Live entries.
+    pub entries: u64,
+    /// Approximate live bytes.
+    pub bytes: u64,
+}
+
+/// Result of loading a persisted store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadOutcome {
+    /// Records accepted.
+    pub loaded: u64,
+    /// Records rejected (bad checksum, unknown verdict, torn tail).
+    pub rejected: u64,
+    /// The whole store was discarded (missing/foreign/stale header); the
+    /// next persist rewrites the file from scratch.
+    pub reset: bool,
+}
+
+/// Result of persisting the store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistOutcome {
+    /// Records written in this persist.
+    pub written: u64,
+    /// File size after persisting, bytes.
+    pub file_bytes: u64,
+}
+
+/// Mutex-striped fingerprint → verdict cache shared by all workers.
+#[derive(Debug)]
+pub struct SharedObligationCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    /// Set when a load found no usable store, so persist must rewrite the
+    /// file (fresh header + full contents) instead of appending.
+    needs_rewrite: AtomicBool,
+    max_bytes_per_shard: usize,
+}
+
+impl Default for SharedObligationCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedObligationCache {
+    /// A cache with the default byte bound.
+    pub fn new() -> Self {
+        Self::with_max_bytes(DEFAULT_MAX_BYTES)
+    }
+
+    /// A cache bounded at roughly `max_bytes` across all shards.
+    pub fn with_max_bytes(max_bytes: usize) -> Self {
+        SharedObligationCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            needs_rewrite: AtomicBool::new(false),
+            max_bytes_per_shard: (max_bytes / SHARDS).max(ENTRY_BYTES),
+        }
+    }
+
+    fn shard(&self, fp: ObligationFingerprint) -> &Mutex<Shard> {
+        // High bits: the low 64 feed trace events, keep the stripe choice
+        // independent of them.
+        let i = ((fp.0 >> 64) as usize) % SHARDS;
+        &self.shards[i]
+    }
+
+    /// Looks up a verdict, counting the hit or miss.
+    pub fn lookup(&self, fp: ObligationFingerprint) -> Option<CachedVerdict> {
+        let shard = self.shard(fp).lock().unwrap_or_else(|e| e.into_inner());
+        match shard.map.get(&fp.0).copied() {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Records a verdict, marking it dirty for the next persist and
+    /// evicting oldest-first past the byte bound.
+    pub fn insert(&self, fp: ObligationFingerprint, verdict: CachedVerdict) {
+        let mut shard = self.shard(fp).lock().unwrap_or_else(|e| e.into_inner());
+        self.insert_into(&mut shard, fp.0, verdict, true);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn insert_into(&self, shard: &mut Shard, fp: u128, verdict: CachedVerdict, dirty: bool) {
+        if shard.map.insert(fp, verdict).is_none() {
+            shard.order.push_back(fp);
+        }
+        if dirty {
+            shard.dirty.push((fp, verdict));
+        }
+        while shard.map.len() * ENTRY_BYTES > self.max_bytes_per_shard {
+            let Some(victim) = shard.order.pop_front() else { break };
+            if shard.map.remove(&victim).is_some() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Point-in-time statistics (counters are relaxed; entry/byte totals
+    /// take each shard lock briefly).
+    pub fn stats(&self) -> ObligationCacheStats {
+        let mut entries = 0u64;
+        for s in &self.shards {
+            entries += s.lock().unwrap_or_else(|e| e.into_inner()).map.len() as u64;
+        }
+        ObligationCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes: entries * ENTRY_BYTES as u64,
+        }
+    }
+
+    /// Loads a persisted store. Fail-soft: any corruption is tolerated
+    /// record-by-record and an unusable store simply leaves the cache cold
+    /// (see the module docs for the exact rules). Loaded entries are not
+    /// dirty — persisting appends only verdicts proven this run.
+    pub fn load(&self, path: &Path) -> LoadOutcome {
+        let mut out = LoadOutcome::default();
+        let mut buf = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                if f.read_to_end(&mut buf).is_err() {
+                    out.reset = true;
+                    self.needs_rewrite.store(true, Ordering::Relaxed);
+                    return out;
+                }
+            }
+            Err(_) => {
+                out.reset = true;
+                self.needs_rewrite.store(true, Ordering::Relaxed);
+                return out;
+            }
+        }
+        if buf.len() < HEADER_LEN || &buf[..8] != MAGIC {
+            out.reset = true;
+            self.needs_rewrite.store(true, Ordering::Relaxed);
+            return out;
+        }
+        let version = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+        let revision = u64::from_le_bytes(buf[12..20].try_into().expect("8 bytes"));
+        if version != STORE_VERSION || revision != SEMANTICS_REVISION {
+            out.reset = true;
+            self.needs_rewrite.store(true, Ordering::Relaxed);
+            return out;
+        }
+        let mut at = HEADER_LEN;
+        while at < buf.len() {
+            // Torn tail: anything shorter than a full record ends the scan
+            // (earlier records stay loaded).
+            if buf.len() - at < 4 {
+                out.rejected += 1;
+                break;
+            }
+            let len = u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"));
+            if len > MAX_PAYLOAD_LEN || buf.len() - at < 4 + len as usize + 4 {
+                out.rejected += 1;
+                break;
+            }
+            let payload = &buf[at + 4..at + 4 + len as usize];
+            let crc_at = at + 4 + len as usize;
+            let crc = u32::from_le_bytes(buf[crc_at..crc_at + 4].try_into().expect("4 bytes"));
+            at = crc_at + 4;
+            if crc != fnv1a32(payload) || len != PAYLOAD_LEN {
+                out.rejected += 1;
+                continue;
+            }
+            let lo = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
+            let hi = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+            let Some(verdict) = CachedVerdict::from_byte(payload[16]) else {
+                out.rejected += 1;
+                continue;
+            };
+            let fp = (u128::from(hi) << 64) | u128::from(lo);
+            let mut shard =
+                self.shard(ObligationFingerprint(fp)).lock().unwrap_or_else(|e| e.into_inner());
+            self.insert_into(&mut shard, fp, verdict, false);
+            out.loaded += 1;
+        }
+        out
+    }
+
+    /// Persists the store: appends this run's dirty verdicts to a valid
+    /// existing file, or rewrites the file (header + every live entry) when
+    /// the load found nothing usable. Clears the dirty sets on success.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; the in-memory cache is unaffected either way
+    /// (dirty entries are retained on failure so a retry can persist them).
+    pub fn persist(&self, path: &Path) -> std::io::Result<PersistOutcome> {
+        let rewrite = self.needs_rewrite.load(Ordering::Relaxed) || !path.exists();
+        let mut records: Vec<(u128, CachedVerdict)> = Vec::new();
+        if rewrite {
+            for s in &self.shards {
+                let shard = s.lock().unwrap_or_else(|e| e.into_inner());
+                records.extend(shard.map.iter().map(|(&fp, &v)| (fp, v)));
+            }
+            records.sort_unstable_by_key(|&(fp, _)| fp);
+        } else {
+            for s in &self.shards {
+                let shard = s.lock().unwrap_or_else(|e| e.into_inner());
+                records.extend(shard.dirty.iter().copied());
+            }
+        }
+        let mut body = Vec::with_capacity(records.len() * (4 + PAYLOAD_LEN as usize + 4));
+        for (fp, verdict) in &records {
+            let mut payload = [0u8; PAYLOAD_LEN as usize];
+            payload[0..8].copy_from_slice(&((*fp as u64).to_le_bytes()));
+            payload[8..16].copy_from_slice(&(((*fp >> 64) as u64).to_le_bytes()));
+            payload[16] = verdict.to_byte();
+            body.extend_from_slice(&PAYLOAD_LEN.to_le_bytes());
+            body.extend_from_slice(&payload);
+            body.extend_from_slice(&fnv1a32(&payload).to_le_bytes());
+        }
+        let mut file = if rewrite {
+            let mut f = File::create(path)?;
+            f.write_all(MAGIC)?;
+            f.write_all(&STORE_VERSION.to_le_bytes())?;
+            f.write_all(&SEMANTICS_REVISION.to_le_bytes())?;
+            f
+        } else {
+            OpenOptions::new().append(true).open(path)?
+        };
+        file.write_all(&body)?;
+        file.flush()?;
+        let file_bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+        for s in &self.shards {
+            s.lock().unwrap_or_else(|e| e.into_inner()).dirty.clear();
+        }
+        self.needs_rewrite.store(false, Ordering::Relaxed);
+        Ok(PersistOutcome { written: records.len() as u64, file_bytes })
+    }
+}
+
+/// FNV-1a, 32-bit.
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u128) -> ObligationFingerprint {
+        ObligationFingerprint(n)
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("keq-obcache-test-{tag}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn lookup_insert_and_counters() {
+        let cache = SharedObligationCache::new();
+        assert_eq!(cache.lookup(fp(7)), None);
+        cache.insert(fp(7), CachedVerdict::Unsat);
+        assert_eq!(cache.lookup(fp(7)), Some(CachedVerdict::Unsat));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn eviction_is_bounded_and_counted() {
+        // Small bound: a few entries per shard.
+        let cache = SharedObligationCache::with_max_bytes(SHARDS * ENTRY_BYTES * 4);
+        for i in 0..(SHARDS as u128 * 64) {
+            cache.insert(fp(i << 64 | i), CachedVerdict::Unsat);
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "{stats:?}");
+        assert!(stats.entries <= (SHARDS * 4) as u64, "{stats:?}");
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let cache = SharedObligationCache::new();
+        assert!(cache.load(&path).reset, "missing file loads cold");
+        for i in 0..100u128 {
+            cache.insert(fp(((i * 0x1_0001) << 32) | i), CachedVerdict::Unsat);
+        }
+        let persisted = cache.persist(&path).expect("persist");
+        assert_eq!(persisted.written, 100);
+
+        let warm = SharedObligationCache::new();
+        let loaded = warm.load(&path);
+        assert_eq!((loaded.loaded, loaded.rejected, loaded.reset), (100, 0, false));
+        assert_eq!(warm.lookup(fp(0)), Some(CachedVerdict::Unsat));
+
+        // Second run proves one more; persist appends exactly one record.
+        warm.insert(fp(0xdead), CachedVerdict::Unsat);
+        let p2 = warm.persist(&path).expect("append");
+        assert_eq!(p2.written, 1);
+        let warm2 = SharedObligationCache::new();
+        assert_eq!(warm2.load(&path).loaded, 101);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flipped_checksum_rejects_one_record_only() {
+        let path = temp_path("checksum");
+        let _ = std::fs::remove_file(&path);
+        let cache = SharedObligationCache::new();
+        for i in 1..=10u128 {
+            cache.insert(fp(i), CachedVerdict::Unsat);
+        }
+        cache.persist(&path).expect("persist");
+        let mut bytes = std::fs::read(&path).expect("read back");
+        // Flip one bit inside the first record's checksum.
+        let first_crc = HEADER_LEN + 4 + PAYLOAD_LEN as usize;
+        bytes[first_crc] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("write corrupted");
+
+        let warm = SharedObligationCache::new();
+        let loaded = warm.load(&path);
+        assert_eq!(loaded.rejected, 1, "{loaded:?}");
+        assert_eq!(loaded.loaded, 9, "{loaded:?}");
+        assert!(!loaded.reset);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_record_keeps_earlier_records() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let cache = SharedObligationCache::new();
+        for i in 1..=5u128 {
+            cache.insert(fp(i), CachedVerdict::Unsat);
+        }
+        cache.persist(&path).expect("persist");
+        let bytes = std::fs::read(&path).expect("read back");
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).expect("tear tail");
+
+        let warm = SharedObligationCache::new();
+        let loaded = warm.load(&path);
+        assert_eq!((loaded.loaded, loaded.rejected), (4, 1), "{loaded:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_revision_discards_wholesale_and_rewrites() {
+        let path = temp_path("stale");
+        let _ = std::fs::remove_file(&path);
+        // Hand-write a store with a future semantics revision.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&STORE_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(SEMANTICS_REVISION + 1).to_le_bytes());
+        std::fs::write(&path, &bytes).expect("write stale store");
+
+        let cache = SharedObligationCache::new();
+        let loaded = cache.load(&path);
+        assert!(loaded.reset, "{loaded:?}");
+        assert_eq!(loaded.loaded, 0);
+        cache.insert(fp(42), CachedVerdict::Unsat);
+        cache.persist(&path).expect("rewrite");
+
+        let warm = SharedObligationCache::new();
+        let reloaded = warm.load(&path);
+        assert_eq!((reloaded.loaded, reloaded.reset), (1, false), "{reloaded:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn garbage_file_loads_cold_without_panicking() {
+        let path = temp_path("garbage");
+        std::fs::write(&path, b"definitely not a cache store").expect("write garbage");
+        let cache = SharedObligationCache::new();
+        let loaded = cache.load(&path);
+        assert!(loaded.reset);
+        assert_eq!(cache.stats().entries, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

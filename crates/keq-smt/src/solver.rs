@@ -8,13 +8,16 @@
 //! `φ₁ ∧ ¬φ₂`.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::bitblast::{BitBlaster, BlastCache};
 use crate::cancel::{stop_requested, CancelToken};
 use crate::eval::{eval, Assignment, Value};
 use crate::fault::{self, FaultAction, FaultSite};
+use crate::fingerprint::{fingerprint_obligation, ObligationFingerprint, ShapeMemo};
 use crate::lower::{lower, Lowerer};
+use crate::obcache::{CachedVerdict, SharedObligationCache};
 use crate::sat::{Lit, SatBudget, SatOutcome, SatSolver};
 use crate::sort::Sort;
 use crate::term::{Op, TermBank, TermId};
@@ -156,6 +159,13 @@ pub struct SolverStats {
     /// Term nodes whose CNF translation was served from a blast memo
     /// (shared-subterm hits, within and across queries).
     pub terms_blast_reused: u64,
+    /// Queries discharged by the shared obligation cache (canonical
+    /// fingerprint matched a verdict proven by another function or run).
+    pub obligation_cache_hits: u64,
+    /// Queries that consulted the shared obligation cache and missed.
+    pub obligation_cache_misses: u64,
+    /// Verdicts this solver recorded into the shared obligation cache.
+    pub obligation_cache_stores: u64,
     /// Total wall-clock time in the solver.
     pub time: Duration,
 }
@@ -176,6 +186,9 @@ impl SolverStats {
         self.clauses_retained += other.clauses_retained;
         self.terms_blasted += other.terms_blasted;
         self.terms_blast_reused += other.terms_blast_reused;
+        self.obligation_cache_hits += other.obligation_cache_hits;
+        self.obligation_cache_misses += other.obligation_cache_misses;
+        self.obligation_cache_stores += other.obligation_cache_stores;
         self.time += other.time;
     }
 
@@ -199,6 +212,15 @@ impl SolverStats {
             terms_blast_reused: self
                 .terms_blast_reused
                 .saturating_sub(earlier.terms_blast_reused),
+            obligation_cache_hits: self
+                .obligation_cache_hits
+                .saturating_sub(earlier.obligation_cache_hits),
+            obligation_cache_misses: self
+                .obligation_cache_misses
+                .saturating_sub(earlier.obligation_cache_misses),
+            obligation_cache_stores: self
+                .obligation_cache_stores
+                .saturating_sub(earlier.obligation_cache_stores),
             time: self.time.checked_sub(earlier.time).unwrap_or_default(),
         }
     }
@@ -317,6 +339,12 @@ pub struct Solver {
     cancel: Option<CancelToken>,
     /// Bounded memo of closed queries, keyed by prefix+delta.
     cache: QueryCache,
+    /// Optional corpus-wide obligation cache, shared across solvers (and
+    /// runs, when persisted). `None` — the default — skips fingerprinting
+    /// entirely.
+    shared: Option<Arc<SharedObligationCache>>,
+    /// Per-bank memo for the query-independent fingerprint layer.
+    fp_memo: ShapeMemo,
 }
 
 impl Solver {
@@ -366,6 +394,59 @@ impl Solver {
         self.cache.len()
     }
 
+    /// Attaches (or detaches) a shared obligation cache. While attached,
+    /// every query that misses the local memo is fingerprinted and checked
+    /// against the shared cache before lowering/bit-blasting, and every
+    /// `Unsat` verdict is recorded back. Detached solvers pay zero
+    /// fingerprinting overhead.
+    pub fn set_obligation_cache(&mut self, cache: Option<Arc<SharedObligationCache>>) {
+        self.shared = cache;
+    }
+
+    /// The attached shared obligation cache, if any.
+    pub fn obligation_cache(&self) -> Option<&Arc<SharedObligationCache>> {
+        self.shared.as_ref()
+    }
+
+    /// Consults the shared cache for the obligation `parts` (a conjunction,
+    /// possibly split into prefix/delta). Returns the fingerprint (for the
+    /// later store) and a hit verdict, counting hit/miss stats and emitting
+    /// the cache trace events.
+    fn shared_lookup(
+        &mut self,
+        bank: &TermBank,
+        parts: &[&[TermId]],
+    ) -> (Option<ObligationFingerprint>, Option<CachedVerdict>) {
+        let Some(shared) = self.shared.clone() else {
+            return (None, None);
+        };
+        let fp = fingerprint_obligation(bank, &mut self.fp_memo, parts);
+        match shared.lookup(fp) {
+            Some(verdict) => {
+                self.stats.obligation_cache_hits += 1;
+                keq_trace::emit(keq_trace::Event::CacheHit { fp: fp.lo64() });
+                (Some(fp), Some(verdict))
+            }
+            None => {
+                self.stats.obligation_cache_misses += 1;
+                keq_trace::emit(keq_trace::Event::CacheMiss { fp: fp.lo64() });
+                (Some(fp), None)
+            }
+        }
+    }
+
+    /// Records an `Unsat` outcome into the shared cache (all other outcomes
+    /// are not cacheable: `Sat` carries a bank-specific model, budget/fault
+    /// outcomes describe the attempt, not the obligation).
+    fn shared_store(&mut self, fp: Option<ObligationFingerprint>, outcome: &CheckOutcome) {
+        let (Some(fp), Some(shared)) = (fp, self.shared.as_ref()) else { return };
+        if matches!(outcome, CheckOutcome::Unsat) {
+            shared.insert(fp, CachedVerdict::Unsat);
+            self.stats.obligation_cache_stores += 1;
+            keq_trace::emit(keq_trace::Event::CacheStore { fp: fp.lo64() });
+        }
+    }
+
     /// The shared per-query entry preamble: fault-injection poll first, then
     /// cooperative cancellation. Every query entry point (scratch
     /// [`Solver::check_sat`] and every [`Session`] query) funnels through
@@ -399,10 +480,23 @@ impl Solver {
             trace_query("scratch", &outcome, true, start.elapsed(), &self.stats.since(&stats_before));
             return outcome;
         }
+        // Shared obligation cache: consulted only on a local miss and
+        // strictly before lowering/bit-blasting, so a cross-function hit
+        // skips the whole pipeline.
+        let (fp, shared_hit) = self.shared_lookup(bank, &[assertions]);
+        if let Some(CachedVerdict::Unsat) = shared_hit {
+            let outcome = CheckOutcome::Unsat;
+            self.cache.insert(key, outcome.clone(), &mut self.stats.cache_evictions);
+            self.stats.unsat += 1;
+            self.stats.time += start.elapsed();
+            trace_query("scratch", &outcome, true, start.elapsed(), &self.stats.since(&stats_before));
+            return outcome;
+        }
         let outcome = self.check_sat_inner(bank, assertions);
         if !matches!(outcome, CheckOutcome::Budget(_)) {
             self.cache.insert(key, outcome.clone(), &mut self.stats.cache_evictions);
         }
+        self.shared_store(fp, &outcome);
         match &outcome {
             CheckOutcome::Sat(_) => self.stats.sat += 1,
             CheckOutcome::Unsat => self.stats.unsat += 1,
@@ -745,12 +839,28 @@ impl<'s> Session<'s> {
             self.trace("session", &outcome, true, start, &stats_before);
             return outcome;
         }
+        // Shared obligation cache: the fingerprint covers prefix ∧ delta,
+        // so the session split matches any other way of posing the same
+        // conjunction (including scratch queries and other functions'
+        // sessions over isomorphic obligations).
+        let (fp, shared_hit) = self.solver.shared_lookup(bank, &[&self.prefix, delta]);
+        if let Some(CachedVerdict::Unsat) = shared_hit {
+            let outcome = CheckOutcome::Unsat;
+            self.solver
+                .cache
+                .insert(key, outcome.clone(), &mut self.solver.stats.cache_evictions);
+            self.solver.stats.unsat += 1;
+            self.solver.stats.time += start.elapsed();
+            self.trace("session", &outcome, true, start, &stats_before);
+            return outcome;
+        }
         let outcome = self.check_sat_inner(bank, delta);
         if !matches!(outcome, CheckOutcome::Budget(_)) {
             self.solver
                 .cache
                 .insert(key, outcome.clone(), &mut self.solver.stats.cache_evictions);
         }
+        self.solver.shared_store(fp, &outcome);
         match &outcome {
             CheckOutcome::Sat(_) => self.solver.stats.sat += 1,
             CheckOutcome::Unsat => self.solver.stats.unsat += 1,

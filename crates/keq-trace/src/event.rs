@@ -184,6 +184,22 @@ pub enum Event {
         /// Fault kind (stable wire name, e.g. `"force_budget_conflicts"`).
         fault: &'static str,
     },
+    /// The shared obligation cache answered a query (low 64 fingerprint
+    /// bits identify the obligation across workers and runs).
+    CacheHit {
+        /// Low 64 bits of the canonical obligation fingerprint.
+        fp: u64,
+    },
+    /// A query consulted the shared obligation cache and missed.
+    CacheMiss {
+        /// Low 64 bits of the canonical obligation fingerprint.
+        fp: u64,
+    },
+    /// A proven verdict was recorded into the shared obligation cache.
+    CacheStore {
+        /// Low 64 bits of the canonical obligation fingerprint.
+        fp: u64,
+    },
 }
 
 impl Event {
@@ -200,6 +216,9 @@ impl Event {
             Event::SessionOpened { .. } => "session_opened",
             Event::SolverQuery { .. } => "solver_query",
             Event::FaultInjected { .. } => "fault",
+            Event::CacheHit { .. } => "cache_hit",
+            Event::CacheMiss { .. } => "cache_miss",
+            Event::CacheStore { .. } => "cache_store",
         }
     }
 }
@@ -296,6 +315,9 @@ impl TraceEvent {
             Event::FaultInjected { site, fault } => {
                 let _ = write!(out, ",\"site\":\"{site}\",\"fault\":\"{fault}\"");
             }
+            Event::CacheHit { fp } | Event::CacheMiss { fp } | Event::CacheStore { fp } => {
+                let _ = write!(out, ",\"fp\":{fp}");
+            }
         }
         out.push('}');
     }
@@ -343,6 +365,9 @@ mod tests {
                 cache_evictions: 0,
             },
             Event::FaultInjected { site: "solver_query", fault: "force_budget_terms" },
+            Event::CacheHit { fp: 0xdead_beef },
+            Event::CacheMiss { fp: 7 },
+            Event::CacheStore { fp: 0x7fff_ffff },
         ];
         for (i, event) in events.into_iter().enumerate() {
             let te = TraceEvent { t_us: 100 + i as u64, func: Some(3), attempt: Some(1), event };

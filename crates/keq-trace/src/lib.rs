@@ -41,6 +41,6 @@ pub use recorder::{
     TraceGuard, TraceSink,
 };
 pub use report::{
-    check_phase_coverage, phase_summaries, validate, AttemptReport, FunctionReport, OutcomeTable,
-    PhaseSummary, RunReport, SolverCounters, Violation, REPORT_SCHEMA,
+    check_phase_coverage, phase_summaries, validate, AttemptReport, CacheCounters, FunctionReport,
+    OutcomeTable, PhaseSummary, RunReport, SolverCounters, Violation, REPORT_SCHEMA,
 };

@@ -18,7 +18,9 @@ use crate::histogram::Histogram;
 use crate::json::{self, Json};
 
 /// Schema identifier of the current report format.
-pub const REPORT_SCHEMA: &str = "keq-run-report/v1";
+///
+/// v2 added the `cache` section (shared obligation-cache counters).
+pub const REPORT_SCHEMA: &str = "keq-run-report/v2";
 
 /// The Fig. 6 outcome table.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -125,6 +127,64 @@ impl SolverCounters {
             ("terms_blasted", json::num(self.terms_blasted)),
             ("terms_blast_reused", json::num(self.terms_blast_reused)),
             ("time_us", json::num(self.time_us)),
+        ])
+    }
+}
+
+/// The shared obligation-cache counters of a run (`cache.*` in the v2
+/// schema): canonical-fingerprint lookups, verdict reuse, and the on-disk
+/// store traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Obligations fingerprinted and looked up (must equal hits + misses).
+    pub obligations: u64,
+    /// Lookups answered by the shared cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Verdicts recorded into the shared cache.
+    pub stores: u64,
+    /// Entries evicted by the byte bound.
+    pub evictions: u64,
+    /// Live entries at end of run.
+    pub entries: u64,
+    /// Records accepted from the persisted store at startup.
+    pub disk_loaded: u64,
+    /// Records rejected while loading (corruption, stale revision).
+    pub disk_rejected: u64,
+    /// Records written at shutdown.
+    pub disk_persisted: u64,
+    /// Size of the persisted store after the run, bytes (0 when not
+    /// persisting).
+    pub disk_bytes: u64,
+}
+
+impl CacheCounters {
+    const FIELDS: [&'static str; 10] = [
+        "obligations",
+        "hits",
+        "misses",
+        "stores",
+        "evictions",
+        "entries",
+        "disk_loaded",
+        "disk_rejected",
+        "disk_persisted",
+        "disk_bytes",
+    ];
+
+    fn to_json(self) -> Json {
+        json::obj(vec![
+            ("obligations", json::num(self.obligations)),
+            ("hits", json::num(self.hits)),
+            ("misses", json::num(self.misses)),
+            ("stores", json::num(self.stores)),
+            ("evictions", json::num(self.evictions)),
+            ("entries", json::num(self.entries)),
+            ("disk_loaded", json::num(self.disk_loaded)),
+            ("disk_rejected", json::num(self.disk_rejected)),
+            ("disk_persisted", json::num(self.disk_persisted)),
+            ("disk_bytes", json::num(self.disk_bytes)),
         ])
     }
 }
@@ -266,6 +326,8 @@ pub struct RunReport {
     pub outcome: OutcomeTable,
     /// Merged solver counters.
     pub solver: SolverCounters,
+    /// Shared obligation-cache counters.
+    pub cache: CacheCounters,
     /// Per-phase span aggregates (phases with no spans are omitted).
     pub phases: Vec<PhaseSummary>,
     /// Per-function rows, ordered by index.
@@ -287,6 +349,7 @@ impl RunReport {
             ("trace_enabled", Json::Bool(self.trace_enabled)),
             ("outcome", self.outcome.to_json()),
             ("solver", self.solver.to_json()),
+            ("cache", self.cache.to_json()),
             ("phases", Json::Arr(self.phases.iter().map(PhaseSummary::to_json).collect())),
             (
                 "functions",
@@ -402,6 +465,22 @@ pub fn validate(doc: &Json) -> Result<(), Vec<Violation>> {
     if let Some(solver) = require(doc, "$", "solver", &mut v) {
         for key in SolverCounters::FIELDS {
             require_u64(solver, "$.solver", key, &mut v);
+        }
+    }
+
+    if let Some(cache) = require(doc, "$", "cache", &mut v) {
+        for key in CacheCounters::FIELDS {
+            require_u64(cache, "$.cache", key, &mut v);
+        }
+        let hits = cache.get("hits").and_then(Json::as_u64);
+        let misses = cache.get("misses").and_then(Json::as_u64);
+        let obligations = cache.get("obligations").and_then(Json::as_u64);
+        if let (Some(h), Some(m), Some(o)) = (hits, misses, obligations) {
+            if h + m != o {
+                v.push(format!(
+                    "$.cache: hits ({h}) + misses ({m}) disagree with obligations ({o})"
+                ));
+            }
         }
     }
 
@@ -598,6 +677,18 @@ mod tests {
                 terms_blast_reused: 400,
                 time_us: 80_120,
             },
+            cache: CacheCounters {
+                obligations: 34,
+                hits: 9,
+                misses: 25,
+                stores: 14,
+                evictions: 1,
+                entries: 13,
+                disk_loaded: 5,
+                disk_rejected: 1,
+                disk_persisted: 14,
+                disk_bytes: 370,
+            },
             phases: vec![PhaseSummary {
                 phase: Phase::Check,
                 count: 2,
@@ -701,6 +792,29 @@ mod tests {
         let doc = Json::parse(&report.to_json()).expect("parses");
         let errs = validate(&doc).expect_err("must fail");
         assert!(errs.iter().any(|e| e.contains("span inverted")), "{errs:?}");
+    }
+
+    #[test]
+    fn cache_hit_miss_sum_must_match_obligations() {
+        let mut report = sample_report();
+        report.cache.obligations = report.cache.hits + report.cache.misses + 1;
+        let doc = Json::parse(&report.to_json()).expect("parses");
+        let errs = validate(&doc).expect_err("must fail");
+        assert!(
+            errs.iter().any(|e| e.contains("disagree with obligations")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn missing_cache_section_is_reported() {
+        let text = sample_report().to_json();
+        let mut doc = Json::parse(&text).expect("parses");
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "cache");
+        }
+        let errs = validate(&doc).expect_err("must fail");
+        assert!(errs.iter().any(|e| e.contains("missing key \"cache\"")), "{errs:?}");
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! `KEQ_BLESS_GOLDEN=1 cargo test -p keq-trace --test golden_report`.
 
 use keq_trace::{
-    check_phase_coverage, validate, AttemptReport, FunctionReport, Histogram, Json, OutcomeTable,
-    Phase, PhaseSummary, RunReport, SolverCounters,
+    check_phase_coverage, validate, AttemptReport, CacheCounters, FunctionReport, Histogram, Json,
+    OutcomeTable, Phase, PhaseSummary, RunReport, SolverCounters,
 };
 
 const TRICKY_MESSAGE: &str = "boom \"quoted\"\nsecond line\twith tab \\ backslash and π";
@@ -45,6 +45,18 @@ fn golden_report() -> RunReport {
             terms_blasted: 1000,
             terms_blast_reused: 400,
             time_us: 80_120,
+        },
+        cache: CacheCounters {
+            obligations: 34,
+            hits: 9,
+            misses: 25,
+            stores: 14,
+            evictions: 1,
+            entries: 13,
+            disk_loaded: 5,
+            disk_rejected: 1,
+            disk_persisted: 14,
+            disk_bytes: 370,
         },
         phases: vec![PhaseSummary { phase: Phase::Check, count: 2, total_us: 80_120, histogram: hist }],
         functions: vec![

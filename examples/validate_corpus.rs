@@ -6,13 +6,16 @@
 //!
 //! ```text
 //! cargo run --release --example validate_corpus -- [N] [--seed S] \
-//!     [--report RUN_REPORT.json] [--trace-jsonl trace.jsonl]
+//!     [--report RUN_REPORT.json] [--trace-jsonl trace.jsonl] \
+//!     [--cache obligations.keqcache]
 //! ```
 //!
 //! `--report` turns on tracing, collects the run's event journal, and
 //! writes the aggregated machine-readable report (schema
-//! `keq-run-report/v1`; see DESIGN.md §Observability). `--trace-jsonl`
-//! additionally streams every raw event as one JSON line.
+//! `keq-run-report/v2`; see DESIGN.md §Observability). `--trace-jsonl`
+//! additionally streams every raw event as one JSON line. `--cache`
+//! persists the shared obligation cache across runs: proved obligations
+//! are written back at the end and warm-start the next invocation.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -27,10 +30,11 @@ struct Cli {
     seed: u64,
     report: Option<String>,
     trace_jsonl: Option<String>,
+    cache: Option<String>,
 }
 
 fn parse_cli() -> Cli {
-    let mut cli = Cli { n: 20, seed: 2021, report: None, trace_jsonl: None };
+    let mut cli = Cli { n: 20, seed: 2021, report: None, trace_jsonl: None, cache: None };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -41,12 +45,13 @@ fn parse_cli() -> Cli {
             "--trace-jsonl" => {
                 cli.trace_jsonl = Some(args.next().expect("--trace-jsonl <path>"));
             }
+            "--cache" => cli.cache = Some(args.next().expect("--cache <path>")),
             other => match other.parse() {
                 Ok(n) => cli.n = n,
                 Err(_) => {
                     eprintln!(
                         "usage: validate_corpus [N] [--seed S] [--report PATH] \
-                         [--trace-jsonl PATH]"
+                         [--trace-jsonl PATH] [--cache PATH]"
                     );
                     std::process::exit(2);
                 }
@@ -82,7 +87,8 @@ fn main() {
     } else {
         None
     };
-    let opts = HarnessOptions { keq, trace, ..HarnessOptions::default() };
+    let cache_path = cli.cache.as_ref().map(std::path::PathBuf::from);
+    let opts = HarnessOptions { keq, trace, cache_path, ..HarnessOptions::default() };
 
     println!("validating {} generated functions (seed {})...", cli.n, cli.seed);
     let (_module, summary) = keq_bench::run_corpus_with(cli.seed, cli.n, &opts);
@@ -99,6 +105,15 @@ fn main() {
         summary.success_rate() * 100.0
     );
     println!("{}", summary.summary_line());
+    if let Some(path) = &cli.cache {
+        println!(
+            "obligation store {path}: loaded {} rejected {} persisted {} ({} bytes)",
+            summary.cache.disk_loaded,
+            summary.cache.disk_rejected,
+            summary.cache.disk_persisted,
+            summary.cache.disk_bytes,
+        );
+    }
 
     if let Some(path) = &cli.report {
         let report = build_report(&summary, Some(&journal), cli.seed);

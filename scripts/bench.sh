@@ -1,28 +1,57 @@
 #!/usr/bin/env bash
-# Machine-readable PR benchmark: session prefix-reuse rates plus the
-# Fig. 6 corpus timings, emitted as BENCH_PR2.json (see
-# crates/keq-bench/benches/bench_pr2.rs for the schema and knobs).
+# Machine-readable PR benchmarks.
+#
+#   pr2  session prefix-reuse rates plus the Fig. 6 corpus timings,
+#        emitted as BENCH_PR2.json
+#        (crates/keq-bench/benches/bench_pr2.rs for schema and knobs)
+#   pr4  cold-vs-warm obligation-cache corpus runs, emitted as
+#        BENCH_PR4.json
+#        (crates/keq-bench/benches/bench_pr4.rs for schema and knobs)
 #
 # Usage:
-#   scripts/bench.sh            # full-size run (defaults of bench_pr2)
-#   scripts/bench.sh --smoke    # CI-sized run, a few seconds total
+#   scripts/bench.sh                  # pr2, full-size run
+#   scripts/bench.sh --smoke          # pr2, CI-sized run
+#   scripts/bench.sh pr4 [--smoke]    # obligation-cache benchmark
 #
-# Any KEQ_PR2_* variable already in the environment wins over the smoke
-# defaults, so a partial override stays possible in either mode.
+# Any KEQ_PR2_* / KEQ_PR4_* variable already in the environment wins over
+# the smoke defaults, so a partial override stays possible in either mode.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [[ "${1:-}" == "--smoke" ]]; then
-    export KEQ_PR2_N="${KEQ_PR2_N:-4}"
-    export KEQ_PR2_SECS="${KEQ_PR2_SECS:-5}"
-    export KEQ_PR2_OBLIGATIONS="${KEQ_PR2_OBLIGATIONS:-6}"
-fi
+target=pr2
+smoke=0
+for arg in "$@"; do
+    case "$arg" in
+        pr2|pr4) target="$arg" ;;
+        --smoke) smoke=1 ;;
+        *)
+            echo "usage: scripts/bench.sh [pr2|pr4] [--smoke]" >&2
+            exit 2
+            ;;
+    esac
+done
 
-# Cargo runs bench binaries from the package directory; anchor the output
-# at the repository root unless the caller chose a path.
-export KEQ_PR2_OUT="${KEQ_PR2_OUT:-$PWD/BENCH_PR2.json}"
-
-echo "==> cargo bench -p keq-bench --bench bench_pr2"
-cargo bench -p keq-bench --bench bench_pr2
-
-echo "==> wrote ${KEQ_PR2_OUT:-BENCH_PR2.json}"
+case "$target" in
+    pr2)
+        if [[ "$smoke" == 1 ]]; then
+            export KEQ_PR2_N="${KEQ_PR2_N:-4}"
+            export KEQ_PR2_SECS="${KEQ_PR2_SECS:-5}"
+            export KEQ_PR2_OBLIGATIONS="${KEQ_PR2_OBLIGATIONS:-6}"
+        fi
+        # Cargo runs bench binaries from the package directory; anchor the
+        # output at the repository root unless the caller chose a path.
+        export KEQ_PR2_OUT="${KEQ_PR2_OUT:-$PWD/BENCH_PR2.json}"
+        echo "==> cargo bench -p keq-bench --bench bench_pr2"
+        cargo bench -p keq-bench --bench bench_pr2
+        echo "==> wrote ${KEQ_PR2_OUT}"
+        ;;
+    pr4)
+        if [[ "$smoke" == 1 ]]; then
+            export KEQ_PR4_N="${KEQ_PR4_N:-8}"
+        fi
+        export KEQ_PR4_OUT="${KEQ_PR4_OUT:-$PWD/BENCH_PR4.json}"
+        echo "==> cargo bench -p keq-bench --bench bench_pr4"
+        cargo bench -p keq-bench --bench bench_pr4
+        echo "==> wrote ${KEQ_PR4_OUT}"
+        ;;
+esac

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Traced corpus run producing the machine-readable RUN_REPORT.json
-# (schema keq-run-report/v1; see DESIGN.md §Observability), then
+# (schema keq-run-report/v2; see DESIGN.md §Observability), then
 # schema-checks it with the keq-trace validator.
 #
 # Usage:
@@ -12,6 +12,7 @@
 #   KEQ_REPORT_SEED   corpus seed
 #   KEQ_REPORT_OUT    report path            (default RUN_REPORT.json)
 #   KEQ_REPORT_JSONL  raw event stream path  (default: not written)
+#   KEQ_REPORT_CACHE  persistent obligation-store path (default: no store)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +26,9 @@ KEQ_REPORT_OUT="${KEQ_REPORT_OUT:-$PWD/RUN_REPORT.json}"
 args=("$KEQ_REPORT_N" --seed "$KEQ_REPORT_SEED" --report "$KEQ_REPORT_OUT")
 if [[ -n "${KEQ_REPORT_JSONL:-}" ]]; then
     args+=(--trace-jsonl "$KEQ_REPORT_JSONL")
+fi
+if [[ -n "${KEQ_REPORT_CACHE:-}" ]]; then
+    args+=(--cache "$KEQ_REPORT_CACHE")
 fi
 
 echo "==> cargo run --release --example validate_corpus -- ${args[*]}"
