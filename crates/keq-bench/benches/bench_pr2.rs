@@ -95,7 +95,7 @@ fn measure_fig6(seed: u64, n: usize, secs: u64, warm_start: bool) -> String {
             },
             ..KeqOptions::default()
         },
-        retry: RetryPolicy { max_attempts: 2, factor: 4 },
+        retry: RetryPolicy { max_attempts: 2, factor: 4, ..RetryPolicy::default() },
         warm_start,
         ..HarnessOptions::default()
     };

@@ -1,0 +1,190 @@
+//! **BENCH_PR6** — machine-readable crash-safety benchmark.
+//!
+//! Quantifies the two costs PR 6 introduced and the one saving it bought:
+//!
+//! 1. `bare`      — the corpus run with no journal (baseline wall time);
+//! 2. `journaled` — the same corpus with the write-ahead verdict journal
+//!    armed (the overhead side: one framed, checksummed record per
+//!    finalized function);
+//! 3. `resumed`   — the same corpus again after the journal is truncated
+//!    to roughly half its records, as a mid-run kill would leave it
+//!    (the saving side: recovered functions skip validation entirely).
+//!
+//! Emits `BENCH_PR6.json` (hand-rolled writer; the workspace is
+//! dependency-free) with one section per run plus the headline overhead
+//! and resume ratios.
+//!
+//! In-bench acceptance bars (the run aborts when missed):
+//!
+//! * journaling costs ≤ 10% wall time over the bare run (with absolute
+//!   slack for timer noise on CI-sized corpora);
+//! * the resumed run after a ~50% truncation finishes in ≤ 70% of the
+//!   journaled cold wall (same slack), and actually skips work;
+//! * all three runs classify every function identically — neither the
+//!   journal nor resume may be visible in verdicts.
+//!
+//! Environment knobs:
+//!
+//! * `KEQ_PR6_N`    — corpus functions (default 24)
+//! * `KEQ_PR6_SECS` — per-function wall-clock limit (default 10)
+//! * `KEQ_PR6_SEED` — corpus seed (default 2021)
+//! * `KEQ_PR6_OUT`  — output path (default `BENCH_PR6.json`)
+//!
+//! `scripts/bench.sh pr6` drives this target; CI runs it smoke-sized.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use keq_bench::{outcome_table, run_corpus_with, CorpusSummary, HarnessOptions};
+use keq_core::KeqOptions;
+use keq_harness::{corpus_fingerprint, journal, JournalWriter};
+use keq_smt::obcache::StdStoreIo;
+use keq_smt::Budget;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn base_options(secs: u64) -> HarnessOptions {
+    HarnessOptions {
+        keq: KeqOptions {
+            time_limit: Some(Duration::from_secs(secs)),
+            solver_budget: Budget {
+                max_conflicts: 500_000,
+                max_terms: 2_000_000,
+                max_time: Some(Duration::from_secs(secs / 4 + 1)),
+            },
+            ..KeqOptions::default()
+        },
+        ..HarnessOptions::default()
+    }
+}
+
+fn measure(seed: u64, n: usize, opts: &HarnessOptions) -> (Duration, u64, CorpusSummary) {
+    let start = Instant::now();
+    let (m, summary) = run_corpus_with(seed, n, opts);
+    (start.elapsed(), corpus_fingerprint(&m), summary)
+}
+
+fn json_run(wall: Duration, summary: &CorpusSummary) -> String {
+    format!(
+        "{{\"wall_ms\": {}, \"resume_skipped\": {}, \"resume_recovered\": {}, \
+         \"resume_corrupt\": {}, \"outcome\": {}}}",
+        wall.as_millis(),
+        summary.resume.skipped,
+        summary.resume.recovered,
+        summary.resume.corrupt,
+        outcome_table(summary).to_json_string()
+    )
+}
+
+fn kinds(summary: &CorpusSummary) -> Vec<(String, keq_bench::ResultKind)> {
+    summary.rows.iter().map(|r| (r.name.clone(), r.result.kind())).collect()
+}
+
+fn main() {
+    let n = env_u64("KEQ_PR6_N", 24) as usize;
+    let secs = env_u64("KEQ_PR6_SECS", 10);
+    let seed = env_u64("KEQ_PR6_SEED", 2021);
+    let out = std::env::var("KEQ_PR6_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
+
+    let journal: PathBuf = std::env::temp_dir()
+        .join(format!("keq-bench-pr6-{}-{seed}.keqwal", std::process::id()));
+    let _ = std::fs::remove_file(&journal);
+
+    eprintln!("bare: {n} corpus functions (seed {seed}, {secs}s/function), no journal...");
+    let (bare_wall, _, bare) = measure(seed, n, &base_options(secs));
+
+    let journaled_opts = HarnessOptions {
+        journal_path: Some(journal.clone()),
+        ..base_options(secs)
+    };
+    eprintln!("journaled: same corpus, write-ahead journal armed...");
+    let (cold_wall, corpus_fp, cold) = measure(seed, n, &journaled_opts);
+
+    // Truncate the journal at the record where cumulative recorded time
+    // crosses 50% of the run's total — the prefix a kill at half wall
+    // time would leave behind — then rerun with resume on. (Truncating by
+    // bytes would keep half the *records*, not half the *work*: per-
+    // function times are skewed, so a byte-half journal can recover only
+    // the cheap functions and save almost nothing.)
+    let bytes_before = std::fs::metadata(&journal).map(|m| m.len()).unwrap_or(0);
+    let loaded = journal::load(&journal, corpus_fp, &StdStoreIo);
+    assert!(!loaded.records.is_empty(), "cold run produced an empty journal");
+    let total_us: u64 = loaded.records.iter().map(|r| r.time_us).sum();
+    let mut kept = Vec::new();
+    let mut acc_us = 0u64;
+    for rec in loaded.records {
+        if acc_us * 2 >= total_us {
+            break;
+        }
+        acc_us += rec.time_us;
+        kept.push(rec);
+    }
+    let _ = std::fs::remove_file(&journal);
+    let mut rewriter = JournalWriter::start(&journal, corpus_fp, None, Arc::new(StdStoreIo), 3);
+    for rec in &kept {
+        rewriter.append(rec);
+    }
+    assert!(!rewriter.degraded, "rewriting the truncated journal failed");
+    let keep = std::fs::metadata(&journal).map(|m| m.len()).unwrap_or(0);
+
+    let resumed_opts = HarnessOptions { resume: true, ..journaled_opts.clone() };
+    eprintln!(
+        "resumed: journal truncated to {} records / {keep} of {bytes_before} bytes \
+         ({acc_us} of {total_us} recorded us)...",
+        kept.len()
+    );
+    let (resumed_wall, _, resumed) = measure(seed, n, &resumed_opts);
+    let _ = std::fs::remove_file(&journal);
+
+    // Crash safety must be invisible in verdicts: all three runs classify
+    // every function identically.
+    assert_eq!(kinds(&bare), kinds(&cold), "journaled-run verdicts drifted from the bare run");
+    assert_eq!(kinds(&bare), kinds(&resumed), "resumed-run verdicts drifted from the bare run");
+
+    assert!(
+        resumed.resume.skipped > 0,
+        "resume bar: the truncated journal recovered nothing — resume never engaged"
+    );
+
+    let overhead = cold_wall.as_secs_f64() / bare_wall.as_secs_f64().max(1e-9);
+    // Absolute slack on both bars: CI-sized corpora finish in tens of
+    // milliseconds, where scheduling jitter dwarfs journal I/O.
+    assert!(
+        cold_wall <= bare_wall.mul_f64(1.10) + Duration::from_millis(250),
+        "acceptance bar: journaling must cost <=10% wall \
+         (bare {bare_wall:?}, journaled {cold_wall:?}, ratio {overhead:.3})"
+    );
+    let resume_ratio = resumed_wall.as_secs_f64() / cold_wall.as_secs_f64().max(1e-9);
+    assert!(
+        resumed_wall <= cold_wall.mul_f64(0.70) + Duration::from_millis(250),
+        "acceptance bar: resume after a ~50% kill must finish in <=70% of the \
+         cold wall (cold {cold_wall:?}, resumed {resumed_wall:?}, ratio {resume_ratio:.3})"
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_PR6\",");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"n_functions\": {n},");
+    let _ = writeln!(json, "  \"per_function_secs\": {secs},");
+    let _ = writeln!(json, "  \"journal_bytes\": {bytes_before},");
+    let _ = writeln!(json, "  \"journal_bytes_after_truncation\": {keep},");
+    let _ = writeln!(json, "  \"bare\": {},", json_run(bare_wall, &bare));
+    let _ = writeln!(json, "  \"journaled\": {},", json_run(cold_wall, &cold));
+    let _ = writeln!(json, "  \"resumed\": {},", json_run(resumed_wall, &resumed));
+    let _ = writeln!(json, "  \"journal_overhead_ratio\": {overhead:.4},");
+    let _ = writeln!(json, "  \"resume_wall_ratio\": {resume_ratio:.4}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out, &json).expect("write BENCH_PR6 json");
+    print!("{json}");
+    eprintln!(
+        "wrote {out} (journal overhead {overhead:.3}x, resume wall {resume_ratio:.3}x, \
+         skipped {}/{n})",
+        resumed.resume.skipped
+    );
+}

@@ -125,6 +125,7 @@ impl<'a> Keq<'a> {
         sync: &SyncSet,
         solver: &mut Solver,
     ) -> KeqReport {
+        let _ = fault::poll(FaultSite::CheckerEntry);
         let deadline = self.opts.time_limit.map(|d| std::time::Instant::now() + d);
         solver.set_budget(self.opts.solver_budget);
         solver.set_cancel(self.cancel.clone());

@@ -22,16 +22,30 @@
 //!   [`FaultPlan`](keq_smt::fault::FaultPlan) can inject synthetic panics,
 //!   spurious budget exhaustion, and cancellation-ignoring hangs inside
 //!   the pipeline, so the guarantees above are tested against real
-//!   in-pipeline misbehavior rather than simulated wrappers.
+//!   in-pipeline misbehavior rather than simulated wrappers. Storage
+//!   faults (short reads, torn writes, ENOSPC) extend the plan to the
+//!   persistence layer.
+//! * **Crash safety** — an optional write-ahead verdict journal
+//!   ([`journal`]) records every finalized function so a killed run can
+//!   resume where it left off; store and journal writers degrade to
+//!   memory-only behind a circuit breaker instead of failing the run;
+//!   functions that crash through the whole retry ladder are
+//!   [`CorpusResult::Quarantined`] rather than retried forever.
 //!
 //! Entry point: [`run_module`].
 
+pub mod journal;
 pub mod panic_capture;
 pub mod report;
 pub mod result;
 pub mod run;
 
+pub use journal::{
+    corpus_fingerprint, function_fingerprint, JournalLoad, JournalRecord, JournalWriter,
+};
 pub use panic_capture::PanicInfo;
 pub use report::{build_report, outcome_table};
-pub use result::{AttemptRecord, CacheSummary, CorpusResult, CorpusRow, CorpusSummary, ResultKind};
+pub use result::{
+    AttemptRecord, CacheSummary, CorpusResult, CorpusRow, CorpusSummary, ResultKind, ResumeSummary,
+};
 pub use run::{run_module, HarnessOptions, RetryPolicy};

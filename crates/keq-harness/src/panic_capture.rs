@@ -102,6 +102,21 @@ mod tests {
         assert!(err.render().contains(" at "), "got: {}", err.render());
     }
 
+    /// `panic_any` with a non-`&str`/non-`String` payload: nothing can be
+    /// downcast, so the message falls back to the placeholder — but the
+    /// hook still saw the `panic!` site, so the location survives. (The
+    /// untyped-payload path matters to the harness because validated code
+    /// is arbitrary: a dependency's `panic_any(ExitCode)` must still
+    /// produce a classified, located `Crashed` row.)
+    #[test]
+    fn non_string_payload_falls_back_but_keeps_location() {
+        let err = run_caught(|| std::panic::panic_any(42_i32)).expect_err("panics");
+        assert_eq!(err.message, "<non-string panic payload>");
+        let at = err.location.as_deref().expect("location flows through the hook");
+        assert!(at.contains("panic_capture.rs"), "got: {at}");
+        assert_eq!(err.render(), format!("<non-string panic payload> at {at}"));
+    }
+
     #[test]
     fn non_panicking_closures_pass_through() {
         assert_eq!(run_caught(|| 41 + 1), Ok(42));

@@ -11,8 +11,8 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use keq_trace::{
-    AttemptReport, CacheCounters, Event, FunctionReport, Journal, OutcomeTable, Phase, RunReport,
-    SolverCounters, TraceEvent,
+    AttemptReport, CacheCounters, Event, FunctionReport, Journal, OutcomeTable, Phase,
+    ResumeSection, RunReport, SolverCounters, TraceEvent,
 };
 
 use crate::result::{CorpusResult, CorpusSummary, ResultKind};
@@ -101,6 +101,9 @@ fn cache_counters(summary: &CorpusSummary) -> CacheCounters {
         disk_rejected: c.disk_rejected,
         disk_persisted: c.disk_persisted,
         disk_bytes: c.disk_bytes,
+        flushes: c.flushes,
+        flush_failures: c.flush_failures,
+        degraded: c.degraded,
     }
 }
 
@@ -112,6 +115,7 @@ pub fn outcome_table(summary: &CorpusSummary) -> OutcomeTable {
         timeout: summary.count(ResultKind::Timeout) as u64,
         out_of_memory: summary.count(ResultKind::OutOfMemory) as u64,
         crashed: summary.count(ResultKind::Crashed) as u64,
+        quarantined: summary.count(ResultKind::Quarantined) as u64,
         other: summary.count(ResultKind::Other) as u64,
         total: summary.total() as u64,
         attempts: summary.total_attempts() as u64,
@@ -137,7 +141,8 @@ pub fn build_report(summary: &CorpusSummary, journal: Option<&Journal>, seed: u6
             let end_us =
                 trace.and_then(|t| t.end_us).unwrap_or(start_us.saturating_add(wall_us));
             let (panic_message, panic_location) = match &rec.result {
-                CorpusResult::Crashed { message, location } => {
+                CorpusResult::Crashed { message, location }
+                | CorpusResult::Quarantined { message, location } => {
                     (Some(message.clone()), location.clone())
                 }
                 _ => (None, None),
@@ -170,6 +175,7 @@ pub fn build_report(summary: &CorpusSummary, journal: Option<&Journal>, seed: u6
             size: row.size as u64,
             wall_us: duration_us(row.time),
             result: row.result.kind().name().to_string(),
+            recovered: row.recovered,
             attempts,
         });
     }
@@ -180,6 +186,12 @@ pub fn build_report(summary: &CorpusSummary, journal: Option<&Journal>, seed: u6
         outcome: outcome_table(summary),
         solver: solver_counters(summary),
         cache: cache_counters(summary),
+        resume: ResumeSection {
+            enabled: summary.resume.enabled,
+            skipped: summary.resume.skipped,
+            recovered: summary.resume.recovered,
+            corrupt: summary.resume.corrupt,
+        },
         phases: keq_trace::phase_summaries(&events),
         functions,
         events_recorded: journal.map_or(0, Journal::recorded),

@@ -26,6 +26,16 @@ pub enum CorpusResult {
         /// it.
         location: Option<String>,
     },
+    /// Still crashing on its last allowed attempt under a crash-retrying
+    /// policy ([`crate::RetryPolicy::retry_crashes`]): the function is set
+    /// aside as reproducibly fault-triggering, distinct from a one-off
+    /// [`CorpusResult::Crashed`].
+    Quarantined {
+        /// The captured panic message of the final attempt.
+        message: String,
+        /// `file:line:column` of the final panic site, when available.
+        location: Option<String>,
+    },
     /// Any other failure (genuine mismatches, unsupported functions, …).
     Other,
 }
@@ -38,6 +48,7 @@ impl CorpusResult {
             CorpusResult::Timeout => ResultKind::Timeout,
             CorpusResult::OutOfMemory => ResultKind::OutOfMemory,
             CorpusResult::Crashed { .. } => ResultKind::Crashed,
+            CorpusResult::Quarantined { .. } => ResultKind::Quarantined,
             CorpusResult::Other => ResultKind::Other,
         }
     }
@@ -54,6 +65,8 @@ pub enum ResultKind {
     OutOfMemory,
     /// Isolated panic.
     Crashed,
+    /// Crashed on every allowed attempt.
+    Quarantined,
     /// Everything else.
     Other,
 }
@@ -66,6 +79,7 @@ impl ResultKind {
             ResultKind::Timeout => "timeout",
             ResultKind::OutOfMemory => "out_of_memory",
             ResultKind::Crashed => "crashed",
+            ResultKind::Quarantined => "quarantined",
             ResultKind::Other => "other",
         }
     }
@@ -94,7 +108,8 @@ impl AttemptRecord {
     /// field (distinct from the message).
     pub fn panic_location(&self) -> Option<&str> {
         match &self.result {
-            CorpusResult::Crashed { location, .. } => location.as_deref(),
+            CorpusResult::Crashed { location, .. }
+            | CorpusResult::Quarantined { location, .. } => location.as_deref(),
             _ => None,
         }
     }
@@ -113,7 +128,12 @@ pub struct CorpusRow {
     pub time: Duration,
     /// Final category (from the last attempt).
     pub result: CorpusResult,
-    /// Every attempt, in order.
+    /// Whether the verdict was recovered from the write-ahead journal by a
+    /// resumed run. Recovered rows carry the killed run's journal-recorded
+    /// wall time and attempt count but no per-attempt records (those
+    /// observations died with the killed process).
+    pub recovered: bool,
+    /// Every attempt, in order (empty for recovered rows).
     pub attempts: Vec<AttemptRecord>,
 }
 
@@ -133,10 +153,38 @@ pub struct CacheSummary {
     /// Records rejected at startup (bad checksum, torn tail, unknown
     /// verdict) — each skipped individually, never fatal.
     pub disk_rejected: u64,
-    /// Records written back at shutdown.
+    /// Records written back across all flushes of the run (incremental
+    /// batches plus the final shutdown flush).
     pub disk_persisted: u64,
-    /// Size of the on-disk store after the shutdown write, in bytes.
+    /// Size of the on-disk store after the last successful flush, bytes.
     pub disk_bytes: u64,
+    /// Successful store flushes.
+    pub flushes: u64,
+    /// Failed flush attempts (each emitted a `StoreError` trace event).
+    pub flush_failures: u64,
+    /// Whether consecutive flush failures tripped the circuit breaker and
+    /// the store degraded to memory-only for the rest of the run.
+    pub degraded: bool,
+    /// Whether the *final* persist failed (or was skipped because the
+    /// breaker had tripped): this run's remaining dirty verdicts never
+    /// reached disk, so the next run starts colder than the summary's
+    /// in-memory counters suggest.
+    pub persist_failed: bool,
+}
+
+/// What resume recovered from the write-ahead verdict journal before the
+/// run scheduled any work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResumeSummary {
+    /// Whether the run was asked to resume from a journal.
+    pub enabled: bool,
+    /// Functions skipped because a journal record already decided them.
+    pub skipped: u64,
+    /// Valid records recovered from the journal (≥ `skipped`; records for
+    /// functions outside this corpus are recovered but skip nothing).
+    pub recovered: u64,
+    /// Corrupt records skipped fail-soft while loading the journal.
+    pub corrupt: u64,
 }
 
 /// Aggregated per-function rows, ordered by function index.
@@ -151,6 +199,9 @@ pub struct CorpusSummary {
     pub solver: SolverStats,
     /// Shared obligation-cache state (zeros when the run had no cache).
     pub cache: CacheSummary,
+    /// Write-ahead journal recovery (all-default when the run had no
+    /// journal or was not resuming).
+    pub resume: ResumeSummary,
 }
 
 impl CorpusSummary {
@@ -191,18 +242,22 @@ impl CorpusSummary {
     /// The end-of-run summary line: the Fig. 6 outcome counts plus the
     /// run-level solver reuse counters (cache evictions, session prefix
     /// hits, learnt clauses retained) and the shared obligation cache's
-    /// hit ratio and on-disk footprint.
+    /// hit ratio and on-disk footprint. Resume recovery and storage
+    /// degradation, when they happened, are appended as extra segments so
+    /// a persist failure can never pass silently.
     pub fn summary_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "corpus: {} functions, {} attempts | succeeded {} timeout {} oom {} crashed {} \
-             other {} | solver: queries {} cache_hits {} cache_evictions {} prefix_hits {} \
-             clauses_retained {} | obcache: hits {} misses {} hit_ratio {:.2} store_bytes {}",
+             quarantined {} other {} | solver: queries {} cache_hits {} cache_evictions {} \
+             prefix_hits {} clauses_retained {} | obcache: hits {} misses {} hit_ratio {:.2} \
+             store_bytes {}",
             self.total(),
             self.total_attempts(),
             self.count(ResultKind::Succeeded),
             self.count(ResultKind::Timeout),
             self.count(ResultKind::OutOfMemory),
             self.count(ResultKind::Crashed),
+            self.count(ResultKind::Quarantined),
             self.count(ResultKind::Other),
             self.solver.queries,
             self.solver.cache_hits,
@@ -213,7 +268,24 @@ impl CorpusSummary {
             self.solver.obligation_cache_misses,
             self.obligation_cache_hit_ratio(),
             self.cache.disk_bytes,
-        )
+        );
+        if self.resume.enabled {
+            line.push_str(&format!(
+                " | resume: skipped {} recovered {} corrupt {}",
+                self.resume.skipped, self.resume.recovered, self.resume.corrupt,
+            ));
+        }
+        if self.cache.degraded {
+            line.push_str(&format!(
+                " | WARNING: obligation store degraded to memory-only after {} flush failures",
+                self.cache.flush_failures,
+            ));
+        } else if self.cache.persist_failed {
+            line.push_str(
+                " | WARNING: obligation store persist failed; proved verdicts not saved",
+            );
+        }
+        line
     }
 }
 
@@ -228,6 +300,7 @@ mod tests {
             size: 1,
             time: Duration::ZERO,
             result,
+            recovered: false,
             attempts: vec![],
         }
     }
@@ -277,6 +350,38 @@ mod tests {
         let s = CorpusSummary::default();
         assert_eq!(s.obligation_cache_hit_ratio(), 0.0);
         assert!(s.summary_line().contains("hit_ratio 0.00"), "{}", s.summary_line());
+    }
+
+    #[test]
+    fn quarantined_is_counted_separately_from_crashed() {
+        let s = CorpusSummary {
+            rows: vec![
+                row(0, CorpusResult::Crashed { message: "boom".into(), location: None }),
+                row(1, CorpusResult::Quarantined { message: "boom".into(), location: None }),
+            ],
+            ..CorpusSummary::default()
+        };
+        assert_eq!(s.count(ResultKind::Crashed), 1);
+        assert_eq!(s.count(ResultKind::Quarantined), 1);
+        let line = s.summary_line();
+        assert!(line.contains("crashed 1 quarantined 1"), "{line}");
+    }
+
+    #[test]
+    fn resume_and_store_failures_surface_in_summary_line() {
+        let mut s =
+            CorpusSummary { rows: vec![row(0, CorpusResult::Succeeded)], ..Default::default() };
+        assert!(!s.summary_line().contains("resume:"), "quiet when not resuming");
+        s.resume = ResumeSummary { enabled: true, skipped: 3, recovered: 4, corrupt: 1 };
+        s.cache.persist_failed = true;
+        let line = s.summary_line();
+        assert!(line.contains("resume: skipped 3 recovered 4 corrupt 1"), "{line}");
+        assert!(line.contains("WARNING: obligation store persist failed"), "{line}");
+
+        s.cache.degraded = true;
+        s.cache.flush_failures = 5;
+        let line = s.summary_line();
+        assert!(line.contains("degraded to memory-only after 5 flush failures"), "{line}");
     }
 
     #[test]

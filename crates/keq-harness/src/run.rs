@@ -34,10 +34,14 @@ use keq_isel::pipeline::ValidationContext;
 use keq_isel::{IselOptions, VcOptions};
 use keq_llvm::ast::Module;
 use keq_smt::fault::{self, FaultPlan};
-use keq_smt::{Budget, CancelToken, SharedObligationCache, SolverStats};
+use keq_smt::obcache::{StdStoreIo, StoreIo};
+use keq_smt::{Budget, CancelToken, FaultyIo, SharedObligationCache, SolverStats};
 
+use crate::journal::{self, JournalRecord, JournalWriter};
 use crate::panic_capture;
-use crate::result::{AttemptRecord, CacheSummary, CorpusResult, CorpusRow, CorpusSummary};
+use crate::result::{
+    AttemptRecord, CacheSummary, CorpusResult, CorpusRow, CorpusSummary, ResumeSummary,
+};
 
 /// Escalating-budget retry policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,11 +52,29 @@ pub struct RetryPolicy {
     /// (1-based) runs with all resource budgets scaled by
     /// `factor^(k-1)`.
     pub factor: u64,
+    /// Whether crash-class outcomes (caught panics) are re-queued like
+    /// budget-class ones. A function still crashing on its final attempt is
+    /// classified [`CorpusResult::Quarantined`] rather than `Crashed`: the
+    /// crash survived retries, so it is reproducible, not transient.
+    pub retry_crashes: bool,
+    /// Base delay of the decorrelated-jitter backoff inserted before retry
+    /// attempts ([`Duration::ZERO`] disables backoff — the default, and
+    /// what deterministic tests want). Retries after transient faults
+    /// otherwise stampede the same contended resource in lockstep.
+    pub backoff_base: Duration,
+    /// Upper clamp on the backoff ([`Duration::ZERO`] means `64 × base`).
+    pub backoff_cap: Duration,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_attempts: 1, factor: 4 }
+        RetryPolicy {
+            max_attempts: 1,
+            factor: 4,
+            retry_crashes: false,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+        }
     }
 }
 
@@ -60,6 +82,32 @@ impl RetryPolicy {
     /// The budget multiplier of a 1-based attempt number.
     pub fn scale(&self, attempt: u32) -> u64 {
         self.factor.saturating_pow(attempt.saturating_sub(1))
+    }
+
+    /// The decorrelated-jitter delay slept before a 1-based retry attempt
+    /// (AWS-style: each step draws uniformly from `[base, 3 × previous)`,
+    /// clamped to the cap). Deterministic in `(seed, func, attempt)` —
+    /// the "randomness" is [`keq_smt::mix64`] — so a replayed run sleeps
+    /// identically. Zero for first attempts and when backoff is disabled.
+    pub fn backoff_for(&self, seed: u64, func: u64, attempt: u32) -> Duration {
+        if attempt <= 1 || self.backoff_base.is_zero() {
+            return Duration::ZERO;
+        }
+        let base = u64::try_from(self.backoff_base.as_nanos()).unwrap_or(u64::MAX);
+        let cap = if self.backoff_cap.is_zero() {
+            base.saturating_mul(64)
+        } else {
+            u64::try_from(self.backoff_cap.as_nanos()).unwrap_or(u64::MAX)
+        };
+        let mut prev = base.min(cap);
+        for k in 2..=attempt {
+            let r = keq_smt::mix64(
+                seed ^ func.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (u64::from(k) << 32),
+            );
+            let hi = prev.saturating_mul(3).max(base.saturating_add(1));
+            prev = base.saturating_add(r % (hi - base)).min(cap);
+        }
+        Duration::from_nanos(prev)
     }
 
     /// The checker options of a 1-based attempt: every resource budget
@@ -122,9 +170,28 @@ pub struct HarnessOptions {
     /// On-disk obligation store for persistent warm starts: loaded into
     /// the run's [`SharedObligationCache`] before the first attempt and
     /// written back (append-only for a store of the current semantics
-    /// revision) after the last. `None` keeps the cache purely in-memory —
-    /// it is still shared across workers within the run.
+    /// revision) incrementally during the run and once more at the end.
+    /// `None` keeps the cache purely in-memory — it is still shared across
+    /// workers within the run.
     pub cache_path: Option<std::path::PathBuf>,
+    /// Write-ahead verdict journal: every finalized `(function, verdict)`
+    /// is appended (checksummed) as it is decided, so a killed run loses at
+    /// most the in-flight functions. `None` disables journaling.
+    pub journal_path: Option<std::path::PathBuf>,
+    /// Recover finalized verdicts from `journal_path` before scheduling:
+    /// functions already decided by a previous (killed) run are skipped and
+    /// their journal rows merged into the summary as recovered rows.
+    pub resume: bool,
+    /// Flush the obligation store to `cache_path` every this many function
+    /// finalizations (`0` = only the final shutdown flush). Incremental
+    /// flushes are what make a kill lose batches, not the whole store.
+    pub store_flush_every: u32,
+    /// Circuit breaker: after this many *consecutive* storage-write
+    /// failures (store flushes, journal appends — each breaker is
+    /// per-target) the target degrades to memory-only for the rest of the
+    /// run, with a `StoreDegraded` trace event, instead of hammering a sick
+    /// disk once per finalization.
+    pub store_breaker_threshold: u32,
 }
 
 impl Default for HarnessOptions {
@@ -142,8 +209,147 @@ impl Default for HarnessOptions {
             warm_start: true,
             trace: None,
             cache_path: None,
+            journal_path: None,
+            resume: false,
+            store_flush_every: 8,
+            store_breaker_threshold: 3,
         }
     }
+}
+
+/// Batched, breaker-guarded persistence of the shared obligation store.
+///
+/// The supervisor calls [`StoreFlusher::tick`] at every function
+/// finalization; every `every`-th tick persists the store's dirty verdicts
+/// through the injectable [`StoreIo`] (one append per batch — a mid-batch
+/// kill tears at most one batch, which the next load skips fail-soft).
+/// After `threshold` consecutive failures the breaker trips and the store
+/// degrades to memory-only: verdicts keep accumulating in memory and the
+/// run's *results* are unaffected; only the next run's warm start is lost.
+struct StoreFlusher {
+    shared: Arc<SharedObligationCache>,
+    path: Option<std::path::PathBuf>,
+    io: Arc<dyn StoreIo>,
+    every: u32,
+    threshold: u32,
+    pending: u32,
+    consecutive: u32,
+    flushes: u64,
+    flush_failures: u64,
+    degraded: bool,
+    persist_failed: bool,
+    disk_persisted: u64,
+    disk_bytes: u64,
+}
+
+impl StoreFlusher {
+    fn new(
+        shared: Arc<SharedObligationCache>,
+        path: Option<std::path::PathBuf>,
+        io: Arc<dyn StoreIo>,
+        every: u32,
+        threshold: u32,
+    ) -> StoreFlusher {
+        StoreFlusher {
+            shared,
+            path,
+            io,
+            every,
+            threshold: threshold.max(1),
+            pending: 0,
+            consecutive: 0,
+            flushes: 0,
+            flush_failures: 0,
+            degraded: false,
+            persist_failed: false,
+            disk_persisted: 0,
+            disk_bytes: 0,
+        }
+    }
+
+    /// One function finalized; flush if the batch is full.
+    fn tick(&mut self) {
+        if self.path.is_none() || self.every == 0 {
+            return;
+        }
+        self.pending += 1;
+        if self.pending >= self.every {
+            self.flush("flush");
+        }
+    }
+
+    fn flush(&mut self, op: &'static str) {
+        self.pending = 0;
+        if self.degraded {
+            return;
+        }
+        let Some(path) = self.path.clone() else { return };
+        match self.shared.persist_with(&path, self.io.as_ref()) {
+            Ok(persist) => {
+                self.flushes += 1;
+                self.consecutive = 0;
+                self.disk_persisted += persist.written;
+                self.disk_bytes = persist.file_bytes;
+            }
+            Err(err) => {
+                self.flush_failures += 1;
+                self.consecutive += 1;
+                if keq_trace::enabled() {
+                    keq_trace::emit(keq_trace::Event::StoreError {
+                        target: "store",
+                        op,
+                        detail: err.to_string(),
+                    });
+                }
+                if self.consecutive >= self.threshold {
+                    self.degraded = true;
+                    keq_trace::emit(keq_trace::Event::StoreDegraded {
+                        target: "store",
+                        failures: self.consecutive,
+                    });
+                }
+            }
+        }
+    }
+
+    /// The shutdown flush. A failure here (or an already-tripped breaker)
+    /// means this run's remaining proved verdicts never reached disk — the
+    /// summary must say so instead of silently reporting a cold next run.
+    fn finish(&mut self) {
+        if self.path.is_none() {
+            return;
+        }
+        if self.degraded {
+            self.persist_failed = true;
+            return;
+        }
+        let failures_before = self.flush_failures;
+        self.flush("persist");
+        if self.flush_failures > failures_before {
+            self.persist_failed = true;
+        }
+    }
+}
+
+/// Appends the just-finalized verdict of `func` to the write-ahead journal
+/// (no-op without one). Called at *both* finalize sites — delivered results
+/// and watchdog abandonments — so resume sees every decided function.
+fn journal_finalize(
+    writer: &mut Option<JournalWriter>,
+    func: usize,
+    func_fp: u64,
+    attempts: &[AttemptRecord],
+    result: &CorpusResult,
+) {
+    let Some(w) = writer else { return };
+    let time: Duration = attempts.iter().map(|a| a.time).sum();
+    w.append(&JournalRecord {
+        func: func as u32,
+        func_fp,
+        attempts: attempts.len() as u32,
+        time_us: u64::try_from(time.as_micros()).unwrap_or(u64::MAX),
+        result: result.clone(),
+    });
 }
 
 /// Per-function warm-start contexts, keyed by function index and guarded
@@ -306,6 +512,15 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
     let ctxs = Arc::new(WarmStarts::default());
     let (tx, rx) = mpsc::channel::<Msg>();
 
+    // Every byte that reaches disk — store flushes, journal appends,
+    // journal/store loads — goes through one injectable backend, so a
+    // storage fault plan exercises the same code paths a sick disk would.
+    let io: Arc<dyn StoreIo> = if opts.fault_plan.has_storage_faults() {
+        Arc::new(FaultyIo::new(opts.fault_plan.storage()))
+    } else {
+        Arc::new(StdStoreIo)
+    };
+
     // One obligation cache for the whole run, shared by every worker (and
     // every replacement worker), warm-started from the on-disk store when
     // one is configured. A corrupt or stale store degrades to a cold
@@ -314,9 +529,68 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
     let mut disk_loaded = 0u64;
     let mut disk_rejected = 0u64;
     if let Some(path) = &opts.cache_path {
-        let load = shared.load(path);
+        let load = shared.load_with(path, io.as_ref());
         disk_loaded = load.loaded;
         disk_rejected = load.rejected;
+    }
+    let mut flusher = StoreFlusher::new(
+        Arc::clone(&shared),
+        opts.cache_path.clone(),
+        Arc::clone(&io),
+        opts.store_flush_every,
+        opts.store_breaker_threshold,
+    );
+
+    // Write-ahead journal: recover what a killed predecessor decided, then
+    // open for appending. Resume matches a record by function index *and*
+    // per-function fingerprint (and the whole journal by corpus
+    // fingerprint), so a changed corpus can never inherit stale verdicts.
+    let func_fps: Vec<u64> =
+        module.functions.iter().map(journal::function_fingerprint).collect();
+    let corpus_fp = journal::fingerprint_of(&func_fps);
+    let mut resume = ResumeSummary::default();
+    let mut recovered: Vec<Option<JournalRecord>> = vec![None; n];
+    let mut journal_writer: Option<JournalWriter> = None;
+    if let Some(journal_path) = &opts.journal_path {
+        let mut valid_prefix: Option<Vec<u8>> = None;
+        if opts.resume {
+            resume.enabled = true;
+            let load = journal::load(journal_path, corpus_fp, io.as_ref());
+            if !load.reset {
+                resume.corrupt = load.corrupt;
+                resume.recovered = load.records.len() as u64;
+                for rec in load.records {
+                    let idx = rec.func as usize;
+                    if idx < n && func_fps[idx] == rec.func_fp {
+                        recovered[idx] = Some(rec);
+                    }
+                }
+                valid_prefix = Some(load.valid_prefix);
+            }
+        }
+        journal_writer = Some(JournalWriter::start(
+            journal_path,
+            corpus_fp,
+            valid_prefix.as_deref(),
+            Arc::clone(&io),
+            opts.store_breaker_threshold,
+        ));
+    }
+
+    let mut attempts: Vec<Vec<AttemptRecord>> = vec![Vec::new(); n];
+    let mut finals: Vec<Option<CorpusResult>> = vec![None; n];
+    let mut inflight: HashMap<u64, Inflight> = HashMap::new();
+    let mut completed = 0usize;
+    let mut solver_total = SolverStats::default();
+
+    // Pre-finalize recovered functions — they never reach the queue.
+    for (func, rec) in recovered.iter().enumerate() {
+        if let Some(rec) = rec {
+            finals[func] = Some(rec.result.clone());
+            completed += 1;
+            resume.skipped += 1;
+            keq_trace::emit(keq_trace::Event::ResumeSkipped { func: func as u32 });
+        }
     }
 
     let workers = if opts.workers == 0 {
@@ -329,20 +603,17 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
         pool.push(spawn_worker(&module, &opts_arc, &queue, &ctxs, &shared, &tx, id));
     }
 
-    // Seed one attempt-1 job per function.
+    // Seed one attempt-1 job per not-yet-decided function.
     let mut next_job: u64 = 0;
     let mut job_meta: HashMap<u64, (usize, u32)> = HashMap::new();
-    for func in 0..n {
+    for (func, rec) in recovered.iter().enumerate() {
+        if rec.is_some() {
+            continue;
+        }
         queue.push(Job { id: next_job, func, attempt: 1 });
         job_meta.insert(next_job, (func, 1));
         next_job += 1;
     }
-
-    let mut attempts: Vec<Vec<AttemptRecord>> = vec![Vec::new(); n];
-    let mut finals: Vec<Option<CorpusResult>> = vec![None; n];
-    let mut inflight: HashMap<u64, Inflight> = HashMap::new();
-    let mut completed = 0usize;
-    let mut solver_total = SolverStats::default();
 
     while completed < n {
         match rx.recv_timeout(opts.watchdog_tick) {
@@ -387,11 +658,34 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
                     job_meta.insert(next_job, (info.func, info.attempt + 1));
                     next_job += 1;
                 } else {
-                    finals[info.func] = Some(outcome.result);
+                    // A crash that survived its retries (`retry_crashes`
+                    // made it retryable, and this was the last allowed
+                    // attempt) is reproducible, not transient: quarantine
+                    // it so the summary separates "crashed once" from
+                    // "still crashing after N attempts".
+                    let result = match outcome.result {
+                        CorpusResult::Crashed { message, location }
+                            if outcome.retryable
+                                && info.attempt >= opts.retry.max_attempts
+                                && info.attempt > 1 =>
+                        {
+                            CorpusResult::Quarantined { message, location }
+                        }
+                        result => result,
+                    };
+                    journal_finalize(
+                        &mut journal_writer,
+                        info.func,
+                        func_fps[info.func],
+                        &attempts[info.func],
+                        &result,
+                    );
+                    finals[info.func] = Some(result);
                     completed += 1;
                     // No further attempt will run: release the function's
                     // warm-start context.
                     ctxs.retire(info.func);
+                    flusher.tick();
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}
@@ -429,8 +723,16 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
                 result: CorpusResult::Timeout,
                 abandoned: true,
             });
+            journal_finalize(
+                &mut journal_writer,
+                info.func,
+                func_fps[info.func],
+                &attempts[info.func],
+                &CorpusResult::Timeout,
+            );
             finals[info.func] = Some(CorpusResult::Timeout);
             completed += 1;
+            flusher.tick();
             // The abandoned worker still *owns* the function's context (it
             // took it before the attempt) and may try to re-insert it if
             // it ever finishes; retiring bumps the generation so that late
@@ -455,38 +757,44 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
         }
     }
 
-    // Write the cache back before summarizing, so the summary reports the
-    // store's post-run size. Persistence is best-effort: an I/O error
-    // costs next run's warm start, not this run's results.
-    let mut disk_persisted = 0u64;
-    let mut disk_bytes = 0u64;
-    if let Some(path) = &opts.cache_path {
-        if let Ok(persist) = shared.persist(path) {
-            disk_persisted = persist.written;
-            disk_bytes = persist.file_bytes;
-        }
-    }
+    // The shutdown flush, through the same breaker-guarded path as the
+    // incremental ones. Persistence stays best-effort — an I/O error costs
+    // next run's warm start, not this run's results — but it is no longer
+    // *silent*: a failure lands in the summary (and its `summary_line`
+    // warning) and was already traced as a `StoreError` event.
+    flusher.finish();
     let cache_stats = shared.stats();
     let cache = CacheSummary {
         evictions: cache_stats.evictions,
         entries: cache_stats.entries,
         disk_loaded,
         disk_rejected,
-        disk_persisted,
-        disk_bytes,
+        disk_persisted: flusher.disk_persisted,
+        disk_bytes: flusher.disk_bytes,
+        flushes: flusher.flushes,
+        flush_failures: flusher.flush_failures,
+        degraded: flusher.degraded,
+        persist_failed: flusher.persist_failed,
     };
-
-    let mut summary = CorpusSummary { solver: solver_total, cache, ..CorpusSummary::default() };
+    let mut summary =
+        CorpusSummary { solver: solver_total, cache, resume, ..CorpusSummary::default() };
     for (index, f) in module.functions.iter().enumerate() {
         let size: usize = f.blocks.iter().map(|b| b.instrs.len() + 1).sum();
         let rows_attempts = std::mem::take(&mut attempts[index]);
-        let time = rows_attempts.iter().map(|a| a.time).sum();
+        let (time, is_recovered) = match &recovered[index] {
+            // A recovered row carries the killed run's journal-recorded
+            // wall time; its per-attempt observations died with the killed
+            // process, so `attempts` stays empty.
+            Some(rec) => (rec.time(), true),
+            None => (rows_attempts.iter().map(|a| a.time).sum(), false),
+        };
         summary.rows.push(CorpusRow {
             name: f.name.clone(),
             index,
             size,
             time,
             result: finals[index].take().expect("every function finalized"),
+            recovered: is_recovered,
             attempts: rows_attempts,
         });
     }
@@ -522,6 +830,17 @@ fn spawn_worker(
             let _trace_guard = opts.trace.as_ref().map(keq_trace::install);
             while !retired_in.load(Ordering::Acquire) {
                 let Some(job) = queue.pop() else { break };
+                // Decorrelated-jitter backoff before retries, *before*
+                // announcing the job: the sleep must not consume the
+                // attempt's deadline.
+                let backoff = opts.retry.backoff_for(
+                    opts.fault_plan.seed,
+                    job.func as u64,
+                    job.attempt,
+                );
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
                 let cancel = CancelToken::new();
                 let started = Msg::Started { job: job.id, worker: id, cancel: cancel.clone() };
                 if tx.send(started).is_err() {
@@ -612,7 +931,13 @@ fn run_attempt(
                     location: panic.location.clone(),
                 });
             }
-            (CorpusResult::Crashed { message: panic.message, location: panic.location }, false)
+            // Crash-class retryability is opt-in: panics are only worth a
+            // second attempt when the fault surface is known to be
+            // transient (fault campaigns, flaky external tooling).
+            (
+                CorpusResult::Crashed { message: panic.message, location: panic.location },
+                opts.retry.retry_crashes,
+            )
         }
     };
     let time = start.elapsed();
@@ -677,6 +1002,36 @@ mod tests {
         assert!(ctx.is_none());
         warm.put(3, generation, ValidationContext::new());
         assert!(warm.contains(3));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_jittered_and_capped() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(80),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.backoff_for(1, 0, 1), Duration::ZERO, "first attempts never wait");
+        for attempt in 2..=5 {
+            for func in 0..8 {
+                let d = policy.backoff_for(1, func, attempt);
+                assert_eq!(d, policy.backoff_for(1, func, attempt), "replays sleep identically");
+                assert!(d >= Duration::from_millis(10) && d <= Duration::from_millis(80), "{d:?}");
+            }
+        }
+        // Decorrelated: different functions do not stampede in lockstep.
+        assert!(
+            (1..16).any(|func| policy.backoff_for(1, func, 3) != policy.backoff_for(1, 0, 3)),
+            "jitter must separate concurrent retries"
+        );
+        // Disabled (the default) and zero-cap configurations stay sane.
+        assert_eq!(RetryPolicy::default().backoff_for(1, 0, 4), Duration::ZERO);
+        let uncapped = RetryPolicy {
+            backoff_base: Duration::from_millis(10),
+            ..RetryPolicy::default()
+        };
+        assert!(uncapped.backoff_for(9, 2, 4) <= Duration::from_millis(640), "64x base clamp");
     }
 
     #[test]

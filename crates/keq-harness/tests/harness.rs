@@ -99,7 +99,7 @@ fn expired_deadline_times_out_without_stepping() {
     let opts = HarnessOptions {
         keq: KeqOptions { time_limit: Some(Duration::ZERO), ..KeqOptions::default() },
         workers: 1,
-        retry: RetryPolicy { max_attempts: 2, factor: 4 },
+        retry: RetryPolicy { max_attempts: 2, factor: 4, ..RetryPolicy::default() },
         ..HarnessOptions::default()
     };
     let summary = run_module(&m, &opts);
@@ -138,6 +138,42 @@ fn injected_panic_is_isolated_into_crashed_rows() {
         assert_eq!(row.attempts.len(), 1, "panics are not retryable");
         assert!(!row.attempts[0].abandoned);
     }
+}
+
+#[test]
+fn crash_retries_end_in_quarantine_not_crashed() {
+    // With `retry_crashes` on, a deterministically re-firing panic is
+    // retried and then *quarantined*: the summary separates "crashed once"
+    // (possibly transient) from "still crashing after every allowed
+    // attempt" (reproducible).
+    let module = small_corpus(2);
+    let opts = HarnessOptions {
+        fault_plan: FaultPlan { panic: Rate { num: 1, den: 1 }, ..FaultPlan::quiet(3) },
+        workers: 2,
+        retry: RetryPolicy {
+            max_attempts: 2,
+            factor: 4,
+            retry_crashes: true,
+            ..RetryPolicy::default()
+        },
+        ..HarnessOptions::default()
+    };
+    let summary = run_module(&module, &opts);
+    assert_eq!(summary.count(ResultKind::Quarantined), 2);
+    assert_eq!(summary.count(ResultKind::Crashed), 0);
+    for row in &summary.rows {
+        let CorpusResult::Quarantined { message, location } = &row.result else {
+            panic!("{}: expected Quarantined, got {:?}", row.name, row.result);
+        };
+        assert!(message.contains("injected fault"), "got {message:?}");
+        assert!(location.as_deref().is_some_and(|l| l.contains("fault.rs")), "got {location:?}");
+        assert_eq!(row.attempts.len(), 2, "the crash was retried before quarantining");
+        assert!(
+            row.attempts.iter().all(|a| matches!(a.result, CorpusResult::Crashed { .. })),
+            "attempt records keep the raw crash classification"
+        );
+    }
+    assert!(summary.summary_line().contains("quarantined 2"), "{}", summary.summary_line());
 }
 
 #[test]
@@ -189,7 +225,7 @@ fn retry_escalation_rescues_a_fuel_limited_function() {
     let opts = HarnessOptions {
         keq: KeqOptions { max_steps: minimal - 1, ..KeqOptions::default() },
         workers: 1,
-        retry: RetryPolicy { max_attempts: 2, factor: 4 },
+        retry: RetryPolicy { max_attempts: 2, factor: 4, ..RetryPolicy::default() },
         ..HarnessOptions::default()
     };
     let summary = run_module(&m, &opts);
@@ -312,7 +348,7 @@ fn warm_start_retries_classify_like_cold_ones() {
                 ..KeqOptions::default()
             },
             workers: 2,
-            retry: RetryPolicy { max_attempts: 3, factor: 8 },
+            retry: RetryPolicy { max_attempts: 3, factor: 8, ..RetryPolicy::default() },
             warm_start,
             ..HarnessOptions::default()
         };

@@ -57,7 +57,7 @@ fn injected_budget_faults_are_typed_events_with_the_right_attempt() {
             force_conflicts: Rate { num: 1, den: 1 },
             ..FaultPlan::quiet(5)
         },
-        retry: RetryPolicy { max_attempts: 2, factor: 4 },
+        retry: RetryPolicy { max_attempts: 2, factor: 4, ..RetryPolicy::default() },
         workers: 2,
         trace: Some(TraceSink::from(Arc::clone(&journal))),
         ..HarnessOptions::default()

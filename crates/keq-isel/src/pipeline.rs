@@ -118,6 +118,7 @@ pub fn validate_function_with_context(
     cancel: Option<&CancelToken>,
     ctx: &mut ValidationContext,
 ) -> Result<ValidationOutcome, IselError> {
+    let _ = keq_smt::fault::poll(keq_smt::FaultSite::IselEntry);
     let isel_span = keq_trace::span(keq_trace::Phase::Isel);
     let layout = Layout::of(module, func);
     let isel = select(module, func, &layout, isel_opts)?;

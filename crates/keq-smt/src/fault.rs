@@ -17,16 +17,28 @@
 //!   hosts [`InjectedFault::Panic`] and [`InjectedFault::ForceBudget`];
 //! * [`FaultSite::CheckerStep`] — each symbolic step of the checker's
 //!   frontier loop; hosts [`InjectedFault::Hang`];
+//! * [`FaultSite::IselEntry`] / [`FaultSite::CheckerEntry`] — the first
+//!   instruction of instruction selection and of the checker respectively;
+//!   host the panic-at-phase faults [`InjectedFault::PanicIsel`] and
+//!   [`InjectedFault::PanicChecker`];
 //! * the cancellation/deadline poll helper [`crate::cancel::stop_requested`]
 //!   consults [`suppress_cancel`], which implements
 //!   [`InjectedFault::SlowCancel`] (and the never-acknowledging half of
 //!   `Hang`).
 //!
+//! Storage faults (short read, torn write, ENOSPC) live on a different
+//! axis: they are not armed per worker thread but wrap the storage backend
+//! itself — [`FaultyIo`] implements [`crate::obcache::StoreIo`] and decides
+//! per I/O operation, from the same seeded plan, whether to corrupt it.
+//!
 //! When nothing is installed every hook is a cheap thread-local read, so
 //! production runs pay essentially nothing.
 
 use std::cell::RefCell;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::obcache::{StdStoreIo, StoreIo};
 use crate::solver::BudgetKind;
 
 /// Where a fault can fire.
@@ -36,6 +48,10 @@ pub enum FaultSite {
     SolverQuery,
     /// One symbolic execution step in the checker's frontier loop.
     CheckerStep,
+    /// Entry of instruction selection for one function.
+    IselEntry,
+    /// Entry of the equivalence checker for one translation.
+    CheckerEntry,
 }
 
 /// The injectable faults.
@@ -57,6 +73,11 @@ pub enum InjectedFault {
     /// the first [`FaultSite::CheckerStep`] poll. Only a watchdog can deal
     /// with this worker.
     Hang,
+    /// Panic at the first [`FaultSite::IselEntry`] poll — a crash in the
+    /// middle of instruction selection rather than inside the solver.
+    PanicIsel,
+    /// Panic at the first [`FaultSite::CheckerEntry`] poll.
+    PanicChecker,
 }
 
 /// A rate `num/den`: the deterministic fraction of units affected.
@@ -102,6 +123,16 @@ pub struct FaultPlan {
     pub slow_cancel_polls: u32,
     /// Fraction of units that hang outright (watchdog fodder).
     pub hang: Rate,
+    /// Fraction of units that panic at instruction-selection entry.
+    pub panic_isel: Rate,
+    /// Fraction of units that panic at checker entry.
+    pub panic_checker: Rate,
+    /// Fraction of storage *reads* that come back truncated.
+    pub short_read: Rate,
+    /// Fraction of storage *writes* that persist only a prefix and fail.
+    pub torn_write: Rate,
+    /// Fraction of storage *writes* that fail outright with ENOSPC.
+    pub enospc: Rate,
 }
 
 impl FaultPlan {
@@ -115,6 +146,27 @@ impl FaultPlan {
             slow_cancel: Rate::ZERO,
             slow_cancel_polls: 0,
             hang: Rate::ZERO,
+            panic_isel: Rate::ZERO,
+            panic_checker: Rate::ZERO,
+            short_read: Rate::ZERO,
+            torn_write: Rate::ZERO,
+            enospc: Rate::ZERO,
+        }
+    }
+
+    /// Whether the plan injects any storage faults (i.e. the harness must
+    /// wrap its storage backend in a [`FaultyIo`]).
+    pub fn has_storage_faults(&self) -> bool {
+        [self.short_read, self.torn_write, self.enospc].iter().any(|r| r.fraction_q32() > 0)
+    }
+
+    /// The storage slice of this plan, for seeding a [`FaultyIo`].
+    pub fn storage(&self) -> StoragePlan {
+        StoragePlan {
+            seed: self.seed,
+            short_read: self.short_read,
+            torn_write: self.torn_write,
+            enospc: self.enospc,
         }
     }
 
@@ -142,6 +194,10 @@ impl FaultPlan {
             Some(InjectedFault::SlowCancel(self.slow_cancel_polls))
         } else if hit(self.hang) {
             Some(InjectedFault::Hang)
+        } else if hit(self.panic_isel) {
+            Some(InjectedFault::PanicIsel)
+        } else if hit(self.panic_checker) {
+            Some(InjectedFault::PanicChecker)
         } else {
             None
         }
@@ -149,12 +205,136 @@ impl FaultPlan {
 }
 
 /// SplitMix64 finalizer (duplicated from `keq-prng` to keep this crate
-/// dependency-free at the bottom of the workspace).
-fn keq_prng_mix(x: u64) -> u64 {
+/// dependency-free at the bottom of the workspace). Public so harness-side
+/// deterministic derivations (retry backoff jitter, chaos kill schedules)
+/// share the same mixer instead of growing their own.
+pub fn mix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+fn keq_prng_mix(x: u64) -> u64 {
+    mix64(x)
+}
+
+/// The storage-fault slice of a [`FaultPlan`], consumed by [`FaultyIo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoragePlan {
+    /// Shared plan seed.
+    pub seed: u64,
+    /// Fraction of reads that come back truncated.
+    pub short_read: Rate,
+    /// Fraction of writes that persist a prefix and then fail.
+    pub torn_write: Rate,
+    /// Fraction of writes that fail with ENOSPC before writing anything.
+    pub enospc: Rate,
+}
+
+/// A storage fault chosen for one I/O operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFault {
+    /// The read returns only a prefix of the file.
+    ShortRead,
+    /// Half the bytes land on disk, then the write errors.
+    TornWrite,
+    /// The write fails before any byte lands ("no space left on device").
+    Enospc,
+}
+
+impl StoragePlan {
+    /// The fault (if any) assigned to the `op`-th read. Reads can only be
+    /// short; write faults never apply.
+    pub fn read_fault_for(&self, op: u64) -> Option<StorageFault> {
+        let x = self.slice_point(op ^ 0x5ead);
+        (x < self.short_read.fraction_q32()).then_some(StorageFault::ShortRead)
+    }
+
+    /// The fault (if any) assigned to the `op`-th write: the unit interval
+    /// is carved into a torn-write slice followed by an ENOSPC slice.
+    pub fn write_fault_for(&self, op: u64) -> Option<StorageFault> {
+        let x = self.slice_point(op ^ 0x3a17e);
+        let torn = self.torn_write.fraction_q32();
+        if x < torn {
+            Some(StorageFault::TornWrite)
+        } else if x < torn + self.enospc.fraction_q32() {
+            Some(StorageFault::Enospc)
+        } else {
+            None
+        }
+    }
+
+    fn slice_point(&self, op: u64) -> u64 {
+        let h = mix64(self.seed ^ op.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        u64::from((h >> 32) as u32)
+    }
+}
+
+/// Deterministic fault-injecting [`StoreIo`] wrapper around the real
+/// filesystem. Each instance numbers its operations with a private counter
+/// (no global state, so parallel tests stay isolated) and consults the
+/// [`StoragePlan`] per operation; every firing is reported to the trace
+/// journal as a [`keq_trace::Event::FaultInjected`].
+#[derive(Debug)]
+pub struct FaultyIo {
+    plan: StoragePlan,
+    ops: AtomicU64,
+    inner: StdStoreIo,
+}
+
+impl FaultyIo {
+    /// Wraps the real filesystem with the given storage-fault plan.
+    pub fn new(plan: StoragePlan) -> Self {
+        FaultyIo { plan, ops: AtomicU64::new(0), inner: StdStoreIo }
+    }
+
+    fn next_op(&self) -> u64 {
+        self.ops.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl StoreIo for FaultyIo {
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        let mut buf = self.inner.read(path)?;
+        if self.plan.read_fault_for(self.next_op()) == Some(StorageFault::ShortRead) {
+            keq_trace::emit(keq_trace::Event::FaultInjected {
+                site: "storage_read",
+                fault: "short_read",
+            });
+            buf.truncate(buf.len() / 2);
+        }
+        Ok(buf)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8], append: bool) -> std::io::Result<()> {
+        match self.plan.write_fault_for(self.next_op()) {
+            Some(StorageFault::TornWrite) => {
+                keq_trace::emit(keq_trace::Event::FaultInjected {
+                    site: "storage_write",
+                    fault: "torn_write",
+                });
+                // Half the payload lands, then the device "fails".
+                self.inner.write(path, &bytes[..bytes.len() / 2], append)?;
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "injected fault: torn write",
+                ))
+            }
+            Some(StorageFault::Enospc) => {
+                keq_trace::emit(keq_trace::Event::FaultInjected {
+                    site: "storage_write",
+                    fault: "enospc",
+                });
+                Err(std::io::Error::other("injected fault: no space left on device"))
+            }
+            _ => self.inner.write(path, bytes, append),
+        }
+    }
+
+    fn file_len(&self, path: &Path) -> std::io::Result<u64> {
+        self.inner.file_len(path)
+    }
 }
 
 #[derive(Debug)]
@@ -215,6 +395,8 @@ fn site_name(site: FaultSite) -> &'static str {
     match site {
         FaultSite::SolverQuery => "solver_query",
         FaultSite::CheckerStep => "checker_step",
+        FaultSite::IselEntry => "isel_entry",
+        FaultSite::CheckerEntry => "checker_entry",
     }
 }
 
@@ -251,6 +433,18 @@ pub fn poll(site: FaultSite) -> FaultAction {
                     fault: budget_fault_name(kind),
                 });
                 FaultAction::ForceBudget(kind)
+            }
+            (InjectedFault::PanicIsel, FaultSite::IselEntry)
+            | (InjectedFault::PanicChecker, FaultSite::CheckerEntry)
+                if !st.fired =>
+            {
+                st.fired = true;
+                drop(armed);
+                keq_trace::emit(keq_trace::Event::FaultInjected {
+                    site: site_name(site),
+                    fault: "panic_at_phase",
+                });
+                panic!("injected fault: synthetic panic at {}", site_name(site));
             }
             (InjectedFault::Hang, FaultSite::CheckerStep) => {
                 drop(armed);
@@ -296,13 +490,11 @@ mod tests {
 
     fn full(seed: u64) -> FaultPlan {
         FaultPlan {
-            seed,
             panic: Rate { num: 1, den: 4 },
             force_conflicts: Rate { num: 1, den: 4 },
             force_terms: Rate { num: 1, den: 4 },
-            slow_cancel: Rate::ZERO,
-            slow_cancel_polls: 0,
             hang: Rate { num: 1, den: 4 },
+            ..FaultPlan::quiet(seed)
         }
     }
 
@@ -360,6 +552,67 @@ mod tests {
         assert!(suppress_cancel());
         assert!(suppress_cancel());
         assert!(!suppress_cancel());
+    }
+
+    #[test]
+    fn panic_at_phase_faults_fire_only_at_their_site() {
+        let plan = FaultPlan { panic_isel: Rate { num: 1, den: 1 }, ..FaultPlan::quiet(11) };
+        assert_eq!(plan.fault_for(0), Some(InjectedFault::PanicIsel));
+        let _g = install(&plan, 0);
+        assert_eq!(poll(FaultSite::SolverQuery), FaultAction::None);
+        assert_eq!(poll(FaultSite::CheckerEntry), FaultAction::None);
+        let err = std::panic::catch_unwind(|| poll(FaultSite::IselEntry)).expect_err("must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("isel_entry"), "got: {msg}");
+    }
+
+    #[test]
+    fn storage_plan_is_deterministic_and_separates_read_write_axes() {
+        let plan = StoragePlan {
+            seed: 5,
+            short_read: Rate { num: 1, den: 2 },
+            torn_write: Rate { num: 1, den: 4 },
+            enospc: Rate { num: 1, den: 4 },
+        };
+        let reads: Vec<_> = (0..64).map(|i| plan.read_fault_for(i)).collect();
+        assert_eq!(reads, (0..64).map(|i| plan.read_fault_for(i)).collect::<Vec<_>>());
+        assert!(reads.contains(&Some(StorageFault::ShortRead)));
+        let writes: Vec<_> = (0..64).map(|i| plan.write_fault_for(i)).collect();
+        assert!(writes.contains(&Some(StorageFault::TornWrite)));
+        assert!(writes.contains(&Some(StorageFault::Enospc)));
+        assert!(writes.contains(&None));
+    }
+
+    #[test]
+    fn faulty_io_tears_writes_and_shortens_reads() {
+        use crate::obcache::StoreIo;
+        let mut path = std::env::temp_dir();
+        path.push(format!("keq-faultyio-test-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        // Every write torn, every read short.
+        let io = FaultyIo::new(StoragePlan {
+            seed: 1,
+            short_read: Rate { num: 1, den: 1 },
+            torn_write: Rate { num: 1, den: 1 },
+            enospc: Rate::ZERO,
+        });
+        let err = io.write(&path, b"0123456789", false).expect_err("torn write errors");
+        assert_eq!(err.kind(), std::io::ErrorKind::WriteZero);
+        assert_eq!(std::fs::read(&path).expect("prefix landed"), b"01234");
+        let short = io.read(&path).expect("short read still succeeds");
+        assert_eq!(short, b"01", "half of the 5 persisted bytes");
+
+        // ENOSPC leaves the file untouched.
+        let io = FaultyIo::new(StoragePlan {
+            seed: 1,
+            short_read: Rate::ZERO,
+            torn_write: Rate::ZERO,
+            enospc: Rate { num: 1, den: 1 },
+        });
+        io.write(&path, b"xxxx", false).expect_err("enospc errors");
+        assert_eq!(std::fs::read(&path).expect("unchanged"), b"01234");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -38,12 +38,15 @@ pub mod term;
 pub use bitblast::{BitBlaster, BlastCache};
 pub use cancel::{stop_requested, CancelToken, StopCause};
 pub use eval::{Assignment, MemValue, Value};
-pub use fault::{FaultAction, FaultGuard, FaultPlan, FaultSite, InjectedFault, Rate};
+pub use fault::{
+    mix64, FaultAction, FaultGuard, FaultPlan, FaultSite, FaultyIo, InjectedFault, Rate,
+    StorageFault, StoragePlan,
+};
 pub use fingerprint::{fingerprint_obligation, ObligationFingerprint, ShapeMemo};
 pub use lower::{lower, Lowered, Lowerer, TermBudgetExceeded};
 pub use obcache::{
-    CachedVerdict, LoadOutcome, ObligationCacheStats, PersistOutcome, SharedObligationCache,
-    SEMANTICS_REVISION,
+    fnv1a32, CachedVerdict, LoadOutcome, ObligationCacheStats, PersistOutcome,
+    SharedObligationCache, StdStoreIo, StoreIo, SEMANTICS_REVISION,
 };
 pub use sat::SatBudget;
 pub use solver::{

@@ -44,6 +44,51 @@ use std::sync::Mutex;
 
 use crate::fingerprint::ObligationFingerprint;
 
+/// Injectable storage backend for the persisted store (and the harness's
+/// verdict journal, which reuses the same wire idiom). Production code uses
+/// [`StdStoreIo`]; robustness tests swap in a deterministic fault wrapper
+/// (see `fault::FaultyIo`) that injects short reads, torn writes, and
+/// ENOSPC without touching the fail-soft parsing underneath.
+pub trait StoreIo: Send + Sync + std::fmt::Debug {
+    /// Reads the whole file.
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>>;
+    /// Writes `bytes`, either appending to the file (creating it if
+    /// missing) or truncating and rewriting it. One logical write is one
+    /// call, so an injected torn write can cut any single record.
+    fn write(&self, path: &Path, bytes: &[u8], append: bool) -> std::io::Result<()>;
+    /// Current file size in bytes.
+    fn file_len(&self, path: &Path) -> std::io::Result<u64>;
+}
+
+/// The real filesystem. Appends are buffered (`flush`, no fsync): the store
+/// and journal are both idempotent write-ahead logs whose tail records are
+/// simply re-proven/replayed after a crash, so durability of the last few
+/// bytes is deliberately traded for not paying an fsync per record.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdStoreIo;
+
+impl StoreIo for StdStoreIo {
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        File::open(path)?.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8], append: bool) -> std::io::Result<()> {
+        let mut file = if append {
+            OpenOptions::new().append(true).create(true).open(path)?
+        } else {
+            File::create(path)?
+        };
+        file.write_all(bytes)?;
+        file.flush()
+    }
+
+    fn file_len(&self, path: &Path) -> std::io::Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
+    }
+}
+
 /// Bump when term semantics, normalization, or the fingerprint algorithm
 /// change in any way that could alter what a fingerprint means. A persisted
 /// store with a different revision is discarded wholesale at load.
@@ -243,22 +288,23 @@ impl SharedObligationCache {
     /// (see the module docs for the exact rules). Loaded entries are not
     /// dirty — persisting appends only verdicts proven this run.
     pub fn load(&self, path: &Path) -> LoadOutcome {
+        self.load_with(path, &StdStoreIo)
+    }
+
+    /// [`Self::load`] through an injectable [`StoreIo`] backend. An
+    /// injected short read surfaces as a torn tail; a failed read leaves
+    /// the cache cold — both covered by the same fail-soft rules as real
+    /// corruption.
+    pub fn load_with(&self, path: &Path, io: &dyn StoreIo) -> LoadOutcome {
         let mut out = LoadOutcome::default();
-        let mut buf = Vec::new();
-        match File::open(path) {
-            Ok(mut f) => {
-                if f.read_to_end(&mut buf).is_err() {
-                    out.reset = true;
-                    self.needs_rewrite.store(true, Ordering::Relaxed);
-                    return out;
-                }
-            }
+        let buf = match io.read(path) {
+            Ok(buf) => buf,
             Err(_) => {
                 out.reset = true;
                 self.needs_rewrite.store(true, Ordering::Relaxed);
                 return out;
             }
-        }
+        };
         if buf.len() < HEADER_LEN || &buf[..8] != MAGIC {
             out.reset = true;
             self.needs_rewrite.store(true, Ordering::Relaxed);
@@ -316,6 +362,13 @@ impl SharedObligationCache {
     /// Propagates I/O errors; the in-memory cache is unaffected either way
     /// (dirty entries are retained on failure so a retry can persist them).
     pub fn persist(&self, path: &Path) -> std::io::Result<PersistOutcome> {
+        self.persist_with(path, &StdStoreIo)
+    }
+
+    /// [`Self::persist`] through an injectable [`StoreIo`] backend. The
+    /// body is written in one `write` call, so an injected torn write can
+    /// cut at most one batch — which the next load skips as a torn tail.
+    pub fn persist_with(&self, path: &Path, io: &dyn StoreIo) -> std::io::Result<PersistOutcome> {
         let rewrite = self.needs_rewrite.load(Ordering::Relaxed) || !path.exists();
         let mut records: Vec<(u128, CachedVerdict)> = Vec::new();
         if rewrite {
@@ -340,18 +393,17 @@ impl SharedObligationCache {
             body.extend_from_slice(&payload);
             body.extend_from_slice(&fnv1a32(&payload).to_le_bytes());
         }
-        let mut file = if rewrite {
-            let mut f = File::create(path)?;
-            f.write_all(MAGIC)?;
-            f.write_all(&STORE_VERSION.to_le_bytes())?;
-            f.write_all(&SEMANTICS_REVISION.to_le_bytes())?;
-            f
+        if rewrite {
+            let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+            out.extend_from_slice(MAGIC);
+            out.extend_from_slice(&STORE_VERSION.to_le_bytes());
+            out.extend_from_slice(&SEMANTICS_REVISION.to_le_bytes());
+            out.extend_from_slice(&body);
+            io.write(path, &out, false)?;
         } else {
-            OpenOptions::new().append(true).open(path)?
-        };
-        file.write_all(&body)?;
-        file.flush()?;
-        let file_bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+            io.write(path, &body, true)?;
+        }
+        let file_bytes = io.file_len(path).unwrap_or(0);
         for s in &self.shards {
             s.lock().unwrap_or_else(|e| e.into_inner()).dirty.clear();
         }
@@ -360,8 +412,9 @@ impl SharedObligationCache {
     }
 }
 
-/// FNV-1a, 32-bit.
-fn fnv1a32(bytes: &[u8]) -> u32 {
+/// FNV-1a, 32-bit — the per-record checksum shared by the store and the
+/// harness's verdict journal.
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
     let mut h: u32 = 0x811c_9dc5;
     for &b in bytes {
         h ^= u32::from(b);

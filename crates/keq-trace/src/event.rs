@@ -200,6 +200,30 @@ pub enum Event {
         /// Low 64 bits of the canonical obligation fingerprint.
         fp: u64,
     },
+    /// A persistent-storage operation (obligation store flush, journal
+    /// append) failed; the run continues.
+    StoreError {
+        /// Which artifact (`"store"` or `"journal"`).
+        target: &'static str,
+        /// Operation (`"flush"`, `"append"`, `"open"`, …).
+        op: &'static str,
+        /// The I/O error, rendered.
+        detail: String,
+    },
+    /// K consecutive storage failures tripped the circuit breaker: the
+    /// artifact degrades to memory-only for the rest of the run.
+    StoreDegraded {
+        /// Which artifact (`"store"` or `"journal"`).
+        target: &'static str,
+        /// Consecutive failures that tripped the breaker.
+        failures: u32,
+    },
+    /// Resume skipped a function whose verdict was recovered from the
+    /// write-ahead journal.
+    ResumeSkipped {
+        /// Function index in the module.
+        func: u32,
+    },
 }
 
 impl Event {
@@ -219,6 +243,9 @@ impl Event {
             Event::CacheHit { .. } => "cache_hit",
             Event::CacheMiss { .. } => "cache_miss",
             Event::CacheStore { .. } => "cache_store",
+            Event::StoreError { .. } => "store_error",
+            Event::StoreDegraded { .. } => "store_degraded",
+            Event::ResumeSkipped { .. } => "resume_skipped",
         }
     }
 }
@@ -252,6 +279,7 @@ impl TraceEvent {
             | Event::PanicCaptured { func, attempt, .. }
             | Event::DeadlineCancelled { func, attempt }
             | Event::WatchdogAbandoned { func, attempt } => (Some(func), Some(attempt)),
+            Event::ResumeSkipped { func } => (Some(func), None),
             _ => (self.func, self.attempt),
         };
         if let Some(f) = func {
@@ -318,6 +346,14 @@ impl TraceEvent {
             Event::CacheHit { fp } | Event::CacheMiss { fp } | Event::CacheStore { fp } => {
                 let _ = write!(out, ",\"fp\":{fp}");
             }
+            Event::StoreError { target, op, detail } => {
+                let _ = write!(out, ",\"target\":\"{target}\",\"op\":\"{op}\",\"detail\":");
+                json::write_str(detail, out);
+            }
+            Event::StoreDegraded { target, failures } => {
+                let _ = write!(out, ",\"target\":\"{target}\",\"failures\":{failures}");
+            }
+            Event::ResumeSkipped { .. } => {}
         }
         out.push('}');
     }
@@ -368,6 +404,13 @@ mod tests {
             Event::CacheHit { fp: 0xdead_beef },
             Event::CacheMiss { fp: 7 },
             Event::CacheStore { fp: 0x7fff_ffff },
+            Event::StoreError {
+                target: "journal",
+                op: "append",
+                detail: "injected \"quoted\" failure".into(),
+            },
+            Event::StoreDegraded { target: "store", failures: 3 },
+            Event::ResumeSkipped { func: 9 },
         ];
         for (i, event) in events.into_iter().enumerate() {
             let te = TraceEvent { t_us: 100 + i as u64, func: Some(3), attempt: Some(1), event };

@@ -19,8 +19,11 @@ use crate::json::{self, Json};
 
 /// Schema identifier of the current report format.
 ///
-/// v2 added the `cache` section (shared obligation-cache counters).
-pub const REPORT_SCHEMA: &str = "keq-run-report/v2";
+/// v2 added the `cache` section (shared obligation-cache counters); v3
+/// added the `resume` section (write-ahead journal recovery), the
+/// `quarantined` outcome category, per-function `recovered` flags, and
+/// the incremental-flush / circuit-breaker cache counters.
+pub const REPORT_SCHEMA: &str = "keq-run-report/v3";
 
 /// The Fig. 6 outcome table.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,6 +36,8 @@ pub struct OutcomeTable {
     pub out_of_memory: u64,
     /// Isolated panics.
     pub crashed: u64,
+    /// Still crashing after exhausting every retry attempt.
+    pub quarantined: u64,
     /// Everything else.
     pub other: u64,
     /// Total functions.
@@ -48,6 +53,7 @@ impl OutcomeTable {
             ("timeout", json::num(self.timeout)),
             ("out_of_memory", json::num(self.out_of_memory)),
             ("crashed", json::num(self.crashed)),
+            ("quarantined", json::num(self.quarantined)),
             ("other", json::num(self.other)),
             ("total", json::num(self.total)),
             ("attempts", json::num(self.attempts)),
@@ -152,15 +158,22 @@ pub struct CacheCounters {
     pub disk_loaded: u64,
     /// Records rejected while loading (corruption, stale revision).
     pub disk_rejected: u64,
-    /// Records written at shutdown.
+    /// Records written across all flushes of the run.
     pub disk_persisted: u64,
     /// Size of the persisted store after the run, bytes (0 when not
     /// persisting).
     pub disk_bytes: u64,
+    /// Successful incremental store flushes (including the final one).
+    pub flushes: u64,
+    /// Failed flush attempts (each also emitted a `StoreError` event).
+    pub flush_failures: u64,
+    /// Whether the store circuit breaker tripped: the run finished
+    /// memory-only and the final state was not persisted.
+    pub degraded: bool,
 }
 
 impl CacheCounters {
-    const FIELDS: [&'static str; 10] = [
+    const FIELDS: [&'static str; 12] = [
         "obligations",
         "hits",
         "misses",
@@ -171,6 +184,8 @@ impl CacheCounters {
         "disk_rejected",
         "disk_persisted",
         "disk_bytes",
+        "flushes",
+        "flush_failures",
     ];
 
     fn to_json(self) -> Json {
@@ -185,6 +200,34 @@ impl CacheCounters {
             ("disk_rejected", json::num(self.disk_rejected)),
             ("disk_persisted", json::num(self.disk_persisted)),
             ("disk_bytes", json::num(self.disk_bytes)),
+            ("flushes", json::num(self.flushes)),
+            ("flush_failures", json::num(self.flush_failures)),
+            ("degraded", Json::Bool(self.degraded)),
+        ])
+    }
+}
+
+/// The journal-recovery section of the v3 schema: what resume recovered
+/// from the write-ahead verdict journal before scheduling any work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResumeSection {
+    /// Whether this run resumed from a journal.
+    pub enabled: bool,
+    /// Functions skipped because a journal record decided them.
+    pub skipped: u64,
+    /// Valid records recovered from the journal.
+    pub recovered: u64,
+    /// Corrupt records skipped fail-soft while loading the journal.
+    pub corrupt: u64,
+}
+
+impl ResumeSection {
+    fn to_json(self) -> Json {
+        json::obj(vec![
+            ("enabled", Json::Bool(self.enabled)),
+            ("skipped", json::num(self.skipped)),
+            ("recovered", json::num(self.recovered)),
+            ("corrupt", json::num(self.corrupt)),
         ])
     }
 }
@@ -296,6 +339,9 @@ pub struct FunctionReport {
     pub wall_us: u64,
     /// Final result category (stable wire name).
     pub result: String,
+    /// Whether the verdict was recovered from the write-ahead journal by a
+    /// resumed run (such rows have no observed attempts).
+    pub recovered: bool,
     /// Every attempt, in order.
     pub attempts: Vec<AttemptReport>,
 }
@@ -308,6 +354,7 @@ impl FunctionReport {
             ("size", json::num(self.size)),
             ("wall_us", json::num(self.wall_us)),
             ("result", Json::Str(self.result.clone())),
+            ("recovered", Json::Bool(self.recovered)),
             ("attempts", Json::Arr(self.attempts.iter().map(AttemptReport::to_json).collect())),
         ])
     }
@@ -328,6 +375,8 @@ pub struct RunReport {
     pub solver: SolverCounters,
     /// Shared obligation-cache counters.
     pub cache: CacheCounters,
+    /// Write-ahead journal recovery.
+    pub resume: ResumeSection,
     /// Per-phase span aggregates (phases with no spans are omitted).
     pub phases: Vec<PhaseSummary>,
     /// Per-function rows, ordered by index.
@@ -350,6 +399,7 @@ impl RunReport {
             ("outcome", self.outcome.to_json()),
             ("solver", self.solver.to_json()),
             ("cache", self.cache.to_json()),
+            ("resume", self.resume.to_json()),
             ("phases", Json::Arr(self.phases.iter().map(PhaseSummary::to_json).collect())),
             (
                 "functions",
@@ -448,7 +498,7 @@ pub fn validate(doc: &Json) -> Result<(), Vec<Violation>> {
 
     if let Some(outcome) = require(doc, "$", "outcome", &mut v) {
         let mut parts = 0u64;
-        for key in ["succeeded", "timeout", "out_of_memory", "crashed", "other"] {
+        for key in ["succeeded", "timeout", "out_of_memory", "crashed", "quarantined", "other"] {
             parts += require_u64(outcome, "$.outcome", key, &mut v).unwrap_or(0);
         }
         let total = require_u64(outcome, "$.outcome", "total", &mut v);
@@ -471,6 +521,11 @@ pub fn validate(doc: &Json) -> Result<(), Vec<Violation>> {
     if let Some(cache) = require(doc, "$", "cache", &mut v) {
         for key in CacheCounters::FIELDS {
             require_u64(cache, "$.cache", key, &mut v);
+        }
+        if require(cache, "$.cache", "degraded", &mut v)
+            .is_some_and(|d| d.as_bool().is_none())
+        {
+            v.push("$.cache.degraded: expected a boolean".into());
         }
         let hits = cache.get("hits").and_then(Json::as_u64);
         let misses = cache.get("misses").and_then(Json::as_u64);
@@ -515,6 +570,17 @@ pub fn validate(doc: &Json) -> Result<(), Vec<Violation>> {
         }
     }
 
+    if let Some(resume) = require(doc, "$", "resume", &mut v) {
+        if require(resume, "$.resume", "enabled", &mut v)
+            .is_some_and(|d| d.as_bool().is_none())
+        {
+            v.push("$.resume.enabled: expected a boolean".into());
+        }
+        for key in ["skipped", "recovered", "corrupt"] {
+            require_u64(resume, "$.resume", key, &mut v);
+        }
+    }
+
     if let Some(functions) = require(doc, "$", "functions", &mut v) {
         match functions.as_arr() {
             None => v.push("$.functions: expected an array".into()),
@@ -540,6 +606,9 @@ fn validate_function(f: &Json, i: usize, v: &mut Vec<Violation>) {
     require_u64(f, &path, "size", v);
     require_u64(f, &path, "wall_us", v);
     require_str(f, &path, "result", v);
+    if require(f, &path, "recovered", v).is_some_and(|d| d.as_bool().is_none()) {
+        v.push(format!("{path}.recovered: expected a boolean"));
+    }
     let Some(attempts) = require(f, &path, "attempts", v) else { return };
     let Some(items) = attempts.as_arr() else {
         v.push(format!("{path}.attempts: expected an array"));
@@ -612,7 +681,10 @@ pub fn check_phase_coverage(
         let abandoned = attempts
             .iter()
             .any(|a| a.get("abandoned").and_then(Json::as_bool).unwrap_or(false));
-        if abandoned || wall < min_wall_us {
+        // Recovered rows carry journal-recorded wall time but no observed
+        // attempts (their spans happened in the killed run), so they have
+        // nothing to account for.
+        if abandoned || attempts.is_empty() || wall < min_wall_us {
             continue;
         }
         let mut phase_sum = 0u64;
@@ -658,6 +730,7 @@ mod tests {
                 timeout: 0,
                 out_of_memory: 0,
                 crashed: 1,
+                quarantined: 0,
                 other: 0,
                 total: 2,
                 attempts: 3,
@@ -688,7 +761,11 @@ mod tests {
                 disk_rejected: 1,
                 disk_persisted: 14,
                 disk_bytes: 370,
+                flushes: 2,
+                flush_failures: 0,
+                degraded: false,
             },
+            resume: ResumeSection { enabled: false, skipped: 0, recovered: 0, corrupt: 0 },
             phases: vec![PhaseSummary {
                 phase: Phase::Check,
                 count: 2,
@@ -702,6 +779,7 @@ mod tests {
                     size: 12,
                     wall_us: 90_000,
                     result: "succeeded".into(),
+                    recovered: false,
                     attempts: vec![
                         AttemptReport {
                             attempt: 1,
@@ -737,6 +815,7 @@ mod tests {
                     size: 7,
                     wall_us: 1_500,
                     result: "crashed".into(),
+                    recovered: false,
                     attempts: vec![AttemptReport {
                         attempt: 1,
                         budget_scale: 1,
@@ -843,6 +922,38 @@ mod tests {
         report.functions[0].attempts[1].abandoned = true;
         let doc = Json::parse(&report.to_json()).expect("parses");
         check_phase_coverage(&doc, 0.10, 2_000, 5_000).expect("abandoned rows are skipped");
+    }
+
+    #[test]
+    fn missing_resume_section_is_reported() {
+        let text = sample_report().to_json();
+        let mut doc = Json::parse(&text).expect("parses");
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "resume");
+        }
+        let errs = validate(&doc).expect_err("must fail");
+        assert!(errs.iter().any(|e| e.contains("missing key \"resume\"")), "{errs:?}");
+    }
+
+    #[test]
+    fn quarantined_counts_toward_outcome_total() {
+        let mut report = sample_report();
+        report.outcome.crashed = 0;
+        report.outcome.quarantined = 1;
+        let doc = Json::parse(&report.to_json()).expect("parses");
+        validate(&doc).expect("quarantined is a first-class category");
+    }
+
+    #[test]
+    fn recovered_functions_are_exempt_from_coverage() {
+        let mut report = sample_report();
+        // A resumed row: journal-recorded wall time, no observed attempts.
+        report.functions[0].recovered = true;
+        report.functions[0].attempts.clear();
+        report.resume = ResumeSection { enabled: true, skipped: 1, recovered: 1, corrupt: 0 };
+        let doc = Json::parse(&report.to_json()).expect("parses");
+        validate(&doc).expect("validates");
+        check_phase_coverage(&doc, 0.10, 2_000, 5_000).expect("recovered rows are skipped");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use keq_trace::{
     check_phase_coverage, validate, AttemptReport, CacheCounters, FunctionReport, Histogram, Json,
-    OutcomeTable, Phase, PhaseSummary, RunReport, SolverCounters,
+    OutcomeTable, Phase, PhaseSummary, ResumeSection, RunReport, SolverCounters,
 };
 
 const TRICKY_MESSAGE: &str = "boom \"quoted\"\nsecond line\twith tab \\ backslash and π";
@@ -27,6 +27,7 @@ fn golden_report() -> RunReport {
             timeout: 0,
             out_of_memory: 0,
             crashed: 1,
+            quarantined: 0,
             other: 0,
             total: 2,
             attempts: 3,
@@ -57,7 +58,11 @@ fn golden_report() -> RunReport {
             disk_rejected: 1,
             disk_persisted: 14,
             disk_bytes: 370,
+            flushes: 2,
+            flush_failures: 1,
+            degraded: false,
         },
+        resume: ResumeSection { enabled: true, skipped: 1, recovered: 1, corrupt: 1 },
         phases: vec![PhaseSummary { phase: Phase::Check, count: 2, total_us: 80_120, histogram: hist }],
         functions: vec![
             FunctionReport {
@@ -66,6 +71,7 @@ fn golden_report() -> RunReport {
                 size: 12,
                 wall_us: 90_000,
                 result: "succeeded".into(),
+                recovered: false,
                 attempts: vec![
                     AttemptReport {
                         attempt: 1,
@@ -101,6 +107,7 @@ fn golden_report() -> RunReport {
                 size: 7,
                 wall_us: 1_500,
                 result: "crashed".into(),
+                recovered: false,
                 attempts: vec![AttemptReport {
                     attempt: 1,
                     budget_scale: 1,

@@ -7,22 +7,35 @@
 //! ```text
 //! cargo run --release --example validate_corpus -- [N] [--seed S] \
 //!     [--report RUN_REPORT.json] [--trace-jsonl trace.jsonl] \
-//!     [--cache obligations.keqcache]
+//!     [--cache obligations.keqcache] [--journal run.keqwal] [--resume] \
+//!     [--chaos CYCLES]
 //! ```
 //!
 //! `--report` turns on tracing, collects the run's event journal, and
 //! writes the aggregated machine-readable report (schema
-//! `keq-run-report/v2`; see DESIGN.md §Observability). `--trace-jsonl`
+//! `keq-run-report/v3`; see DESIGN.md §Observability). `--trace-jsonl`
 //! additionally streams every raw event as one JSON line. `--cache`
 //! persists the shared obligation cache across runs: proved obligations
-//! are written back at the end and warm-start the next invocation.
+//! are flushed incrementally and warm-start the next invocation.
+//!
+//! `--journal` appends every finalized verdict to a write-ahead journal;
+//! `--resume` recovers a killed run from it, skipping already-decided
+//! functions. `--chaos CYCLES` runs the crash-safety campaign: one clean
+//! in-process reference run, then up to CYCLES re-executions of this
+//! binary that are killed (`abort`) at seeded offsets mid-run and resumed,
+//! then a final resumed run — asserting the merged verdict table is
+//! identical to the uninterrupted one (exit 1 on divergence). The chaos
+//! runs inject deterministic pipeline faults (panics, forced budget
+//! exhaustion) plus storage faults (torn journal writes, short reads), so
+//! the campaign exercises recovery, not just the happy path.
 
+use std::process::{Command, Stdio};
 use std::sync::Arc;
 use std::time::Duration;
 
 use keq_repro::core::KeqOptions;
-use keq_repro::harness::{build_report, HarnessOptions};
-use keq_repro::smt::Budget;
+use keq_repro::harness::{build_report, HarnessOptions, RetryPolicy};
+use keq_repro::smt::{mix64, Budget, FaultPlan, Rate};
 use keq_repro::trace::{Fanout, Journal, JsonlSink, TraceSink};
 
 struct Cli {
@@ -31,10 +44,28 @@ struct Cli {
     report: Option<String>,
     trace_jsonl: Option<String>,
     cache: Option<String>,
+    journal: Option<String>,
+    resume: bool,
+    chaos: Option<u32>,
+    /// Internal (chaos children): arm an abort timer this many ms in.
+    kill_after_ms: Option<u64>,
+    /// Internal (chaos children + reference): install the chaos fault plan.
+    chaos_run: bool,
 }
 
 fn parse_cli() -> Cli {
-    let mut cli = Cli { n: 20, seed: 2021, report: None, trace_jsonl: None, cache: None };
+    let mut cli = Cli {
+        n: 20,
+        seed: 2021,
+        report: None,
+        trace_jsonl: None,
+        cache: None,
+        journal: None,
+        resume: false,
+        chaos: None,
+        kill_after_ms: None,
+        chaos_run: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -46,12 +77,24 @@ fn parse_cli() -> Cli {
                 cli.trace_jsonl = Some(args.next().expect("--trace-jsonl <path>"));
             }
             "--cache" => cli.cache = Some(args.next().expect("--cache <path>")),
+            "--journal" => cli.journal = Some(args.next().expect("--journal <path>")),
+            "--resume" => cli.resume = true,
+            "--chaos" => {
+                cli.chaos =
+                    Some(args.next().and_then(|s| s.parse().ok()).expect("--chaos <cycles>"));
+            }
+            "--kill-after-ms" => {
+                cli.kill_after_ms =
+                    Some(args.next().and_then(|s| s.parse().ok()).expect("--kill-after-ms <ms>"));
+            }
+            "--chaos-run" => cli.chaos_run = true,
             other => match other.parse() {
                 Ok(n) => cli.n = n,
                 Err(_) => {
                     eprintln!(
                         "usage: validate_corpus [N] [--seed S] [--report PATH] \
-                         [--trace-jsonl PATH] [--cache PATH]"
+                         [--trace-jsonl PATH] [--cache PATH] [--journal PATH] [--resume] \
+                         [--chaos CYCLES]"
                     );
                     std::process::exit(2);
                 }
@@ -61,9 +104,8 @@ fn parse_cli() -> Cli {
     cli
 }
 
-fn main() {
-    let cli = parse_cli();
-    let keq = KeqOptions {
+fn base_keq_options() -> KeqOptions {
+    KeqOptions {
         time_limit: Some(Duration::from_secs(20)),
         solver_budget: Budget {
             max_conflicts: 500_000,
@@ -71,7 +113,151 @@ fn main() {
             max_time: Some(Duration::from_secs(5)),
         },
         ..KeqOptions::default()
+    }
+}
+
+/// The chaos campaign's deterministic fault surface: pipeline faults that
+/// classify reproducibly per function (no wall-clock deadlines anywhere),
+/// plus storage faults that stress the journal's torn-write/short-read
+/// recovery without being able to change any verdict.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        panic: Rate { num: 1, den: 8 },
+        force_conflicts: Rate { num: 1, den: 8 },
+        force_terms: Rate { num: 1, den: 8 },
+        torn_write: Rate { num: 1, den: 16 },
+        short_read: Rate { num: 1, den: 16 },
+        ..FaultPlan::quiet(seed)
+    }
+}
+
+fn chaos_retry() -> RetryPolicy {
+    RetryPolicy { max_attempts: 2, factor: 4, retry_crashes: true, ..RetryPolicy::default() }
+}
+
+fn kinds(summary: &keq_bench::CorpusSummary) -> Vec<&'static str> {
+    summary.rows.iter().map(|r| r.result.kind().name()).collect()
+}
+
+/// The chaos campaign driver. Exits 1 on verdict divergence or store
+/// impurity, 0 on success.
+fn run_chaos(cli: &Cli, cycles: u32) {
+    let journal_path =
+        cli.journal.clone().unwrap_or_else(|| "chaos.keqwal".to_string());
+    let base = HarnessOptions {
+        keq: base_keq_options(),
+        fault_plan: chaos_plan(cli.seed),
+        retry: chaos_retry(),
+        ..HarnessOptions::default()
     };
+
+    // 1. The uninterrupted reference run, in-process, no journal. Its wall
+    //    time calibrates the kill offsets: a kill is only interesting when
+    //    it lands after some verdicts are journaled and before the rest.
+    println!("chaos: reference run ({} functions, seed {})...", cli.n, cli.seed);
+    let ref_start = std::time::Instant::now();
+    let (_m, reference) = keq_bench::run_corpus_with(cli.seed, cli.n, &base);
+    let ref_ms = u64::try_from(ref_start.elapsed().as_millis()).unwrap_or(u64::MAX).max(20);
+    let want = kinds(&reference);
+
+    // 2. The kill/resume loop: re-exec this binary with an armed abort
+    //    timer; each child resumes the journal the previous one left and
+    //    dies at a different seeded offset, until one survives to the end
+    //    (or the cycle cap is hit — the final run below completes the rest).
+    let _ = std::fs::remove_file(&journal_path);
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut kills = 0u32;
+    for cycle in 1..=cycles {
+        // Seeded kill offset in [10%, 90%) of the reference wall time.
+        let frac = 10 + mix64(cli.seed ^ u64::from(cycle)) % 80;
+        let kill_ms = (ref_ms * frac / 100).max(5);
+        let mut cmd = Command::new(&exe);
+        cmd.arg(cli.n.to_string())
+            .args(["--seed", &cli.seed.to_string()])
+            .args(["--journal", &journal_path])
+            .arg("--resume")
+            .arg("--chaos-run")
+            .args(["--kill-after-ms", &kill_ms.to_string()])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        if let Some(cache) = &cli.cache {
+            cmd.args(["--cache", cache]);
+        }
+        let status = cmd.status().expect("spawn chaos child");
+        if status.success() {
+            println!("chaos: cycle {cycle} survived its {kill_ms}ms timer, run complete");
+            break;
+        }
+        kills += 1;
+        println!("chaos: cycle {cycle} killed at {kill_ms}ms, resuming...");
+    }
+
+    // 3. The final resumed run, in-process, merging whatever the children
+    //    decided with a replay of the rest.
+    let merged_opts = HarnessOptions {
+        journal_path: Some(journal_path.clone().into()),
+        resume: true,
+        cache_path: cli.cache.as_ref().map(std::path::PathBuf::from),
+        ..base
+    };
+    let (_m, merged) = keq_bench::run_corpus_with(cli.seed, cli.n, &merged_opts);
+    println!("{}", merged.summary_line());
+
+    let got = kinds(&merged);
+    if got != want {
+        eprintln!("chaos: VERDICT DIVERGENCE after {kills} kills");
+        for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+            if w != g {
+                eprintln!("  f{i}: clean run says {w}, resumed run says {g}");
+            }
+        }
+        std::process::exit(1);
+    }
+
+    // 4. Store purity: a crash-interrupted store may only ever contain
+    //    `Unsat` records (verdict byte 1 in the store's wire format) —
+    //    whatever was torn mid-write must have been skipped, never
+    //    reinterpreted.
+    if let Some(cache) = &cli.cache {
+        if let Ok(bytes) = std::fs::read(cache) {
+            let mut at = 20; // header: magic + version + semantics revision
+            while at + 4 <= bytes.len() {
+                let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+                if len != 17 || at + 4 + len + 4 > bytes.len() {
+                    break; // torn tail: the loader skips it too
+                }
+                let verdict_byte = bytes[at + 4 + 16];
+                if verdict_byte != 1 {
+                    eprintln!("chaos: STORE IMPURITY: persisted verdict byte {verdict_byte}");
+                    std::process::exit(1);
+                }
+                at += 4 + len + 4;
+            }
+        }
+    }
+
+    println!(
+        "chaos: OK — {} kills, verdict tables identical ({} functions), resume skipped {} \
+         recovered {} corrupt {}",
+        kills, cli.n, merged.resume.skipped, merged.resume.recovered, merged.resume.corrupt
+    );
+}
+
+fn main() {
+    let cli = parse_cli();
+    if let Some(cycles) = cli.chaos {
+        run_chaos(&cli, cycles);
+        return;
+    }
+
+    // Chaos children: die unceremoniously (abort, not panic — the point is
+    // a process that never got to say goodbye) once the timer fires.
+    if let Some(ms) = cli.kill_after_ms {
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(ms));
+            std::process::abort();
+        });
+    }
 
     // Tracing is opt-in: without --report/--trace-jsonl every probe site
     // in the pipeline stays on its one-branch disabled path.
@@ -87,14 +273,23 @@ fn main() {
     } else {
         None
     };
-    let cache_path = cli.cache.as_ref().map(std::path::PathBuf::from);
-    let opts = HarnessOptions { keq, trace, cache_path, ..HarnessOptions::default() };
+    let opts = HarnessOptions {
+        keq: base_keq_options(),
+        trace,
+        cache_path: cli.cache.as_ref().map(std::path::PathBuf::from),
+        journal_path: cli.journal.as_ref().map(std::path::PathBuf::from),
+        resume: cli.resume,
+        fault_plan: if cli.chaos_run { chaos_plan(cli.seed) } else { FaultPlan::quiet(0) },
+        retry: if cli.chaos_run { chaos_retry() } else { RetryPolicy::default() },
+        ..HarnessOptions::default()
+    };
 
     println!("validating {} generated functions (seed {})...", cli.n, cli.seed);
     let (_module, summary) = keq_bench::run_corpus_with(cli.seed, cli.n, &opts);
     for row in &summary.rows {
+        let recovered = if row.recovered { "  [recovered]" } else { "" };
         println!(
-            "  {:<8} {:>4} instrs  {:>9.2?}  {:?}",
+            "  {:<8} {:>4} instrs  {:>9.2?}  {:?}{recovered}",
             row.name, row.size, row.time, row.result
         );
     }
@@ -107,11 +302,12 @@ fn main() {
     println!("{}", summary.summary_line());
     if let Some(path) = &cli.cache {
         println!(
-            "obligation store {path}: loaded {} rejected {} persisted {} ({} bytes)",
+            "obligation store {path}: loaded {} rejected {} persisted {} ({} bytes, {} flushes)",
             summary.cache.disk_loaded,
             summary.cache.disk_rejected,
             summary.cache.disk_persisted,
             summary.cache.disk_bytes,
+            summary.cache.flushes,
         );
     }
 

@@ -7,14 +7,19 @@
 #   pr4  cold-vs-warm obligation-cache corpus runs, emitted as
 #        BENCH_PR4.json
 #        (crates/keq-bench/benches/bench_pr4.rs for schema and knobs)
+#   pr6  journaling overhead and kill/resume wall-time ratios, emitted
+#        as BENCH_PR6.json
+#        (crates/keq-bench/benches/bench_pr6.rs for schema and knobs)
 #
 # Usage:
 #   scripts/bench.sh                  # pr2, full-size run
 #   scripts/bench.sh --smoke          # pr2, CI-sized run
 #   scripts/bench.sh pr4 [--smoke]    # obligation-cache benchmark
+#   scripts/bench.sh pr6 [--smoke]    # crash-safety benchmark
 #
-# Any KEQ_PR2_* / KEQ_PR4_* variable already in the environment wins over
-# the smoke defaults, so a partial override stays possible in either mode.
+# Any KEQ_PR2_* / KEQ_PR4_* / KEQ_PR6_* variable already in the
+# environment wins over the smoke defaults, so a partial override stays
+# possible in either mode.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,10 +27,10 @@ target=pr2
 smoke=0
 for arg in "$@"; do
     case "$arg" in
-        pr2|pr4) target="$arg" ;;
+        pr2|pr4|pr6) target="$arg" ;;
         --smoke) smoke=1 ;;
         *)
-            echo "usage: scripts/bench.sh [pr2|pr4] [--smoke]" >&2
+            echo "usage: scripts/bench.sh [pr2|pr4|pr6] [--smoke]" >&2
             exit 2
             ;;
     esac
@@ -53,5 +58,14 @@ case "$target" in
         echo "==> cargo bench -p keq-bench --bench bench_pr4"
         cargo bench -p keq-bench --bench bench_pr4
         echo "==> wrote ${KEQ_PR4_OUT}"
+        ;;
+    pr6)
+        if [[ "$smoke" == 1 ]]; then
+            export KEQ_PR6_N="${KEQ_PR6_N:-12}"
+        fi
+        export KEQ_PR6_OUT="${KEQ_PR6_OUT:-$PWD/BENCH_PR6.json}"
+        echo "==> cargo bench -p keq-bench --bench bench_pr6"
+        cargo bench -p keq-bench --bench bench_pr6
+        echo "==> wrote ${KEQ_PR6_OUT}"
         ;;
 esac
