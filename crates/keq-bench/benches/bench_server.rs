@@ -1,0 +1,273 @@
+//! **BENCH_SERVER** — machine-readable `keq-server` daemon benchmark.
+//!
+//! Boots an in-process server on a loopback port, streams a seeded corpus
+//! through the wire protocol once to warm the resident obligation cache,
+//! then measures a sustained steady-state window: `rounds` full corpus
+//! passes split round-robin over `conns` parallel connections, every
+//! request one function wrapped with the corpus globals/declarations (what
+//! `keq_client` sends). Emits `BENCH_SERVER.json` (hand-rolled writer; the
+//! workspace is dependency-free) with the sustained request rate, the
+//! client-observed round-trip latency quantiles, and the steady-state
+//! cache hit ratio taken from `stats`-op counter deltas across the
+//! measured window only — the cold warm-up pass does not dilute it.
+//!
+//! In-bench acceptance bars (the run aborts when missed):
+//!
+//! * the steady-state window discharges ≥ 74% of its obligation lookups
+//!   from the resident cache — the daemon's reason to exist is that the
+//!   cache stays warm across requests;
+//! * every measured round reproduces the warm-up round's verdict table —
+//!   residency must be invisible in verdicts;
+//! * the drain accounts for every admitted submission (no losses, no
+//!   disconnects) and the server-side latency histogram saw them all.
+//!
+//! Environment knobs:
+//!
+//! * `KEQ_SRV_N`      — corpus functions (default 16)
+//! * `KEQ_SRV_ROUNDS` — measured steady-state corpus passes (default 4)
+//! * `KEQ_SRV_CONNS`  — parallel client connections (default 2)
+//! * `KEQ_SRV_SECS`   — per-function wall-clock limit (default 10)
+//! * `KEQ_SRV_SEED`   — corpus seed (default 2021)
+//! * `KEQ_SRV_OUT`    — output path (default `BENCH_SERVER.json`)
+//!
+//! `scripts/bench.sh server` drives this target; CI runs it smoke-sized.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use keq_core::KeqOptions;
+use keq_harness::protocol::{ClientRequest, ServerResponse, StatsSnapshot};
+use keq_harness::{connect, HarnessOptions, Server, ServerOptions};
+use keq_llvm::ast::Module;
+use keq_smt::Budget;
+use keq_trace::Histogram;
+use keq_workload::{generate_corpus, GenConfig};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Corpus function `i` as a self-contained request module (the corpus
+/// globals and external declarations ride along), `unit` = corpus index —
+/// the same payload `keq_client` sends.
+fn request_ir(corpus: &Module, i: usize) -> String {
+    Module {
+        globals: corpus.globals.clone(),
+        functions: vec![corpus.functions[i].clone()],
+        declarations: corpus.declarations.clone(),
+    }
+    .to_string()
+}
+
+/// One full corpus pass over an existing connection; returns the verdict
+/// kind per function and feeds client-observed round-trip latencies into
+/// `latency`.
+fn stream_pass(
+    conn: &mut keq_harness::ClientConn,
+    corpus: &Module,
+    units: &[usize],
+    tag_base: u64,
+    latency: &mut Histogram,
+) -> BTreeMap<usize, String> {
+    let mut verdicts = BTreeMap::new();
+    for &i in units {
+        let req = ClientRequest::Validate {
+            tag: tag_base + i as u64,
+            unit: i as u64,
+            ir: request_ir(corpus, i),
+            deadline_ms: None,
+            max_attempts: None,
+        };
+        let start = Instant::now();
+        let resp = conn.roundtrip(&req).expect("validate round trip");
+        latency.add(start.elapsed().as_micros() as f64);
+        let ServerResponse::Validated { results, .. } = resp else {
+            panic!("expected a verdict table for f{i}, got {resp:?}");
+        };
+        assert_eq!(results.len(), 1, "one function per request module");
+        verdicts.insert(i, results[0].result.clone());
+    }
+    verdicts
+}
+
+fn stats(conn: &mut keq_harness::ClientConn) -> StatsSnapshot {
+    match conn.roundtrip(&ClientRequest::Stats).expect("stats round trip") {
+        ServerResponse::Stats(s) => s,
+        other => panic!("expected stats, got {other:?}"),
+    }
+}
+
+fn main() {
+    let n = env_u64("KEQ_SRV_N", 16) as usize;
+    let rounds = env_u64("KEQ_SRV_ROUNDS", 4) as usize;
+    let conns = (env_u64("KEQ_SRV_CONNS", 2) as usize).clamp(1, n.max(1));
+    let secs = env_u64("KEQ_SRV_SECS", 10);
+    let seed = env_u64("KEQ_SRV_SEED", 2021);
+    let out = std::env::var("KEQ_SRV_OUT").unwrap_or_else(|_| "BENCH_SERVER.json".to_string());
+
+    let corpus = generate_corpus(GenConfig { seed, ..GenConfig::default() }, n);
+    let opts = ServerOptions {
+        harness: HarnessOptions {
+            keq: KeqOptions {
+                time_limit: Some(Duration::from_secs(secs)),
+                solver_budget: Budget {
+                    max_conflicts: 500_000,
+                    max_terms: 2_000_000,
+                    max_time: Some(Duration::from_secs(secs / 4 + 1)),
+                },
+                ..KeqOptions::default()
+            },
+            ..HarnessOptions::default()
+        },
+        ..ServerOptions::default()
+    };
+    let server = Server::bind("127.0.0.1:0", &opts).expect("bind server");
+    let addr = server.local_addr();
+    let run = std::thread::spawn(move || server.run());
+
+    // Warm-up: one cold corpus pass fills the resident obligation cache.
+    eprintln!("warm-up: {n} corpus functions (seed {seed}) through {addr}...");
+    let mut ctl = connect(&addr).expect("connect control connection");
+    let mut warmup_latency = Histogram::log_us("warm-up round trip (µs)");
+    let units: Vec<usize> = (0..n).collect();
+    let warmup_start = Instant::now();
+    let baseline = stream_pass(&mut ctl, &corpus, &units, 0, &mut warmup_latency);
+    let warmup_wall = warmup_start.elapsed();
+    let before = stats(&mut ctl);
+
+    // Steady state: `rounds` further corpus passes, split round-robin over
+    // `conns` parallel connections. The tag space is partitioned per
+    // connection; the unit stays the corpus function index everywhere.
+    eprintln!("steady state: {rounds} rounds x {n} functions over {conns} connection(s)...");
+    let measured_start = Instant::now();
+    let (latency, verdict_tables): (Histogram, Vec<BTreeMap<usize, String>>) =
+        std::thread::scope(|scope| {
+            let corpus = &corpus;
+            let addr = addr.as_str();
+            let handles: Vec<_> = (0..conns)
+                .map(|c| {
+                    let units: Vec<usize> = (0..n).filter(|i| i % conns == c).collect();
+                    scope.spawn(move || {
+                        let mut conn = connect(addr).expect("connect load connection");
+                        let mut latency = Histogram::log_us("round trip (µs)");
+                        let mut tables = Vec::with_capacity(rounds);
+                        for round in 0..rounds {
+                            let tag_base = ((1 + round) * n + c * rounds * n) as u64;
+                            tables.push(stream_pass(
+                                &mut conn,
+                                corpus,
+                                &units,
+                                tag_base,
+                                &mut latency,
+                            ));
+                        }
+                        (latency, tables)
+                    })
+                })
+                .collect();
+            let mut latency = Histogram::log_us("round trip (µs)");
+            // Per-round tables arrive split by connection; merge each
+            // round's shards back into one table per round.
+            let mut merged: Vec<BTreeMap<usize, String>> = vec![BTreeMap::new(); rounds];
+            for handle in handles {
+                let (shard_latency, shard_tables) = handle.join().expect("load connection");
+                latency.merge(&shard_latency);
+                for (round, shard) in shard_tables.into_iter().enumerate() {
+                    merged[round].extend(shard);
+                }
+            }
+            (latency, merged)
+        });
+    let measured_wall = measured_start.elapsed();
+    let after = stats(&mut ctl);
+
+    match ctl.roundtrip(&ClientRequest::Shutdown).expect("shutdown round trip") {
+        ServerResponse::ShuttingDown => {}
+        other => panic!("expected shutdown ack, got {other:?}"),
+    }
+    let summary = run.join().expect("server thread");
+
+    // Residency must be invisible in verdicts: every steady-state round
+    // reproduces the warm-up round's table.
+    for (round, table) in verdict_tables.iter().enumerate() {
+        assert_eq!(
+            table, &baseline,
+            "steady-state round {round} drifted from the warm-up verdicts"
+        );
+    }
+
+    // The drain accounts for everything the bench admitted.
+    let requests = (rounds * n) as u64;
+    let fin = &summary.fin.server;
+    assert_eq!(fin.requests, requests + n as u64, "every submission was admitted");
+    assert_eq!(fin.completed, fin.requests, "every admitted submission finalized");
+    assert_eq!(fin.disconnects, 0, "no reply channel died");
+    assert_eq!(
+        summary.fin.latency.total() as u64,
+        fin.completed,
+        "the server-side latency histogram saw every finalization"
+    );
+
+    // The headline: steady-state obligation lookups ride the resident
+    // cache. Counter deltas across the measured window only — the cold
+    // warm-up pass is excluded by construction.
+    let hits = after.cache_hits - before.cache_hits;
+    let misses = after.cache_misses - before.cache_misses;
+    let lookups = hits + misses;
+    let hit_ratio = if lookups == 0 { 1.0 } else { hits as f64 / lookups as f64 };
+    assert!(
+        lookups > 0,
+        "the steady-state window performed no cache lookups — nothing was measured"
+    );
+    assert!(
+        hit_ratio >= 0.74,
+        "acceptance bar: steady-state requests must discharge >=74% of obligation \
+         lookups from the resident cache (hits {hits}, misses {misses}, \
+         ratio {hit_ratio:.3})"
+    );
+
+    let req_per_sec = requests as f64 / measured_wall.as_secs_f64().max(1e-9);
+    let p50 = latency.p50().unwrap_or(0.0);
+    let p99 = latency.p99().unwrap_or(0.0);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_SERVER\",");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"n_functions\": {n},");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"connections\": {conns},");
+    let _ = writeln!(json, "  \"per_function_secs\": {secs},");
+    let _ = writeln!(
+        json,
+        "  \"warmup\": {{\"wall_ms\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},",
+        warmup_wall.as_millis(),
+        warmup_latency.p50().unwrap_or(0.0),
+        warmup_latency.p99().unwrap_or(0.0)
+    );
+    let _ = writeln!(json, "  \"steady_state\": {{");
+    let _ = writeln!(json, "    \"requests\": {requests},");
+    let _ = writeln!(json, "    \"wall_ms\": {},", measured_wall.as_millis());
+    let _ = writeln!(json, "    \"req_per_sec\": {req_per_sec:.2},");
+    let _ = writeln!(json, "    \"p50_us\": {p50:.1},");
+    let _ = writeln!(json, "    \"p99_us\": {p99:.1},");
+    let _ = writeln!(json, "    \"cache_hits\": {hits},");
+    let _ = writeln!(json, "    \"cache_misses\": {misses},");
+    let _ = writeln!(json, "    \"hit_ratio\": {hit_ratio:.4}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"server\": {{");
+    let _ = writeln!(json, "    \"requests\": {},", fin.requests);
+    let _ = writeln!(json, "    \"completed\": {},", fin.completed);
+    let _ = writeln!(json, "    \"server_p50_us\": {:.1},", summary.fin.latency.p50().unwrap_or(0.0));
+    let _ = writeln!(json, "    \"server_p99_us\": {:.1}", summary.fin.latency.p99().unwrap_or(0.0));
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out, &json).expect("write BENCH_SERVER json");
+    print!("{json}");
+    eprintln!(
+        "wrote {out} (sustained {req_per_sec:.0} req/s, p99 {p99:.0}µs, \
+         steady-state hit ratio {hit_ratio:.2})"
+    );
+}

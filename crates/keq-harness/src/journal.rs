@@ -49,7 +49,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use keq_llvm::ast::{Function, Module};
-use keq_smt::obcache::{fnv1a32, StoreIo};
+use keq_smt::obcache::StoreIo;
+use keq_smt::wire::{self, fnv1a64};
 
 use crate::result::CorpusResult;
 
@@ -58,22 +59,11 @@ pub const JOURNAL_MAGIC: &[u8; 8] = b"KEQWAL01";
 /// On-disk journal format version.
 pub const JOURNAL_VERSION: u32 = 1;
 
-const HEADER_LEN: usize = 8 + 4 + 8;
+const HEADER_LEN: usize = wire::HEADER_LEN;
 /// Panic messages/locations are clamped to this many bytes when encoding.
 const MAX_STR_LEN: usize = 4 << 10;
 /// Upper bound accepted for one record payload when reading.
 const MAX_PAYLOAD_LEN: u32 = 16 << 10;
-
-/// FNV-1a, 64-bit (fingerprints; records use the 32-bit flavor shared with
-/// the obligation store).
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 /// The identity of one function for resume matching: FNV-1a-64 over its
 /// printed IR. Resume accepts a journal record only when both the function
@@ -171,12 +161,7 @@ impl JournalRecord {
 
     /// One framed record: length, payload, checksum.
     fn encode(&self) -> Vec<u8> {
-        let payload = self.encode_payload();
-        let mut rec = Vec::with_capacity(4 + payload.len() + 4);
-        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        rec.extend_from_slice(&payload);
-        rec.extend_from_slice(&fnv1a32(&payload).to_le_bytes());
-        rec
+        wire::frame_record(&self.encode_payload())
     }
 
     fn decode_payload(p: &[u8]) -> Option<JournalRecord> {
@@ -254,45 +239,29 @@ pub fn load(path: &Path, corpus_fp: u64, io: &dyn StoreIo) -> JournalLoad {
             return out;
         }
     };
-    if buf.len() < HEADER_LEN || &buf[..8] != JOURNAL_MAGIC {
+    if wire::decode_header(&buf, JOURNAL_MAGIC, JOURNAL_VERSION) != Some(corpus_fp) {
         out.reset = true;
         return out;
     }
-    let version = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
-    let fp = u64::from_le_bytes(buf[12..20].try_into().expect("8 bytes"));
-    if version != JOURNAL_VERSION || fp != corpus_fp {
-        out.reset = true;
-        return out;
-    }
-    let mut at = HEADER_LEN;
     let mut valid_end = HEADER_LEN;
-    while at < buf.len() {
-        if buf.len() - at < 4 {
-            out.corrupt += 1;
-            break;
-        }
-        let len = u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"));
-        if len > MAX_PAYLOAD_LEN || buf.len() - at < 4 + len as usize + 4 {
-            // Torn tail (or a corrupted length that frames past the end):
-            // the scan cannot resynchronize, so it stops here.
-            out.corrupt += 1;
-            break;
-        }
-        let payload = &buf[at + 4..at + 4 + len as usize];
-        let crc_at = at + 4 + len as usize;
-        let crc = u32::from_le_bytes(buf[crc_at..crc_at + 4].try_into().expect("4 bytes"));
-        at = crc_at + 4;
+    let mut scan = wire::RecordScanner::new(&buf, MAX_PAYLOAD_LEN);
+    for rec in scan.by_ref() {
         // The framing was intact, so appends after this record are safe
         // even when the record itself is rejected.
-        valid_end = at;
-        if crc != fnv1a32(payload) {
+        valid_end = rec.end;
+        if !rec.crc_ok {
             out.corrupt += 1;
             continue;
         }
-        match JournalRecord::decode_payload(payload) {
+        match JournalRecord::decode_payload(rec.payload) {
             Some(rec) => out.records.push(rec),
             None => out.corrupt += 1,
         }
+    }
+    if scan.torn() {
+        // Torn tail (or a corrupted length that frames past the end): the
+        // scan cannot resynchronize, so it stopped there.
+        out.corrupt += 1;
     }
     out.valid_prefix = buf[..valid_end].to_vec();
     out
@@ -343,10 +312,7 @@ impl JournalWriter {
         let opening = match valid_prefix {
             Some(prefix) => writer.io.write(path, prefix, false),
             None => {
-                let mut header = Vec::with_capacity(HEADER_LEN);
-                header.extend_from_slice(JOURNAL_MAGIC);
-                header.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
-                header.extend_from_slice(&corpus_fp.to_le_bytes());
+                let header = wire::encode_header(JOURNAL_MAGIC, JOURNAL_VERSION, corpus_fp);
                 writer.io.write(path, &header, false)
             }
         };
@@ -534,6 +500,45 @@ mod tests {
         w.append(&rec(2, CorpusResult::Succeeded));
         assert_eq!(w.failures, 2, "degraded writer is a no-op");
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Byte-compat fixture: a journal laid out entirely by hand in the
+    /// exact pre-`wire` format. Loading must recover it unchanged, and a
+    /// fresh writer given the same record must reproduce the same bytes.
+    #[test]
+    fn hand_built_journal_fixture_round_trips_byte_compatibly() {
+        let path = temp_path("fixture");
+        let _ = std::fs::remove_file(&path);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(JOURNAL_MAGIC);
+        bytes.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&11u64.to_le_bytes());
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&3u32.to_le_bytes()); // func
+        payload.extend_from_slice(&0x1003u64.to_le_bytes()); // func_fp
+        payload.extend_from_slice(&1u32.to_le_bytes()); // attempts
+        payload.extend_from_slice(&42u64.to_le_bytes()); // time_us
+        payload.push(0); // Succeeded
+        payload.extend_from_slice(&0u32.to_le_bytes()); // empty message
+        payload.push(0); // no location
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&keq_smt::wire::fnv1a32(&payload).to_le_bytes());
+        std::fs::write(&path, &bytes).expect("write fixture");
+
+        let out = load(&path, 11, &StdStoreIo);
+        assert!(!out.reset);
+        assert_eq!(out.corrupt, 0);
+        assert_eq!(out.records, vec![rec(3, CorpusResult::Succeeded)]);
+        assert_eq!(out.valid_prefix, bytes);
+
+        // A fresh writer emitting the same record reproduces the fixture.
+        let rewrite = temp_path("fixture-rewrite");
+        let _ = std::fs::remove_file(&rewrite);
+        write_all(&rewrite, 11, &[rec(3, CorpusResult::Succeeded)]);
+        assert_eq!(std::fs::read(&rewrite).expect("read back"), bytes);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rewrite);
     }
 
     #[test]

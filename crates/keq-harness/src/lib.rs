@@ -36,9 +36,12 @@
 
 pub mod journal;
 pub mod panic_capture;
+pub mod protocol;
 pub mod report;
 pub mod result;
 pub mod run;
+pub mod scheduler;
+pub mod server;
 
 pub use journal::{
     corpus_fingerprint, function_fingerprint, JournalLoad, JournalRecord, JournalWriter,
@@ -49,3 +52,11 @@ pub use result::{
     AttemptRecord, CacheSummary, CorpusResult, CorpusRow, CorpusSummary, ResultKind, ResumeSummary,
 };
 pub use run::{run_module, HarnessOptions, RetryPolicy};
+pub use protocol::{
+    read_frame, write_frame, ClientRequest, FunctionVerdict, ServerResponse, StatsSnapshot,
+};
+pub use scheduler::{
+    ClientQuota, Completion, JournalConfig, Rejected, Request, Scheduler, SchedulerConfig,
+    SchedulerFinal, ServerCounters,
+};
+pub use server::{connect, ClientConn, Server, ServerOptions, ServerSummary};

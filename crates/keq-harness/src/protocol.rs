@@ -1,0 +1,493 @@
+//! The `keq-server` wire protocol: length-framed JSON over a byte stream.
+//!
+//! Framing is four bytes of little-endian payload length followed by that
+//! many bytes of UTF-8 JSON (one request or response per frame). JSON is
+//! produced and parsed with [`keq_trace::Json`] — the same hermetic,
+//! hand-rolled writer/parser the run reports use, so the daemon adds no
+//! dependency and speaks the repo's one JSON idiom.
+//!
+//! Requests (client → server):
+//!
+//! ```json
+//! {"op":"validate","tag":7,"unit":3,"deadline_ms":2000,"max_attempts":2,"ir":"define ..."}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! `ir` is the textual LLVM fragment ([`keq_llvm::parser::parse_module`]
+//! round-trips with the printer). `unit` keys the server's deterministic
+//! fault plan exactly like a batch corpus index does, so a fault campaign
+//! lands on the same units regardless of front end; function `i` of the
+//! module gets `unit + i`. `deadline_ms`/`max_attempts` are optional
+//! per-request overrides (quota-clamped by the server).
+//!
+//! Responses (server → client):
+//!
+//! ```json
+//! {"ok":true,"tag":7,"results":[{"name":"f0","index":0,"result":"succeeded",
+//!   "attempts":1,"queue_us":120,"wall_us":5150}]}
+//! {"ok":false,"tag":7,"rejected":"queue_full"}
+//! {"ok":false,"error":"parse: ..."}
+//! {"ok":true,"stats":{...}}
+//! {"ok":true,"draining":true}
+//! ```
+
+use std::io::{self, Read, Write};
+
+use keq_trace::json::{self, Json};
+
+/// Upper bound on one frame's payload (anything larger is treated as a
+/// corrupt or hostile stream, not buffered).
+pub const MAX_FRAME_LEN: u32 = 16 << 20;
+
+/// Writes one frame: `u32` little-endian length, then the payload.
+///
+/// # Errors
+///
+/// Propagates stream errors; rejects payloads over [`MAX_FRAME_LEN`] with
+/// [`io::ErrorKind::InvalidInput`].
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_LEN)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on a clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// Propagates stream errors; an EOF mid-frame, an oversized length, or
+/// non-UTF-8 payload is [`io::ErrorKind::InvalidData`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    let mut at = 0;
+    while at < len_buf.len() {
+        match r.read(&mut len_buf[at..]) {
+            Ok(0) if at == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "EOF mid frame header"))
+            }
+            Ok(k) => at += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame length over bound"));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientRequest {
+    /// Validate every function of a textual IR module.
+    Validate {
+        /// Opaque tag echoed in the response.
+        tag: u64,
+        /// Fault/backoff unit of the module's first function (function `i`
+        /// gets `unit + i`).
+        unit: u64,
+        /// Textual IR module.
+        ir: String,
+        /// Optional per-request deadline override, milliseconds.
+        deadline_ms: Option<u64>,
+        /// Optional per-request retry-ladder cap.
+        max_attempts: Option<u32>,
+    },
+    /// Fetch live server counters.
+    Stats,
+    /// Drain and exit.
+    Shutdown,
+}
+
+impl ClientRequest {
+    /// Serializes the request as one compact JSON payload.
+    pub fn to_json_string(&self) -> String {
+        let doc = match self {
+            ClientRequest::Validate { tag, unit, ir, deadline_ms, max_attempts } => {
+                let mut fields = vec![
+                    ("op", Json::Str("validate".into())),
+                    ("tag", json::num(*tag)),
+                    ("unit", json::num(*unit)),
+                ];
+                if let Some(ms) = deadline_ms {
+                    fields.push(("deadline_ms", json::num(*ms)));
+                }
+                if let Some(n) = max_attempts {
+                    fields.push(("max_attempts", json::num(u64::from(*n))));
+                }
+                fields.push(("ir", Json::Str(ir.clone())));
+                json::obj(fields)
+            }
+            ClientRequest::Stats => json::obj(vec![("op", Json::Str("stats".into()))]),
+            ClientRequest::Shutdown => json::obj(vec![("op", Json::Str("shutdown".into()))]),
+        };
+        let mut out = String::new();
+        doc.write_compact(&mut out);
+        out
+    }
+
+    /// Parses one request payload.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of what is malformed (sent back to the
+    /// client as an error response).
+    pub fn parse(text: &str) -> Result<ClientRequest, String> {
+        let doc = Json::parse(text).map_err(|e| format!("json: {e:?}"))?;
+        let op = doc.get("op").and_then(Json::as_str).ok_or("missing \"op\"")?;
+        match op {
+            "validate" => {
+                let tag = doc.get("tag").and_then(Json::as_u64).ok_or("validate: missing tag")?;
+                let unit = doc.get("unit").and_then(Json::as_u64).unwrap_or(0);
+                let ir = doc
+                    .get("ir")
+                    .and_then(Json::as_str)
+                    .ok_or("validate: missing ir")?
+                    .to_string();
+                let deadline_ms = doc.get("deadline_ms").and_then(Json::as_u64);
+                let max_attempts = doc
+                    .get("max_attempts")
+                    .and_then(Json::as_u64)
+                    .map(|n| u32::try_from(n).unwrap_or(u32::MAX));
+                Ok(ClientRequest::Validate { tag, unit, ir, deadline_ms, max_attempts })
+            }
+            "stats" => Ok(ClientRequest::Stats),
+            "shutdown" => Ok(ClientRequest::Shutdown),
+            other => Err(format!("unknown op \"{other}\"")),
+        }
+    }
+}
+
+/// One per-function verdict inside a validate response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionVerdict {
+    /// Function name.
+    pub name: String,
+    /// Index within the submitted module.
+    pub index: u64,
+    /// Final result category (stable wire name).
+    pub result: String,
+    /// Attempts consumed.
+    pub attempts: u64,
+    /// Submit → first worker pickup, µs.
+    pub queue_us: u64,
+    /// Submit → verdict, µs.
+    pub wall_us: u64,
+}
+
+impl FunctionVerdict {
+    fn to_json(&self) -> Json {
+        json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("index", json::num(self.index)),
+            ("result", Json::Str(self.result.clone())),
+            ("attempts", json::num(self.attempts)),
+            ("queue_us", json::num(self.queue_us)),
+            ("wall_us", json::num(self.wall_us)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Option<FunctionVerdict> {
+        Some(FunctionVerdict {
+            name: doc.get("name")?.as_str()?.to_string(),
+            index: doc.get("index")?.as_u64()?,
+            result: doc.get("result")?.as_str()?.to_string(),
+            attempts: doc.get("attempts")?.as_u64()?,
+            queue_us: doc.get("queue_us")?.as_u64()?,
+            wall_us: doc.get("wall_us")?.as_u64()?,
+        })
+    }
+}
+
+/// Live counters returned by the `stats` op.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Submissions accepted since boot.
+    pub requests: u64,
+    /// Submissions finalized since boot.
+    pub completed: u64,
+    /// Backpressure rejections.
+    pub rejected_queue_full: u64,
+    /// Quota rejections.
+    pub rejected_quota: u64,
+    /// Verdicts whose client was gone.
+    pub disconnects: u64,
+    /// Accepted-but-unfinalized submissions right now.
+    pub depth: u64,
+    /// Shared obligation-cache lookups answered.
+    pub cache_hits: u64,
+    /// Shared obligation-cache lookups missed.
+    pub cache_misses: u64,
+    /// Live cache entries.
+    pub cache_entries: u64,
+}
+
+impl StatsSnapshot {
+    const FIELDS: [&'static str; 9] = [
+        "requests",
+        "completed",
+        "rejected_queue_full",
+        "rejected_quota",
+        "disconnects",
+        "depth",
+        "cache_hits",
+        "cache_misses",
+        "cache_entries",
+    ];
+
+    fn values(&self) -> [u64; 9] {
+        [
+            self.requests,
+            self.completed,
+            self.rejected_queue_full,
+            self.rejected_quota,
+            self.disconnects,
+            self.depth,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_entries,
+        ]
+    }
+
+    fn to_json(self) -> Json {
+        let values = self.values();
+        json::obj(
+            Self::FIELDS.iter().zip(values).map(|(&k, v)| (k, json::num(v))).collect(),
+        )
+    }
+
+    fn from_json(doc: &Json) -> Option<StatsSnapshot> {
+        let mut values = [0u64; 9];
+        for (slot, key) in values.iter_mut().zip(Self::FIELDS) {
+            *slot = doc.get(key)?.as_u64()?;
+        }
+        let [requests, completed, rejected_queue_full, rejected_quota, disconnects, depth, cache_hits, cache_misses, cache_entries] =
+            values;
+        Some(StatsSnapshot {
+            requests,
+            completed,
+            rejected_queue_full,
+            rejected_quota,
+            disconnects,
+            depth,
+            cache_hits,
+            cache_misses,
+            cache_entries,
+        })
+    }
+}
+
+/// One parsed server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerResponse {
+    /// Every function of the request validated to a verdict.
+    Validated {
+        /// The request's tag.
+        tag: u64,
+        /// Per-function verdicts, ordered by index.
+        results: Vec<FunctionVerdict>,
+    },
+    /// The scheduler's gate bounced the request.
+    RejectedRequest {
+        /// The request's tag.
+        tag: u64,
+        /// Stable rejection reason (`queue_full` / `quota` / `draining`).
+        reason: String,
+    },
+    /// The request itself was malformed (bad JSON, bad IR).
+    Error {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Live counters.
+    Stats(StatsSnapshot),
+    /// Shutdown acknowledged; the server drains and exits.
+    ShuttingDown,
+}
+
+impl ServerResponse {
+    /// Serializes the response as one compact JSON payload.
+    pub fn to_json_string(&self) -> String {
+        let doc = match self {
+            ServerResponse::Validated { tag, results } => json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("tag", json::num(*tag)),
+                (
+                    "results",
+                    Json::Arr(results.iter().map(FunctionVerdict::to_json).collect()),
+                ),
+            ]),
+            ServerResponse::RejectedRequest { tag, reason } => json::obj(vec![
+                ("ok", Json::Bool(false)),
+                ("tag", json::num(*tag)),
+                ("rejected", Json::Str(reason.clone())),
+            ]),
+            ServerResponse::Error { detail } => json::obj(vec![
+                ("ok", Json::Bool(false)),
+                ("error", Json::Str(detail.clone())),
+            ]),
+            ServerResponse::Stats(stats) => {
+                json::obj(vec![("ok", Json::Bool(true)), ("stats", stats.to_json())])
+            }
+            ServerResponse::ShuttingDown => {
+                json::obj(vec![("ok", Json::Bool(true)), ("draining", Json::Bool(true))])
+            }
+        };
+        let mut out = String::new();
+        doc.write_compact(&mut out);
+        out
+    }
+
+    /// Parses one response payload.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of what is malformed.
+    pub fn parse(text: &str) -> Result<ServerResponse, String> {
+        let doc = Json::parse(text).map_err(|e| format!("json: {e:?}"))?;
+        let ok = doc.get("ok").and_then(Json::as_bool).ok_or("missing \"ok\"")?;
+        if !ok {
+            if let Some(detail) = doc.get("error").and_then(Json::as_str) {
+                return Ok(ServerResponse::Error { detail: detail.to_string() });
+            }
+            let tag = doc.get("tag").and_then(Json::as_u64).ok_or("rejection: missing tag")?;
+            let reason = doc
+                .get("rejected")
+                .and_then(Json::as_str)
+                .ok_or("rejection: missing reason")?
+                .to_string();
+            return Ok(ServerResponse::RejectedRequest { tag, reason });
+        }
+        if doc.get("draining").and_then(Json::as_bool) == Some(true) {
+            return Ok(ServerResponse::ShuttingDown);
+        }
+        if let Some(stats) = doc.get("stats") {
+            let snapshot =
+                StatsSnapshot::from_json(stats).ok_or("stats: malformed counters")?;
+            return Ok(ServerResponse::Stats(snapshot));
+        }
+        let tag = doc.get("tag").and_then(Json::as_u64).ok_or("validated: missing tag")?;
+        let results = doc
+            .get("results")
+            .and_then(Json::as_arr)
+            .ok_or("validated: missing results")?
+            .iter()
+            .map(FunctionVerdict::from_json)
+            .collect::<Option<Vec<_>>>()
+            .ok_or("validated: malformed result row")?;
+        Ok(ServerResponse::Validated { tag, results })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "{\"op\":\"stats\"}").expect("write");
+        write_frame(&mut wire, "second ☃ frame").expect("write");
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r).expect("frame 1").as_deref(), Some("{\"op\":\"stats\"}"));
+        assert_eq!(read_frame(&mut r).expect("frame 2").as_deref(), Some("second ☃ frame"));
+        assert_eq!(read_frame(&mut r).expect("clean EOF"), None);
+    }
+
+    #[test]
+    fn torn_and_oversized_frames_are_errors() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "hello").expect("write");
+        wire.truncate(wire.len() - 2); // tear the payload
+        let mut r = &wire[..];
+        assert!(read_frame(&mut r).is_err(), "torn payload is an error, not a short frame");
+
+        let mut oversized = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        oversized.extend_from_slice(b"xx");
+        let mut r = &oversized[..];
+        assert!(read_frame(&mut r).is_err(), "oversized length bound rejected");
+
+        let mut header_torn = vec![3u8, 0];
+        let mut r = &header_torn[..];
+        assert!(read_frame(&mut r).is_err(), "EOF mid header is an error");
+        header_torn.clear();
+        let mut r = &header_torn[..];
+        assert_eq!(read_frame(&mut r).expect("empty stream"), None);
+    }
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let reqs = vec![
+            ClientRequest::Validate {
+                tag: 9,
+                unit: 4,
+                ir: "define i32 @f() {\nentry:\n  ret i32 0\n}\n".into(),
+                deadline_ms: Some(1500),
+                max_attempts: Some(2),
+            },
+            ClientRequest::Validate {
+                tag: 0,
+                unit: 0,
+                ir: String::new(),
+                deadline_ms: None,
+                max_attempts: None,
+            },
+            ClientRequest::Stats,
+            ClientRequest::Shutdown,
+        ];
+        for req in reqs {
+            let text = req.to_json_string();
+            assert_eq!(ClientRequest::parse(&text).expect("parses"), req, "{text}");
+        }
+        assert!(ClientRequest::parse("{\"op\":\"nope\"}").is_err());
+        assert!(ClientRequest::parse("{}").is_err());
+        assert!(ClientRequest::parse("not json").is_err());
+    }
+
+    #[test]
+    fn responses_round_trip_through_json() {
+        let resps = vec![
+            ServerResponse::Validated {
+                tag: 3,
+                results: vec![FunctionVerdict {
+                    name: "f0".into(),
+                    index: 0,
+                    result: "succeeded".into(),
+                    attempts: 2,
+                    queue_us: 40,
+                    wall_us: 9000,
+                }],
+            },
+            ServerResponse::Validated { tag: 8, results: vec![] },
+            ServerResponse::RejectedRequest { tag: 5, reason: "queue_full".into() },
+            ServerResponse::Error { detail: "parse: bad ir \"x\"".into() },
+            ServerResponse::Stats(StatsSnapshot {
+                requests: 10,
+                completed: 8,
+                rejected_queue_full: 1,
+                rejected_quota: 1,
+                disconnects: 0,
+                depth: 2,
+                cache_hits: 30,
+                cache_misses: 12,
+                cache_entries: 12,
+            }),
+            ServerResponse::ShuttingDown,
+        ];
+        for resp in resps {
+            let text = resp.to_json_string();
+            assert_eq!(ServerResponse::parse(&text).expect("parses"), resp, "{text}");
+        }
+    }
+}

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use keq_trace::{
     AttemptReport, CacheCounters, Event, FunctionReport, Journal, OutcomeTable, Phase,
-    ResumeSection, RunReport, SolverCounters, TraceEvent,
+    ResumeSection, RunReport, ServerSection, SolverCounters, TraceEvent,
 };
 
 use crate::result::{CorpusResult, CorpusSummary, ResultKind};
@@ -192,6 +192,7 @@ pub fn build_report(summary: &CorpusSummary, journal: Option<&Journal>, seed: u6
             recovered: summary.resume.recovered,
             corrupt: summary.resume.corrupt,
         },
+        server: ServerSection::default(),
         phases: keq_trace::phase_summaries(&events),
         functions,
         events_recorded: journal.map_or(0, Journal::recorded),

@@ -239,12 +239,29 @@ impl CorpusSummary {
         hits as f64 / lookups as f64
     }
 
+    /// The run's per-attempt wall-time distribution in the report's
+    /// log-bucketed shape (the same buckets the server's request latency
+    /// uses, so batch and server quantiles are directly comparable).
+    /// Recovered rows carry no per-attempt observations and contribute
+    /// nothing.
+    pub fn attempt_latency_histogram(&self) -> keq_trace::Histogram {
+        let mut h = keq_trace::Histogram::log_us("attempt wall time (us)");
+        for row in &self.rows {
+            for a in &row.attempts {
+                h.add(u64::try_from(a.time.as_micros()).unwrap_or(u64::MAX) as f64);
+            }
+        }
+        h
+    }
+
     /// The end-of-run summary line: the Fig. 6 outcome counts plus the
     /// run-level solver reuse counters (cache evictions, session prefix
-    /// hits, learnt clauses retained) and the shared obligation cache's
-    /// hit ratio and on-disk footprint. Resume recovery and storage
-    /// degradation, when they happened, are appended as extra segments so
-    /// a persist failure can never pass silently.
+    /// hits, learnt clauses retained), the shared obligation cache's
+    /// hit ratio and on-disk footprint, and the attempt-latency quantiles
+    /// (log-bucket estimates — the same way the server reports request
+    /// latency). Resume recovery and storage degradation, when they
+    /// happened, are appended as extra segments so a persist failure can
+    /// never pass silently.
     pub fn summary_line(&self) -> String {
         let mut line = format!(
             "corpus: {} functions, {} attempts | succeeded {} timeout {} oom {} crashed {} \
@@ -269,6 +286,10 @@ impl CorpusSummary {
             self.obligation_cache_hit_ratio(),
             self.cache.disk_bytes,
         );
+        let lat = self.attempt_latency_histogram();
+        if let (Some(p50), Some(p99)) = (lat.p50(), lat.p99()) {
+            line.push_str(&format!(" | latency: p50_us {:.0} p99_us {:.0}", p50, p99));
+        }
         if self.resume.enabled {
             line.push_str(&format!(
                 " | resume: skipped {} recovered {} corrupt {}",
@@ -382,6 +403,28 @@ mod tests {
         s.cache.flush_failures = 5;
         let line = s.summary_line();
         assert!(line.contains("degraded to memory-only after 5 flush failures"), "{line}");
+    }
+
+    #[test]
+    fn summary_line_surfaces_attempt_latency_quantiles() {
+        let mut r = row(0, CorpusResult::Succeeded);
+        r.attempts = vec![AttemptRecord {
+            attempt: 1,
+            budget_scale: 1,
+            time: Duration::from_micros(900),
+            result: CorpusResult::Succeeded,
+            abandoned: false,
+        }];
+        let s = CorpusSummary { rows: vec![r], ..Default::default() };
+        let line = s.summary_line();
+        assert!(line.contains("latency: p50_us"), "{line}");
+        assert!(line.contains("p99_us"), "{line}");
+        assert_eq!(s.attempt_latency_histogram().total(), 1);
+
+        // Attempt-less summaries (all rows recovered) skip the segment
+        // rather than inventing numbers.
+        let quiet = CorpusSummary { rows: vec![row(0, CorpusResult::Succeeded)], ..Default::default() };
+        assert!(!quiet.summary_line().contains("latency:"), "{}", quiet.summary_line());
     }
 
     #[test]

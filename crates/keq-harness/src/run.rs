@@ -1,47 +1,37 @@
-//! The supervisor: worker pool, watchdog, and escalating-budget retry.
+//! The batch front end: one corpus in, one classified row per function
+//! out.
 //!
-//! [`run_module`] validates every function of a module on a pool of worker
-//! threads and guarantees a classified [`CorpusRow`] for each one, no
-//! matter how the validation of an individual function misbehaves:
+//! [`run_module`] is a thin wrapper over the [`crate::scheduler`] core: it
+//! loads the persistent stores (obligation cache, write-ahead verdict
+//! journal) in the fixed storage order crash-safety depends on, starts a
+//! [`Scheduler`], submits every not-yet-decided function, awaits every
+//! verdict, drains, and assembles the [`CorpusSummary`]. All supervision —
+//! panic isolation, watchdog deadlines, abandon-and-replace, the
+//! escalating-budget retry ladder, warm starts, incremental store flushes
+//! — lives in the scheduler and is shared with the long-lived
+//! `keq-server` front end.
 //!
-//! * a panic unwinds into the worker's `catch_unwind` and becomes
-//!   [`CorpusResult::Crashed`] with the captured message;
-//! * a hard wall-clock deadline is enforced by raising the function's
-//!   [`CancelToken`]; cooperative code observes it at the next poll site
-//!   and reports a timeout-class failure;
-//! * a worker that keeps running past the deadline *plus* a grace period
-//!   (it is wedged, or an injected fault is eating its cancellation polls)
-//!   is **abandoned**: the supervisor retires it, detaches its thread,
-//!   spawns a replacement, and classifies the function
-//!   [`CorpusResult::Timeout`] — the late thread's eventual result (if
-//!   any) is discarded as stale;
-//! * budget-class failures are retried up to
-//!   [`RetryPolicy::max_attempts`] with deterministically escalated
-//!   budgets, each attempt recorded in the row.
-//!
-//! Results are deterministic in content: rows are ordered by function
-//! index and, faults and deadlines aside, classification does not depend
-//! on worker count or scheduling.
+//! The guarantees (one row per function, no matter how an individual
+//! validation misbehaves) are documented on [`crate`]; results are
+//! deterministic in content: rows are ordered by function index and,
+//! faults and deadlines aside, classification does not depend on worker
+//! count or scheduling.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
 
-use keq_core::{FailureReason, KeqOptions, Verdict};
-use keq_isel::pipeline::ValidationContext;
+use keq_core::KeqOptions;
 use keq_isel::{IselOptions, VcOptions};
 use keq_llvm::ast::Module;
-use keq_smt::fault::{self, FaultPlan};
+use keq_smt::fault::FaultPlan;
 use keq_smt::obcache::{StdStoreIo, StoreIo};
-use keq_smt::{Budget, CancelToken, FaultyIo, SharedObligationCache, SolverStats};
+use keq_smt::{Budget, FaultyIo, SharedObligationCache};
 
-use crate::journal::{self, JournalRecord, JournalWriter};
+use crate::journal::{self, JournalRecord};
 use crate::panic_capture;
-use crate::result::{
-    AttemptRecord, CacheSummary, CorpusResult, CorpusRow, CorpusSummary, ResumeSummary,
-};
+use crate::result::{AttemptRecord, CorpusResult, CorpusRow, CorpusSummary, ResumeSummary};
+use crate::scheduler::{ClientQuota, JournalConfig, Request, Scheduler, SchedulerConfig};
 
 /// Escalating-budget retry policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,7 +146,7 @@ pub struct HarnessOptions {
     pub retry: RetryPolicy,
     /// Deterministic fault plan (use [`FaultPlan::quiet`] for none).
     pub fault_plan: FaultPlan,
-    /// Carry a [`ValidationContext`] (term bank + solver query cache)
+    /// Carry a validation context (term bank + solver query cache)
     /// across retries of the same function, so an escalated-budget attempt
     /// warm-starts from the sub-obligations its predecessors already
     /// closed. Budgeted outcomes are never cached, so a starved attempt
@@ -217,300 +207,19 @@ impl Default for HarnessOptions {
     }
 }
 
-/// Batched, breaker-guarded persistence of the shared obligation store.
-///
-/// The supervisor calls [`StoreFlusher::tick`] at every function
-/// finalization; every `every`-th tick persists the store's dirty verdicts
-/// through the injectable [`StoreIo`] (one append per batch — a mid-batch
-/// kill tears at most one batch, which the next load skips fail-soft).
-/// After `threshold` consecutive failures the breaker trips and the store
-/// degrades to memory-only: verdicts keep accumulating in memory and the
-/// run's *results* are unaffected; only the next run's warm start is lost.
-struct StoreFlusher {
-    shared: Arc<SharedObligationCache>,
-    path: Option<std::path::PathBuf>,
-    io: Arc<dyn StoreIo>,
-    every: u32,
-    threshold: u32,
-    pending: u32,
-    consecutive: u32,
-    flushes: u64,
-    flush_failures: u64,
-    degraded: bool,
-    persist_failed: bool,
-    disk_persisted: u64,
-    disk_bytes: u64,
-}
-
-impl StoreFlusher {
-    fn new(
-        shared: Arc<SharedObligationCache>,
-        path: Option<std::path::PathBuf>,
-        io: Arc<dyn StoreIo>,
-        every: u32,
-        threshold: u32,
-    ) -> StoreFlusher {
-        StoreFlusher {
-            shared,
-            path,
-            io,
-            every,
-            threshold: threshold.max(1),
-            pending: 0,
-            consecutive: 0,
-            flushes: 0,
-            flush_failures: 0,
-            degraded: false,
-            persist_failed: false,
-            disk_persisted: 0,
-            disk_bytes: 0,
-        }
-    }
-
-    /// One function finalized; flush if the batch is full.
-    fn tick(&mut self) {
-        if self.path.is_none() || self.every == 0 {
-            return;
-        }
-        self.pending += 1;
-        if self.pending >= self.every {
-            self.flush("flush");
-        }
-    }
-
-    fn flush(&mut self, op: &'static str) {
-        self.pending = 0;
-        if self.degraded {
-            return;
-        }
-        let Some(path) = self.path.clone() else { return };
-        match self.shared.persist_with(&path, self.io.as_ref()) {
-            Ok(persist) => {
-                self.flushes += 1;
-                self.consecutive = 0;
-                self.disk_persisted += persist.written;
-                self.disk_bytes = persist.file_bytes;
-            }
-            Err(err) => {
-                self.flush_failures += 1;
-                self.consecutive += 1;
-                if keq_trace::enabled() {
-                    keq_trace::emit(keq_trace::Event::StoreError {
-                        target: "store",
-                        op,
-                        detail: err.to_string(),
-                    });
-                }
-                if self.consecutive >= self.threshold {
-                    self.degraded = true;
-                    keq_trace::emit(keq_trace::Event::StoreDegraded {
-                        target: "store",
-                        failures: self.consecutive,
-                    });
-                }
-            }
-        }
-    }
-
-    /// The shutdown flush. A failure here (or an already-tripped breaker)
-    /// means this run's remaining proved verdicts never reached disk — the
-    /// summary must say so instead of silently reporting a cold next run.
-    fn finish(&mut self) {
-        if self.path.is_none() {
-            return;
-        }
-        if self.degraded {
-            self.persist_failed = true;
-            return;
-        }
-        let failures_before = self.flush_failures;
-        self.flush("persist");
-        if self.flush_failures > failures_before {
-            self.persist_failed = true;
-        }
-    }
-}
-
-/// Appends the just-finalized verdict of `func` to the write-ahead journal
-/// (no-op without one). Called at *both* finalize sites — delivered results
-/// and watchdog abandonments — so resume sees every decided function.
-fn journal_finalize(
-    writer: &mut Option<JournalWriter>,
-    func: usize,
-    func_fp: u64,
-    attempts: &[AttemptRecord],
-    result: &CorpusResult,
-) {
-    let Some(w) = writer else { return };
-    let time: Duration = attempts.iter().map(|a| a.time).sum();
-    w.append(&JournalRecord {
-        func: func as u32,
-        func_fp,
-        attempts: attempts.len() as u32,
-        time_us: u64::try_from(time.as_micros()).unwrap_or(u64::MAX),
-        result: result.clone(),
-    });
-}
-
-/// Per-function warm-start contexts, keyed by function index and guarded
-/// by a per-function *generation*. A worker [`WarmStarts::take`]s the
-/// entry (and the function's current generation) before an attempt and
-/// [`WarmStarts::put`]s it back afterwards, so the map never hands the
-/// same context to two threads (the supervisor only ever has one attempt
-/// of a function in flight).
-///
-/// When the supervisor finalizes a function — on a delivered result *or*
-/// by abandoning a wedged worker — it [`WarmStarts::retire`]s the entry,
-/// which bumps the generation. A detached, watchdog-abandoned thread that
-/// eventually finishes still tries to put its context back; its stale
-/// generation no longer matches, so the context is dropped on the floor
-/// instead of being resurrected into the map (where nothing would ever
-/// read it again, pinning a dead function's term bank for the rest of the
-/// run).
-#[derive(Default)]
-struct WarmStarts {
-    inner: Mutex<WarmInner>,
-}
-
-#[derive(Default)]
-struct WarmInner {
-    generations: HashMap<usize, u64>,
-    ctxs: HashMap<usize, ValidationContext>,
-}
-
-impl WarmStarts {
-    /// Removes and returns the function's context (if any) together with
-    /// the generation the caller must present to [`WarmStarts::put`].
-    fn take(&self, func: usize) -> (u64, Option<ValidationContext>) {
-        let mut st = self.inner.lock().expect("warm-start map poisoned");
-        let generation = st.generations.get(&func).copied().unwrap_or(0);
-        (generation, st.ctxs.remove(&func))
-    }
-
-    /// Puts a context back for the function's next attempt — unless the
-    /// supervisor retired the function since the matching
-    /// [`WarmStarts::take`], in which case the stale context is dropped.
-    fn put(&self, func: usize, generation: u64, ctx: ValidationContext) {
-        let mut st = self.inner.lock().expect("warm-start map poisoned");
-        if st.generations.get(&func).copied().unwrap_or(0) == generation {
-            st.ctxs.insert(func, ctx);
-        }
-    }
-
-    /// Finalizes the function: drops its context and bumps its generation
-    /// so any in-flight (possibly abandoned) attempt can no longer put one
-    /// back.
-    fn retire(&self, func: usize) {
-        let mut st = self.inner.lock().expect("warm-start map poisoned");
-        *st.generations.entry(func).or_insert(0) += 1;
-        st.ctxs.remove(&func);
-    }
-
-    #[cfg(test)]
-    fn contains(&self, func: usize) -> bool {
-        self.inner.lock().expect("warm-start map poisoned").ctxs.contains_key(&func)
-    }
-}
-
-/// One unit of queued work: one attempt at one function.
-#[derive(Debug, Clone, Copy)]
-struct Job {
-    id: u64,
-    func: usize,
-    attempt: u32,
-}
-
-/// Closable blocking job queue (FIFO).
-#[derive(Default)]
-struct JobQueue {
-    state: Mutex<(std::collections::VecDeque<Job>, bool)>,
-    ready: Condvar,
-}
-
-impl JobQueue {
-    fn push(&self, job: Job) {
-        let mut st = self.state.lock().expect("queue poisoned");
-        st.0.push_back(job);
-        self.ready.notify_one();
-    }
-
-    fn close(&self) {
-        let mut st = self.state.lock().expect("queue poisoned");
-        st.1 = true;
-        self.ready.notify_all();
-    }
-
-    /// Blocks for the next job; `None` once closed and drained.
-    fn pop(&self) -> Option<Job> {
-        let mut st = self.state.lock().expect("queue poisoned");
-        loop {
-            if let Some(job) = st.0.pop_front() {
-                return Some(job);
-            }
-            if st.1 {
-                return None;
-            }
-            st = self.ready.wait(st).expect("queue poisoned");
-        }
-    }
-}
-
-/// What one attempt produced, as reported by the worker.
-#[derive(Debug)]
-struct AttemptOutcome {
-    result: CorpusResult,
-    /// Whether the failure is budget-class and bigger budgets could help.
-    retryable: bool,
-    time: Duration,
-    /// Solver-statistics delta of this attempt alone ([`SolverStats::since`]
-    /// over the attempt's context; zero for panicked attempts, whose
-    /// context died mid-flight).
-    solver: SolverStats,
-}
-
-enum Msg {
-    /// A worker picked up a job and will honor this cancellation token.
-    Started { job: u64, worker: usize, cancel: CancelToken },
-    /// A worker finished a job.
-    Finished { job: u64, outcome: AttemptOutcome },
-}
-
-struct Worker {
-    /// Raised by the supervisor to make the thread exit after its current
-    /// job (used when abandoning it, so a late finisher never picks up
-    /// fresh work).
-    retired: Arc<AtomicBool>,
-    handle: Option<std::thread::JoinHandle<()>>,
-}
-
-/// Book-keeping for a job between `Started` and `Finished`.
-struct Inflight {
-    func: usize,
-    attempt: u32,
-    worker: usize,
-    cancel: CancelToken,
-    started: Instant,
-    deadline: Option<Instant>,
-    cancelled_at: Option<Instant>,
-}
-
 /// Validates every function of `module` under the harness, returning one
 /// classified row per function (ordered by function index). See the
-/// module docs for the guarantees.
+/// crate docs for the guarantees.
 pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
     panic_capture::install_hook();
-    // The supervisor thread traces too: deadline cancellations and
-    // watchdog abandonments are decided here, not on a worker.
+    // The caller's thread traces too: resume-skip decisions and the
+    // journal open happen here, not on a scheduler thread.
     let _trace_guard = opts.trace.as_ref().map(keq_trace::install);
     let n = module.functions.len();
     if n == 0 {
         return CorpusSummary::default();
     }
     let module = Arc::new(module.clone());
-    let opts_arc = Arc::new(opts.clone());
-    let queue = Arc::new(JobQueue::default());
-    let ctxs = Arc::new(WarmStarts::default());
-    let (tx, rx) = mpsc::channel::<Msg>();
 
     // Every byte that reaches disk — store flushes, journal appends,
     // journal/store loads — goes through one injectable backend, so a
@@ -533,24 +242,20 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
         disk_loaded = load.loaded;
         disk_rejected = load.rejected;
     }
-    let mut flusher = StoreFlusher::new(
-        Arc::clone(&shared),
-        opts.cache_path.clone(),
-        Arc::clone(&io),
-        opts.store_flush_every,
-        opts.store_breaker_threshold,
-    );
 
     // Write-ahead journal: recover what a killed predecessor decided, then
-    // open for appending. Resume matches a record by function index *and*
-    // per-function fingerprint (and the whole journal by corpus
-    // fingerprint), so a changed corpus can never inherit stale verdicts.
+    // hand the surviving prefix to the scheduler, which opens the writer
+    // (still on this thread — the header write stays ordered after the
+    // loads above and before any worker storage I/O). Resume matches a
+    // record by function index *and* per-function fingerprint (and the
+    // whole journal by corpus fingerprint), so a changed corpus can never
+    // inherit stale verdicts.
     let func_fps: Vec<u64> =
         module.functions.iter().map(journal::function_fingerprint).collect();
     let corpus_fp = journal::fingerprint_of(&func_fps);
     let mut resume = ResumeSummary::default();
     let mut recovered: Vec<Option<JournalRecord>> = vec![None; n];
-    let mut journal_writer: Option<JournalWriter> = None;
+    let mut journal_cfg: Option<JournalConfig> = None;
     if let Some(journal_path) = &opts.journal_path {
         let mut valid_prefix: Option<Vec<u8>> = None;
         if opts.resume {
@@ -568,29 +273,8 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
                 valid_prefix = Some(load.valid_prefix);
             }
         }
-        journal_writer = Some(JournalWriter::start(
-            journal_path,
-            corpus_fp,
-            valid_prefix.as_deref(),
-            Arc::clone(&io),
-            opts.store_breaker_threshold,
-        ));
-    }
-
-    let mut attempts: Vec<Vec<AttemptRecord>> = vec![Vec::new(); n];
-    let mut finals: Vec<Option<CorpusResult>> = vec![None; n];
-    let mut inflight: HashMap<u64, Inflight> = HashMap::new();
-    let mut completed = 0usize;
-    let mut solver_total = SolverStats::default();
-
-    // Pre-finalize recovered functions — they never reach the queue.
-    for (func, rec) in recovered.iter().enumerate() {
-        if let Some(rec) = rec {
-            finals[func] = Some(rec.result.clone());
-            completed += 1;
-            resume.skipped += 1;
-            keq_trace::emit(keq_trace::Event::ResumeSkipped { func: func as u32 });
-        }
+        journal_cfg =
+            Some(JournalConfig { path: journal_path.clone(), corpus_fp, valid_prefix });
     }
 
     let workers = if opts.workers == 0 {
@@ -598,186 +282,84 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
     } else {
         opts.workers
     };
-    let mut pool: Vec<Worker> = Vec::new();
-    for id in 0..workers {
-        pool.push(spawn_worker(&module, &opts_arc, &queue, &ctxs, &shared, &tx, id));
-    }
 
-    // Seed one attempt-1 job per not-yet-decided function.
-    let mut next_job: u64 = 0;
-    let mut job_meta: HashMap<u64, (usize, u32)> = HashMap::new();
-    for (func, rec) in recovered.iter().enumerate() {
-        if rec.is_some() {
-            continue;
-        }
-        queue.push(Job { id: next_job, func, attempt: 1 });
-        job_meta.insert(next_job, (func, 1));
-        next_job += 1;
-    }
-
-    while completed < n {
-        match rx.recv_timeout(opts.watchdog_tick) {
-            Ok(Msg::Started { job, worker, cancel }) => {
-                let Some(&(func, attempt)) = job_meta.get(&job) else { continue };
-                let now = Instant::now();
-                inflight.insert(
-                    job,
-                    Inflight {
-                        func,
-                        attempt,
-                        worker,
-                        cancel,
-                        started: now,
-                        deadline: opts.deadline.map(|d| now + d),
-                        cancelled_at: None,
-                    },
-                );
-            }
-            Ok(Msg::Finished { job, outcome }) => {
-                // A `Finished` with no inflight entry is a stale result
-                // from an abandoned worker: its function already has a
-                // Timeout row, so the late verdict is discarded.
-                let Some(info) = inflight.remove(&job) else { continue };
-                job_meta.remove(&job);
-                solver_total.merge(&outcome.solver);
-                attempts[info.func].push(AttemptRecord {
-                    attempt: info.attempt,
-                    budget_scale: opts.retry.scale(info.attempt),
-                    time: outcome.time,
-                    result: outcome.result.clone(),
-                    abandoned: false,
-                });
-                // A supervisor-cancelled attempt hit the *hard* deadline;
-                // escalated budgets cannot outrun the wall clock, so it is
-                // final regardless of the in-band failure reason.
-                let may_retry = outcome.retryable
-                    && info.cancelled_at.is_none()
-                    && info.attempt < opts.retry.max_attempts;
-                if may_retry {
-                    queue.push(Job { id: next_job, func: info.func, attempt: info.attempt + 1 });
-                    job_meta.insert(next_job, (info.func, info.attempt + 1));
-                    next_job += 1;
-                } else {
-                    // A crash that survived its retries (`retry_crashes`
-                    // made it retryable, and this was the last allowed
-                    // attempt) is reproducible, not transient: quarantine
-                    // it so the summary separates "crashed once" from
-                    // "still crashing after N attempts".
-                    let result = match outcome.result {
-                        CorpusResult::Crashed { message, location }
-                            if outcome.retryable
-                                && info.attempt >= opts.retry.max_attempts
-                                && info.attempt > 1 =>
-                        {
-                            CorpusResult::Quarantined { message, location }
-                        }
-                        result => result,
-                    };
-                    journal_finalize(
-                        &mut journal_writer,
-                        info.func,
-                        func_fps[info.func],
-                        &attempts[info.func],
-                        &result,
-                    );
-                    finals[info.func] = Some(result);
-                    completed += 1;
-                    // No further attempt will run: release the function's
-                    // warm-start context.
-                    ctxs.retire(info.func);
-                    flusher.tick();
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
-
-        // Watchdog sweep: cancel past-deadline jobs, abandon workers that
-        // ignore the cancellation past the grace period.
-        let now = Instant::now();
-        let mut abandon: Vec<u64> = Vec::new();
-        for (&job, info) in inflight.iter_mut() {
-            if info.cancelled_at.is_none() && info.deadline.is_some_and(|d| now >= d) {
-                info.cancel.cancel();
-                info.cancelled_at = Some(now);
-                keq_trace::emit(keq_trace::Event::DeadlineCancelled {
-                    func: info.func as u32,
-                    attempt: info.attempt,
-                });
-            }
-            if info.cancelled_at.is_some_and(|t| now >= t + opts.grace) {
-                abandon.push(job);
-            }
-        }
-        for job in abandon {
-            let info = inflight.remove(&job).expect("selected above");
-            job_meta.remove(&job);
-            keq_trace::emit(keq_trace::Event::WatchdogAbandoned {
-                func: info.func as u32,
-                attempt: info.attempt,
-            });
-            attempts[info.func].push(AttemptRecord {
-                attempt: info.attempt,
-                budget_scale: opts.retry.scale(info.attempt),
-                time: now - info.started,
-                result: CorpusResult::Timeout,
-                abandoned: true,
-            });
-            journal_finalize(
-                &mut journal_writer,
-                info.func,
-                func_fps[info.func],
-                &attempts[info.func],
-                &CorpusResult::Timeout,
-            );
-            finals[info.func] = Some(CorpusResult::Timeout);
-            completed += 1;
-            flusher.tick();
-            // The abandoned worker still *owns* the function's context (it
-            // took it before the attempt) and may try to re-insert it if
-            // it ever finishes; retiring bumps the generation so that late
-            // insert is dropped instead of resurrecting a dead entry.
-            ctxs.retire(info.func);
-            // Retire the wedged worker (its thread stays detached) and
-            // keep the pool at strength with a fresh replacement.
-            retire_worker(&mut pool, info.worker);
-            let id = pool.len();
-            pool.push(spawn_worker(&module, &opts_arc, &queue, &ctxs, &shared, &tx, id));
-        }
-    }
-
-    queue.close();
-    drop(tx);
-    for w in &mut pool {
-        if w.retired.load(Ordering::Acquire) {
-            // Abandoned (possibly parked forever): detach, never join.
-            drop(w.handle.take());
-        } else if let Some(h) = w.handle.take() {
-            let _ = h.join();
-        }
-    }
-
-    // The shutdown flush, through the same breaker-guarded path as the
-    // incremental ones. Persistence stays best-effort — an I/O error costs
-    // next run's warm start, not this run's results — but it is no longer
-    // *silent*: a failure lands in the summary (and its `summary_line`
-    // warning) and was already traced as a `StoreError` event.
-    flusher.finish();
-    let cache_stats = shared.stats();
-    let cache = CacheSummary {
-        evictions: cache_stats.evictions,
-        entries: cache_stats.entries,
+    let sched = Scheduler::start(SchedulerConfig {
+        keq: opts.keq,
+        isel: opts.isel,
+        vc: opts.vc,
+        workers,
+        deadline: opts.deadline,
+        grace: opts.grace,
+        watchdog_tick: opts.watchdog_tick,
+        retry: opts.retry,
+        fault_plan: opts.fault_plan,
+        warm_start: opts.warm_start,
+        trace: opts.trace.clone(),
+        // The batch front end is its own only client: no backpressure, no
+        // quota — it submits the whole corpus at once and awaits all.
+        queue_depth: 0,
+        quota: ClientQuota::default(),
+        request_events: false,
+        shared: Arc::clone(&shared),
+        io,
+        cache_path: opts.cache_path.clone(),
         disk_loaded,
         disk_rejected,
-        disk_persisted: flusher.disk_persisted,
-        disk_bytes: flusher.disk_bytes,
-        flushes: flusher.flushes,
-        flush_failures: flusher.flush_failures,
-        degraded: flusher.degraded,
-        persist_failed: flusher.persist_failed,
+        store_flush_every: opts.store_flush_every,
+        store_breaker_threshold: opts.store_breaker_threshold,
+        journal: journal_cfg,
+    });
+
+    // Pre-finalize recovered functions — they are never submitted.
+    let mut finals: Vec<Option<CorpusResult>> = vec![None; n];
+    let mut attempts: Vec<Vec<AttemptRecord>> = vec![Vec::new(); n];
+    for (func, rec) in recovered.iter().enumerate() {
+        if let Some(rec) = rec {
+            finals[func] = Some(rec.result.clone());
+            resume.skipped += 1;
+            keq_trace::emit(keq_trace::Event::ResumeSkipped { func: func as u32 });
+        }
+    }
+
+    // Submit corpus, await all, drain: the whole batch protocol.
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let mut pending = 0usize;
+    for func in 0..n {
+        if recovered[func].is_some() {
+            continue;
+        }
+        sched
+            .submit(
+                Request {
+                    module: Arc::clone(&module),
+                    func,
+                    func_fp: func_fps[func],
+                    unit: func as u64,
+                    trace_id: func as u32,
+                    client: 0,
+                    tag: func as u64,
+                    deadline: None,
+                    max_attempts: None,
+                },
+                reply_tx.clone(),
+            )
+            .expect("batch scheduler is unbounded and never rejects");
+        pending += 1;
+    }
+    for _ in 0..pending {
+        let done = reply_rx.recv().expect("scheduler delivers every verdict");
+        let func = done.tag as usize;
+        attempts[func] = done.attempts;
+        finals[func] = Some(done.result);
+    }
+    let fin = sched.drain();
+
+    let mut summary = CorpusSummary {
+        solver: fin.solver,
+        cache: fin.cache,
+        resume,
+        ..CorpusSummary::default()
     };
-    let mut summary =
-        CorpusSummary { solver: solver_total, cache, resume, ..CorpusSummary::default() };
     for (index, f) in module.functions.iter().enumerate() {
         let size: usize = f.blocks.iter().map(|b| b.instrs.len() + 1).sum();
         let rows_attempts = std::mem::take(&mut attempts[index]);
@@ -801,208 +383,9 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
     summary
 }
 
-fn retire_worker(pool: &mut [Worker], worker: usize) {
-    if let Some(w) = pool.get_mut(worker) {
-        w.retired.store(true, Ordering::Release);
-    }
-}
-
-fn spawn_worker(
-    module: &Arc<Module>,
-    opts: &Arc<HarnessOptions>,
-    queue: &Arc<JobQueue>,
-    ctxs: &Arc<WarmStarts>,
-    shared: &Arc<SharedObligationCache>,
-    tx: &mpsc::Sender<Msg>,
-    id: usize,
-) -> Worker {
-    let module = Arc::clone(module);
-    let opts = Arc::clone(opts);
-    let queue = Arc::clone(queue);
-    let ctxs = Arc::clone(ctxs);
-    let shared = Arc::clone(shared);
-    let tx = tx.clone();
-    let retired = Arc::new(AtomicBool::new(false));
-    let retired_in = Arc::clone(&retired);
-    let handle = std::thread::Builder::new()
-        .name("keq-harness-worker".into())
-        .spawn(move || {
-            let _trace_guard = opts.trace.as_ref().map(keq_trace::install);
-            while !retired_in.load(Ordering::Acquire) {
-                let Some(job) = queue.pop() else { break };
-                // Decorrelated-jitter backoff before retries, *before*
-                // announcing the job: the sleep must not consume the
-                // attempt's deadline.
-                let backoff = opts.retry.backoff_for(
-                    opts.fault_plan.seed,
-                    job.func as u64,
-                    job.attempt,
-                );
-                if !backoff.is_zero() {
-                    std::thread::sleep(backoff);
-                }
-                let cancel = CancelToken::new();
-                let started = Msg::Started { job: job.id, worker: id, cancel: cancel.clone() };
-                if tx.send(started).is_err() {
-                    break;
-                }
-                let start = Instant::now();
-                let outcome = run_attempt(&module, &opts, &ctxs, &shared, job, &cancel, start);
-                if tx.send(Msg::Finished { job: job.id, outcome }).is_err() {
-                    break;
-                }
-            }
-        })
-        .expect("spawn worker thread");
-    Worker { retired, handle: Some(handle) }
-}
-
-/// Runs one attempt on the worker thread: arm the unit's injected fault,
-/// take the function's warm-start context, validate under `catch_unwind`,
-/// put the context back, classify.
-fn run_attempt(
-    module: &Module,
-    opts: &HarnessOptions,
-    ctxs: &WarmStarts,
-    shared: &Arc<SharedObligationCache>,
-    job: Job,
-    cancel: &CancelToken,
-    start: Instant,
-) -> AttemptOutcome {
-    let func = &module.functions[job.func];
-    let keq = opts.retry.options_for_attempt(opts.keq, job.attempt);
-    let _fault = fault::install(&opts.fault_plan, job.func as u64);
-    let _trace_ctx = keq_trace::with_attempt(job.func as u32, job.attempt);
-    keq_trace::emit(keq_trace::Event::AttemptStart {
-        func: job.func as u32,
-        attempt: job.attempt,
-        budget_scale: opts.retry.scale(job.attempt),
-    });
-    let (generation, mut ctx) = if opts.warm_start {
-        let (generation, ctx) = ctxs.take(job.func);
-        (generation, ctx.unwrap_or_default())
-    } else {
-        (0, ValidationContext::new())
-    };
-    // (Re-)attach the run's shared obligation cache on every attempt:
-    // fresh contexts start detached, and a warm-started context carries
-    // whatever was attached last time.
-    ctx.attach_obligation_cache(Some(Arc::clone(shared)));
-    // The warm-start context carries cumulative solver statistics from
-    // earlier attempts; snapshot them so this attempt reports its delta.
-    let stats_before = ctx.solver.stats();
-    // The context rides inside the closure so a panic mid-validation drops
-    // it during unwind: a context of unknown consistency is never reused
-    // (and panics are not retryable anyway).
-    let outcome = panic_capture::run_caught(move || {
-        let r = keq_isel::validate_function_with_context(
-            module,
-            func,
-            opts.isel,
-            opts.vc,
-            keq,
-            Some(cancel),
-            &mut ctx,
-        );
-        (r, ctx)
-    });
-    let mut solver = SolverStats::default();
-    let (result, retryable) = match outcome {
-        Ok((Ok(v), ctx)) => {
-            solver = ctx.solver.stats().since(&stats_before);
-            if opts.warm_start {
-                // Dropped, not inserted, if the supervisor retired the
-                // function while this attempt ran (watchdog abandonment).
-                ctxs.put(job.func, generation, ctx);
-            }
-            classify(&v.report.verdict)
-        }
-        // Unsupported functions never get better with bigger budgets.
-        Ok((Err(_), ctx)) => {
-            solver = ctx.solver.stats().since(&stats_before);
-            (CorpusResult::Other, false)
-        }
-        Err(panic) => {
-            if keq_trace::enabled() {
-                keq_trace::emit(keq_trace::Event::PanicCaptured {
-                    func: job.func as u32,
-                    attempt: job.attempt,
-                    message: panic.message.clone(),
-                    location: panic.location.clone(),
-                });
-            }
-            // Crash-class retryability is opt-in: panics are only worth a
-            // second attempt when the fault surface is known to be
-            // transient (fault campaigns, flaky external tooling).
-            (
-                CorpusResult::Crashed { message: panic.message, location: panic.location },
-                opts.retry.retry_crashes,
-            )
-        }
-    };
-    let time = start.elapsed();
-    keq_trace::emit(keq_trace::Event::AttemptEnd {
-        func: job.func as u32,
-        attempt: job.attempt,
-        result: result.kind().name(),
-        dur_us: u64::try_from(time.as_micros()).unwrap_or(u64::MAX),
-    });
-    AttemptOutcome { result, retryable, time, solver }
-}
-
-/// Maps a verdict to its Fig. 6 row and decides whether escalated budgets
-/// could change it.
-fn classify(verdict: &Verdict) -> (CorpusResult, bool) {
-    match verdict {
-        Verdict::Equivalent | Verdict::Refines => (CorpusResult::Succeeded, false),
-        Verdict::NotValidated(fail) => {
-            let retryable = matches!(
-                fail.reason,
-                FailureReason::FuelExhausted { .. }
-                    | FailureReason::TimeLimit
-                    | FailureReason::SolverBudget(_)
-            );
-            let result = match fail.reason.failure_class() {
-                keq_core::FailureClass::Timeout => CorpusResult::Timeout,
-                keq_core::FailureClass::OutOfMemory => CorpusResult::OutOfMemory,
-                keq_core::FailureClass::Other => CorpusResult::Other,
-            };
-            (result, retryable)
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// The stale-context resurrection regression: a watchdog-abandoned
-    /// worker's detached thread finishes *after* the supervisor retired
-    /// its function. Its put must be dropped — before the generation
-    /// check, the late insert parked a dead function's term bank in the
-    /// map for the rest of the run.
-    #[test]
-    fn late_put_after_retire_is_dropped() {
-        let warm = WarmStarts::default();
-        warm.put(3, 0, ValidationContext::new());
-        let (generation, ctx) = warm.take(3);
-        assert!(ctx.is_some());
-
-        // Supervisor abandons the attempt and finalizes the function.
-        warm.retire(3);
-
-        // The detached worker eventually finishes and puts "back".
-        warm.put(3, generation, ValidationContext::new());
-        assert!(!warm.contains(3), "retired function must not resurrect its context");
-
-        // And a *current*-generation put after the retire still works
-        // (not relevant to finalized functions, but proves retire only
-        // invalidates earlier takes, not the map entry forever).
-        let (generation, ctx) = warm.take(3);
-        assert!(ctx.is_none());
-        warm.put(3, generation, ValidationContext::new());
-        assert!(warm.contains(3));
-    }
 
     #[test]
     fn backoff_is_deterministic_jittered_and_capped() {
@@ -1032,34 +415,5 @@ mod tests {
             ..RetryPolicy::default()
         };
         assert!(uncapped.backoff_for(9, 2, 4) <= Duration::from_millis(640), "64x base clamp");
-    }
-
-    #[test]
-    fn put_with_matching_generation_round_trips() {
-        let warm = WarmStarts::default();
-        let (generation, ctx) = warm.take(7);
-        assert_eq!(generation, 0);
-        assert!(ctx.is_none(), "fresh function has no context yet");
-        warm.put(7, generation, ValidationContext::new());
-        assert!(warm.contains(7));
-
-        // A take hands the context out exclusively.
-        let (generation, ctx) = warm.take(7);
-        assert!(ctx.is_some());
-        assert!(!warm.contains(7));
-        warm.put(7, generation, ctx.unwrap());
-        assert!(warm.contains(7));
-    }
-
-    #[test]
-    fn retire_is_per_function() {
-        let warm = WarmStarts::default();
-        let (g1, _) = warm.take(1);
-        let (g2, _) = warm.take(2);
-        warm.retire(1);
-        warm.put(1, g1, ValidationContext::new());
-        warm.put(2, g2, ValidationContext::new());
-        assert!(!warm.contains(1), "retired function dropped");
-        assert!(warm.contains(2), "unrelated function unaffected");
     }
 }

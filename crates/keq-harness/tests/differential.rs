@@ -1,0 +1,141 @@
+//! Batch-vs-server differential: the same seeded corpus, validated once
+//! through the batch front end (`run_module`) and once streamed through a
+//! live `keq-server`, must produce the identical verdict table — including
+//! under an injected-fault campaign, because faults key off the submission
+//! *unit*, which both front ends derive from the corpus function index.
+
+use keq_harness::protocol::{ClientRequest, ServerResponse};
+use keq_harness::{connect, run_module, HarnessOptions, RetryPolicy, Server, ServerOptions};
+use keq_llvm::ast::Module;
+use keq_smt::fault::{FaultPlan, Rate};
+use keq_workload::{generate_corpus, GenConfig};
+
+/// Corpus function `i` as a self-contained request module, carrying the
+/// corpus globals and external declarations it may reference — what
+/// `keq_client` sends.
+fn request_ir(corpus: &Module, i: usize) -> String {
+    Module {
+        globals: corpus.globals.clone(),
+        functions: vec![corpus.functions[i].clone()],
+        declarations: corpus.declarations.clone(),
+    }
+    .to_string()
+}
+
+/// (result kind, attempts) per corpus function, via the batch front end.
+fn batch_verdicts(corpus: &Module, opts: &HarnessOptions) -> Vec<(String, u64)> {
+    run_module(corpus, opts)
+        .rows
+        .iter()
+        .map(|r| (r.result.kind().name().to_string(), r.attempts.len() as u64))
+        .collect()
+}
+
+/// (result kind, attempts) per corpus function, streamed through a live
+/// server one function per request.
+fn server_verdicts(corpus: &Module, opts: &HarnessOptions) -> Vec<(String, u64)> {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &ServerOptions { harness: opts.clone(), ..ServerOptions::default() },
+    )
+    .expect("bind server");
+    let addr = server.local_addr();
+    let run = std::thread::spawn(move || server.run());
+
+    let mut conn = connect(&addr).expect("connect");
+    let n = corpus.functions.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let resp = conn
+            .roundtrip(&ClientRequest::Validate {
+                tag: i as u64,
+                unit: i as u64,
+                ir: request_ir(corpus, i),
+                deadline_ms: None,
+                max_attempts: None,
+            })
+            .expect("validate round trip");
+        let ServerResponse::Validated { tag, results } = resp else {
+            panic!("expected a verdict table for f{i}, got {resp:?}");
+        };
+        assert_eq!(tag, i as u64);
+        assert_eq!(results.len(), 1, "one function per request module");
+        out.push((results[0].result.clone(), results[0].attempts));
+    }
+    conn.roundtrip(&ClientRequest::Shutdown).expect("shutdown");
+    let summary = run.join().expect("server thread");
+    assert_eq!(summary.fin.server.requests, n as u64);
+    assert_eq!(summary.fin.server.completed, n as u64);
+    out
+}
+
+fn diff(corpus: &Module, opts: &HarnessOptions) {
+    let batch = batch_verdicts(corpus, opts);
+    let server = server_verdicts(corpus, opts);
+    assert_eq!(batch.len(), server.len());
+    for (i, (b, s)) in batch.iter().zip(&server).enumerate() {
+        assert_eq!(b, s, "f{i}: batch says {b:?}, server says {s:?}");
+    }
+}
+
+#[test]
+fn clean_corpus_validates_identically_through_both_front_ends() {
+    let corpus = generate_corpus(GenConfig { seed: 71, ..GenConfig::default() }, 10);
+    let opts = HarnessOptions { workers: 2, ..HarnessOptions::default() };
+    diff(&corpus, &opts);
+}
+
+#[test]
+fn injected_fault_campaign_classifies_identically_through_both_front_ends() {
+    let corpus = generate_corpus(GenConfig { seed: 72, ..GenConfig::default() }, 12);
+    // Deterministic pipeline faults only (no wall-clock deadlines): panics
+    // and forced budget exhaustion land on seed-selected *units*, and both
+    // front ends key the unit off the corpus function index — so the same
+    // functions crash, retry, and quarantine on both paths.
+    let opts = HarnessOptions {
+        workers: 2,
+        fault_plan: FaultPlan {
+            panic: Rate { num: 1, den: 4 },
+            force_conflicts: Rate { num: 1, den: 4 },
+            force_terms: Rate { num: 1, den: 4 },
+            ..FaultPlan::quiet(9)
+        },
+        retry: RetryPolicy {
+            max_attempts: 2,
+            factor: 4,
+            retry_crashes: true,
+            ..RetryPolicy::default()
+        },
+        ..HarnessOptions::default()
+    };
+    let batch = batch_verdicts(&corpus, &opts);
+    assert!(
+        batch.iter().any(|(kind, _)| kind != "succeeded"),
+        "the fault leg must actually inject: {batch:?}"
+    );
+    assert!(
+        batch.iter().any(|(_, attempts)| *attempts > 1),
+        "the fault leg must exercise the retry ladder: {batch:?}"
+    );
+    let server = server_verdicts(&corpus, &opts);
+    for (i, (b, s)) in batch.iter().zip(&server).enumerate() {
+        assert_eq!(b, s, "f{i}: batch says {b:?}, server says {s:?}");
+    }
+}
+
+/// The wire protocol round-trips the printed IR: parsing the module the
+/// client prints reproduces the AST, so the server validates exactly what
+/// the batch run saw (this is what makes the differential meaningful).
+#[test]
+fn printed_request_modules_reparse_to_the_same_ast() {
+    let corpus = generate_corpus(GenConfig { seed: 73, ..GenConfig::default() }, 8);
+    for i in 0..corpus.functions.len() {
+        let ir = request_ir(&corpus, i);
+        let reparsed = keq_llvm::parser::parse_module(&ir).expect("request IR parses");
+        assert_eq!(reparsed.functions.len(), 1);
+        assert_eq!(
+            reparsed.functions[0], corpus.functions[i],
+            "f{i} survives the print/parse round trip"
+        );
+    }
+}

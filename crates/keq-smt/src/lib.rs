@@ -34,6 +34,7 @@ pub mod sat;
 pub mod solver;
 pub mod sort;
 pub mod term;
+pub mod wire;
 
 pub use bitblast::{BitBlaster, BlastCache};
 pub use cancel::{stop_requested, CancelToken, StopCause};

@@ -9,12 +9,16 @@
 //!
 //! # Cacheability
 //!
-//! Only [`CachedVerdict::Unsat`] — the "obligation discharged" verdict —
-//! is ever stored. `Sat` outcomes carry a counterexample model that is
-//! bank-specific, and budget/deadline/fault outcomes describe the attempt,
-//! not the obligation; callers must never insert either (the solver
-//! integration filters them, and a harness test asserts a faulted run
-//! leaves no trace in the persisted store).
+//! Decided verdicts — [`CachedVerdict::Unsat`] ("obligation discharged")
+//! and [`CachedVerdict::Sat`] ("obligation refutable") — are stored
+//! *model-free*: satisfiability is a property of the canonical
+//! fingerprint, so both transfer across banks, workers, and runs. The
+//! counterexample model itself is bank-specific and never stored; a
+//! caller that needs one treats a cached `Sat` as a miss and recomputes
+//! (the solver integration handles this). Budget/deadline/fault outcomes
+//! describe the attempt, not the obligation; callers must never insert
+//! them (the solver integration filters them, and a harness test asserts
+//! a faulted run leaves no trace in the persisted store).
 //!
 //! # On-disk format (hermetic, hand-rolled)
 //!
@@ -25,7 +29,7 @@
 //! record:  payload length        u32 LE   (currently 17)
 //!          fingerprint lo        u64 LE
 //!          fingerprint hi        u64 LE
-//!          verdict               u8       (1 = Unsat)
+//!          verdict               u8       (1 = Unsat, 2 = Sat)
 //!          FNV-1a-32 checksum of the payload  u32 LE
 //! ```
 //!
@@ -43,6 +47,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::fingerprint::ObligationFingerprint;
+use crate::wire;
+
+/// FNV-1a, 32-bit — the per-record checksum shared by the store and the
+/// harness's verdict journal (re-exported from [`crate::wire`], where the
+/// shared append-only store idiom now lives).
+pub use crate::wire::fnv1a32;
 
 /// Injectable storage backend for the persisted store (and the harness's
 /// verdict journal, which reuses the same wire idiom). Production code uses
@@ -99,7 +109,6 @@ pub const SEMANTICS_REVISION: u64 = 1;
 pub const STORE_VERSION: u32 = 1;
 
 const MAGIC: &[u8; 8] = b"KEQOBCH1";
-const HEADER_LEN: usize = 8 + 4 + 8;
 /// Payload bytes of the one record shape we write today.
 const PAYLOAD_LEN: u32 = 8 + 8 + 1;
 /// Upper bound accepted when reading (forward-compat headroom; anything
@@ -112,18 +121,25 @@ pub enum CachedVerdict {
     /// The obligation's negation is unsatisfiable — the proof obligation is
     /// discharged, independent of which bank or run asked.
     Unsat,
+    /// The obligation is satisfiable. The witnessing model is *not* cached
+    /// (it names one bank's variables); this verdict answers model-free
+    /// questions (feasibility pruning) only — model-needing callers must
+    /// recompute.
+    Sat,
 }
 
 impl CachedVerdict {
     fn to_byte(self) -> u8 {
         match self {
             CachedVerdict::Unsat => 1,
+            CachedVerdict::Sat => 2,
         }
     }
 
     fn from_byte(b: u8) -> Option<CachedVerdict> {
         match b {
             1 => Some(CachedVerdict::Unsat),
+            2 => Some(CachedVerdict::Sat),
             _ => None,
         }
     }
@@ -305,39 +321,21 @@ impl SharedObligationCache {
                 return out;
             }
         };
-        if buf.len() < HEADER_LEN || &buf[..8] != MAGIC {
+        let revision = wire::decode_header(&buf, MAGIC, STORE_VERSION);
+        if revision != Some(SEMANTICS_REVISION) {
             out.reset = true;
             self.needs_rewrite.store(true, Ordering::Relaxed);
             return out;
         }
-        let version = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
-        let revision = u64::from_le_bytes(buf[12..20].try_into().expect("8 bytes"));
-        if version != STORE_VERSION || revision != SEMANTICS_REVISION {
-            out.reset = true;
-            self.needs_rewrite.store(true, Ordering::Relaxed);
-            return out;
-        }
-        let mut at = HEADER_LEN;
-        while at < buf.len() {
-            // Torn tail: anything shorter than a full record ends the scan
-            // (earlier records stay loaded).
-            if buf.len() - at < 4 {
-                out.rejected += 1;
-                break;
-            }
-            let len = u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"));
-            if len > MAX_PAYLOAD_LEN || buf.len() - at < 4 + len as usize + 4 {
-                out.rejected += 1;
-                break;
-            }
-            let payload = &buf[at + 4..at + 4 + len as usize];
-            let crc_at = at + 4 + len as usize;
-            let crc = u32::from_le_bytes(buf[crc_at..crc_at + 4].try_into().expect("4 bytes"));
-            at = crc_at + 4;
-            if crc != fnv1a32(payload) || len != PAYLOAD_LEN {
+        let mut scan = wire::RecordScanner::new(&buf, MAX_PAYLOAD_LEN);
+        for rec in scan.by_ref() {
+            // Record-by-record fail-soft: a bad checksum or a payload of
+            // the wrong shape skips that record and keeps scanning.
+            if !rec.crc_ok || rec.payload.len() != PAYLOAD_LEN as usize {
                 out.rejected += 1;
                 continue;
             }
+            let payload = rec.payload;
             let lo = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
             let hi = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
             let Some(verdict) = CachedVerdict::from_byte(payload[16]) else {
@@ -349,6 +347,11 @@ impl SharedObligationCache {
                 self.shard(ObligationFingerprint(fp)).lock().unwrap_or_else(|e| e.into_inner());
             self.insert_into(&mut shard, fp, verdict, false);
             out.loaded += 1;
+        }
+        if scan.torn() {
+            // Torn tail: earlier records stay loaded, the tail counts as
+            // one rejected record.
+            out.rejected += 1;
         }
         out
     }
@@ -383,21 +386,17 @@ impl SharedObligationCache {
                 records.extend(shard.dirty.iter().copied());
             }
         }
-        let mut body = Vec::with_capacity(records.len() * (4 + PAYLOAD_LEN as usize + 4));
+        let mut body =
+            Vec::with_capacity(records.len() * (PAYLOAD_LEN as usize + wire::RECORD_OVERHEAD));
         for (fp, verdict) in &records {
             let mut payload = [0u8; PAYLOAD_LEN as usize];
             payload[0..8].copy_from_slice(&((*fp as u64).to_le_bytes()));
             payload[8..16].copy_from_slice(&(((*fp >> 64) as u64).to_le_bytes()));
             payload[16] = verdict.to_byte();
-            body.extend_from_slice(&PAYLOAD_LEN.to_le_bytes());
-            body.extend_from_slice(&payload);
-            body.extend_from_slice(&fnv1a32(&payload).to_le_bytes());
+            wire::append_record(&mut body, &payload);
         }
         if rewrite {
-            let mut out = Vec::with_capacity(HEADER_LEN + body.len());
-            out.extend_from_slice(MAGIC);
-            out.extend_from_slice(&STORE_VERSION.to_le_bytes());
-            out.extend_from_slice(&SEMANTICS_REVISION.to_le_bytes());
+            let mut out = wire::encode_header(MAGIC, STORE_VERSION, SEMANTICS_REVISION);
             out.extend_from_slice(&body);
             io.write(path, &out, false)?;
         } else {
@@ -410,17 +409,6 @@ impl SharedObligationCache {
         self.needs_rewrite.store(false, Ordering::Relaxed);
         Ok(PersistOutcome { written: records.len() as u64, file_bytes })
     }
-}
-
-/// FNV-1a, 32-bit — the per-record checksum shared by the store and the
-/// harness's verdict journal.
-pub fn fnv1a32(bytes: &[u8]) -> u32 {
-    let mut h: u32 = 0x811c_9dc5;
-    for &b in bytes {
-        h ^= u32::from(b);
-        h = h.wrapping_mul(0x0100_0193);
-    }
-    h
 }
 
 #[cfg(test)]
@@ -487,6 +475,23 @@ mod tests {
     }
 
     #[test]
+    fn sat_verdicts_round_trip_through_disk() {
+        let path = temp_path("sat");
+        let _ = std::fs::remove_file(&path);
+        let cache = SharedObligationCache::new();
+        cache.insert(fp(1), CachedVerdict::Unsat);
+        cache.insert(fp(2), CachedVerdict::Sat);
+        cache.persist(&path).expect("persist");
+
+        let warm = SharedObligationCache::new();
+        let loaded = warm.load(&path);
+        assert_eq!((loaded.loaded, loaded.rejected, loaded.reset), (2, 0, false));
+        assert_eq!(warm.lookup(fp(1)), Some(CachedVerdict::Unsat));
+        assert_eq!(warm.lookup(fp(2)), Some(CachedVerdict::Sat));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn flipped_checksum_rejects_one_record_only() {
         let path = temp_path("checksum");
         let _ = std::fs::remove_file(&path);
@@ -497,7 +502,7 @@ mod tests {
         cache.persist(&path).expect("persist");
         let mut bytes = std::fs::read(&path).expect("read back");
         // Flip one bit inside the first record's checksum.
-        let first_crc = HEADER_LEN + 4 + PAYLOAD_LEN as usize;
+        let first_crc = wire::HEADER_LEN + 4 + PAYLOAD_LEN as usize;
         bytes[first_crc] ^= 0x40;
         std::fs::write(&path, &bytes).expect("write corrupted");
 
@@ -549,6 +554,52 @@ mod tests {
         let reloaded = warm.load(&path);
         assert_eq!((reloaded.loaded, reloaded.reset), (1, false), "{reloaded:?}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Byte-compat fixture: a store file laid out entirely by hand, in the
+    /// exact format the pre-`wire` inline writer produced. It must load
+    /// unchanged, and persisting the same entries must reproduce the exact
+    /// bytes — proof that extracting the wire idiom kept existing on-disk
+    /// stores readable.
+    #[test]
+    fn hand_built_store_fixture_round_trips_byte_compatibly() {
+        let path = temp_path("fixture");
+        let _ = std::fs::remove_file(&path);
+        let entries: [u128; 3] = [5, (7 << 64) | 9, u128::MAX - 1];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&STORE_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&SEMANTICS_REVISION.to_le_bytes());
+        for e in entries {
+            let mut payload = [0u8; PAYLOAD_LEN as usize];
+            payload[0..8].copy_from_slice(&(e as u64).to_le_bytes());
+            payload[8..16].copy_from_slice(&((e >> 64) as u64).to_le_bytes());
+            payload[16] = 1; // Unsat
+            bytes.extend_from_slice(&PAYLOAD_LEN.to_le_bytes());
+            bytes.extend_from_slice(&payload);
+            bytes.extend_from_slice(&fnv1a32(&payload).to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).expect("write fixture");
+
+        let cache = SharedObligationCache::new();
+        let loaded = cache.load(&path);
+        assert_eq!((loaded.loaded, loaded.rejected, loaded.reset), (3, 0, false), "{loaded:?}");
+        for e in entries {
+            assert_eq!(cache.lookup(fp(e)), Some(CachedVerdict::Unsat));
+        }
+
+        // Rewriting the same entries reproduces the fixture byte-for-byte
+        // (rewrite sorts by fingerprint; the fixture is already sorted).
+        let rewrite_path = temp_path("fixture-rewrite");
+        let _ = std::fs::remove_file(&rewrite_path);
+        let fresh = SharedObligationCache::new();
+        for e in entries {
+            fresh.insert(fp(e), CachedVerdict::Unsat);
+        }
+        fresh.persist(&rewrite_path).expect("persist");
+        assert_eq!(std::fs::read(&rewrite_path).expect("read back"), bytes);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rewrite_path);
     }
 
     #[test]

@@ -412,16 +412,27 @@ impl Solver {
     /// possibly split into prefix/delta). Returns the fingerprint (for the
     /// later store) and a hit verdict, counting hit/miss stats and emitting
     /// the cache trace events.
+    ///
+    /// A cached `Sat` is model-free: it can answer a caller that only asks
+    /// *whether* the conjunction is satisfiable (feasibility pruning), but
+    /// a caller that `needs_model` must recompute — the lookup counts as a
+    /// miss so the solver's cache ratios stay honest.
     fn shared_lookup(
         &mut self,
         bank: &TermBank,
         parts: &[&[TermId]],
+        needs_model: bool,
     ) -> (Option<ObligationFingerprint>, Option<CachedVerdict>) {
         let Some(shared) = self.shared.clone() else {
             return (None, None);
         };
         let fp = fingerprint_obligation(bank, &mut self.fp_memo, parts);
         match shared.lookup(fp) {
+            Some(CachedVerdict::Sat) if needs_model => {
+                self.stats.obligation_cache_misses += 1;
+                keq_trace::emit(keq_trace::Event::CacheMiss { fp: fp.lo64() });
+                (Some(fp), None)
+            }
             Some(verdict) => {
                 self.stats.obligation_cache_hits += 1;
                 keq_trace::emit(keq_trace::Event::CacheHit { fp: fp.lo64() });
@@ -435,16 +446,20 @@ impl Solver {
         }
     }
 
-    /// Records an `Unsat` outcome into the shared cache (all other outcomes
-    /// are not cacheable: `Sat` carries a bank-specific model, budget/fault
-    /// outcomes describe the attempt, not the obligation).
+    /// Records a decided outcome into the shared cache, model-free: `Unsat`
+    /// discharges the obligation for every later asker, `Sat` answers later
+    /// model-free feasibility questions. Budget/fault outcomes describe the
+    /// attempt, not the obligation, and are never stored.
     fn shared_store(&mut self, fp: Option<ObligationFingerprint>, outcome: &CheckOutcome) {
         let (Some(fp), Some(shared)) = (fp, self.shared.as_ref()) else { return };
-        if matches!(outcome, CheckOutcome::Unsat) {
-            shared.insert(fp, CachedVerdict::Unsat);
-            self.stats.obligation_cache_stores += 1;
-            keq_trace::emit(keq_trace::Event::CacheStore { fp: fp.lo64() });
-        }
+        let verdict = match outcome {
+            CheckOutcome::Unsat => CachedVerdict::Unsat,
+            CheckOutcome::Sat(_) => CachedVerdict::Sat,
+            CheckOutcome::Budget(_) => return,
+        };
+        shared.insert(fp, verdict);
+        self.stats.obligation_cache_stores += 1;
+        keq_trace::emit(keq_trace::Event::CacheStore { fp: fp.lo64() });
     }
 
     /// The shared per-query entry preamble: fault-injection poll first, then
@@ -467,6 +482,19 @@ impl Solver {
 
     /// Checks satisfiability of the conjunction of `assertions`.
     pub fn check_sat(&mut self, bank: &mut TermBank, assertions: &[TermId]) -> CheckOutcome {
+        self.check_sat_opts(bank, assertions, true)
+    }
+
+    /// [`Solver::check_sat`] with the model requirement explicit: callers
+    /// that discard the model (feasibility pruning, congruence refutation
+    /// probes) pass `needs_model = false` and may be answered by a cached
+    /// model-free `Sat` verdict.
+    fn check_sat_opts(
+        &mut self,
+        bank: &mut TermBank,
+        assertions: &[TermId],
+        needs_model: bool,
+    ) -> CheckOutcome {
         let start = Instant::now();
         self.stats.queries += 1;
         if let Some(forced) = self.query_guard() {
@@ -483,11 +511,27 @@ impl Solver {
         // Shared obligation cache: consulted only on a local miss and
         // strictly before lowering/bit-blasting, so a cross-function hit
         // skips the whole pipeline.
-        let (fp, shared_hit) = self.shared_lookup(bank, &[assertions]);
-        if let Some(CachedVerdict::Unsat) = shared_hit {
-            let outcome = CheckOutcome::Unsat;
-            self.cache.insert(key, outcome.clone(), &mut self.stats.cache_evictions);
-            self.stats.unsat += 1;
+        let (fp, shared_hit) = self.shared_lookup(bank, &[assertions], needs_model);
+        if let Some(verdict) = shared_hit {
+            let outcome = match verdict {
+                CachedVerdict::Unsat => {
+                    // Model-free by nature: safe to memoize locally too.
+                    self.cache.insert(
+                        key,
+                        CheckOutcome::Unsat,
+                        &mut self.stats.cache_evictions,
+                    );
+                    self.stats.unsat += 1;
+                    CheckOutcome::Unsat
+                }
+                CachedVerdict::Sat => {
+                    // The empty model must not enter the local memo: a
+                    // later model-needing pose of the same key would be
+                    // served a witness-free counterexample.
+                    self.stats.sat += 1;
+                    CheckOutcome::Sat(Model::default())
+                }
+            };
             self.stats.time += start.elapsed();
             trace_query("scratch", &outcome, true, start.elapsed(), &self.stats.since(&stats_before));
             return outcome;
@@ -597,7 +641,9 @@ impl Solver {
     ) -> ProofOutcome {
         let mut refute =
             |bank: &mut TermBank, solver: &mut Self, assertions: &[TermId]| {
-                matches!(solver.check_sat(bank, assertions), CheckOutcome::Unsat)
+                // Refutation probes only ask "unsat?": a cached model-free
+                // `Sat` answer is as good as a computed one.
+                matches!(solver.check_sat_opts(bank, assertions, false), CheckOutcome::Unsat)
             };
         if prove_eq_by_congruence(bank, self, hyps, goal, 4, &mut refute) {
             return ProofOutcome::Proved;
@@ -666,7 +712,8 @@ impl Solver {
         bank: &mut TermBank,
         assertions: &[TermId],
     ) -> Result<bool, BudgetKind> {
-        match self.check_sat(bank, assertions) {
+        // The model is discarded: a cached model-free `Sat` may answer.
+        match self.check_sat_opts(bank, assertions, false) {
             CheckOutcome::Sat(_) => Ok(true),
             CheckOutcome::Unsat => Ok(false),
             CheckOutcome::Budget(k) => Err(k),
@@ -811,6 +858,17 @@ impl<'s> Session<'s> {
     /// bounded cache (keyed on prefix+delta), budgeted outcomes never
     /// cached.
     pub fn check_sat(&mut self, bank: &mut TermBank, delta: &[TermId]) -> CheckOutcome {
+        self.check_sat_opts(bank, delta, true)
+    }
+
+    /// [`Session::check_sat`] with the model requirement explicit — the
+    /// session analogue of `Solver::check_sat_opts`.
+    fn check_sat_opts(
+        &mut self,
+        bank: &mut TermBank,
+        delta: &[TermId],
+        needs_model: bool,
+    ) -> CheckOutcome {
         let start = Instant::now();
         self.solver.stats.queries += 1;
         if let Some(forced) = self.solver.query_guard() {
@@ -843,13 +901,27 @@ impl<'s> Session<'s> {
         // so the session split matches any other way of posing the same
         // conjunction (including scratch queries and other functions'
         // sessions over isomorphic obligations).
-        let (fp, shared_hit) = self.solver.shared_lookup(bank, &[&self.prefix, delta]);
-        if let Some(CachedVerdict::Unsat) = shared_hit {
-            let outcome = CheckOutcome::Unsat;
-            self.solver
-                .cache
-                .insert(key, outcome.clone(), &mut self.solver.stats.cache_evictions);
-            self.solver.stats.unsat += 1;
+        let (fp, shared_hit) = self.solver.shared_lookup(bank, &[&self.prefix, delta], needs_model);
+        if let Some(verdict) = shared_hit {
+            let outcome = match verdict {
+                CachedVerdict::Unsat => {
+                    // Model-free by nature: safe to memoize locally too.
+                    self.solver.cache.insert(
+                        key,
+                        CheckOutcome::Unsat,
+                        &mut self.solver.stats.cache_evictions,
+                    );
+                    self.solver.stats.unsat += 1;
+                    CheckOutcome::Unsat
+                }
+                CachedVerdict::Sat => {
+                    // The empty model must not enter the local memo: a
+                    // later model-needing pose of the same key would be
+                    // served a witness-free counterexample.
+                    self.solver.stats.sat += 1;
+                    CheckOutcome::Sat(Model::default())
+                }
+            };
             self.solver.stats.time += start.elapsed();
             self.trace("session", &outcome, true, start, &stats_before);
             return outcome;
@@ -997,7 +1069,9 @@ impl<'s> Session<'s> {
         goal: TermId,
     ) -> ProofOutcome {
         let mut refute = |bank: &mut TermBank, sess: &mut Self, assertions: &[TermId]| {
-            matches!(sess.check_sat(bank, assertions), CheckOutcome::Unsat)
+            // Refutation probes only ask "unsat?": a cached model-free
+            // `Sat` answer is as good as a computed one.
+            matches!(sess.check_sat_opts(bank, assertions, false), CheckOutcome::Unsat)
         };
         if prove_eq_by_congruence(bank, self, hyps, goal, 4, &mut refute) {
             return ProofOutcome::Proved;
@@ -1054,7 +1128,8 @@ impl<'s> Session<'s> {
         bank: &mut TermBank,
         delta: &[TermId],
     ) -> Result<bool, BudgetKind> {
-        match self.check_sat(bank, delta) {
+        // The model is discarded: a cached model-free `Sat` may answer.
+        match self.check_sat_opts(bank, delta, false) {
             CheckOutcome::Sat(_) => Ok(true),
             CheckOutcome::Unsat => Ok(false),
             CheckOutcome::Budget(k) => Err(k),

@@ -1,9 +1,11 @@
 //! Solver ↔ shared-obligation-cache integration: exactly which outcomes
 //! may enter the corpus-wide cache.
 //!
-//! The cacheability contract (DESIGN.md §Obligation cache): only
-//! **model-free Unsat verdicts** are stored. Sat outcomes carry a
-//! counterexample for *this* bank's variables, and budget, fault, and
+//! The cacheability contract (DESIGN.md §Obligation cache): **decided
+//! verdicts are stored model-free** — `Unsat` discharges the obligation
+//! for every later asker, `Sat` answers model-free feasibility questions
+//! only (the counterexample names *this* bank's variables and is never
+//! stored; model-needing callers recompute). Budget, fault, and
 //! cancellation outcomes describe the attempt, not the obligation — none
 //! of them may poison another worker's (or a later run's) lookup.
 
@@ -52,19 +54,61 @@ fn unsat_verdicts_are_stored_and_shared_across_solvers() {
     );
 }
 
+/// `41 <u v` over a fresh 16-bit variable — satisfiable, with enough
+/// structure to reach the solver.
+fn satisfiable(bank: &mut TermBank, name: &str) -> TermId {
+    let v = bank.mk_var(name, Sort::BitVec(16));
+    let c = bank.mk_bv(16, 41);
+    bank.mk_bvult(c, v)
+}
+
 #[test]
-fn sat_outcomes_are_never_stored() {
+fn sat_verdicts_are_stored_model_free() {
     let cache = Arc::new(SharedObligationCache::new());
     let mut bank = TermBank::new();
-    let v = bank.mk_var("v", Sort::BitVec(16));
-    let c = bank.mk_bv(16, 41);
-    let sat_query = bank.mk_bvult(c, v);
+    let q = satisfiable(&mut bank, "v");
     let mut s = Solver::new();
     s.set_obligation_cache(Some(Arc::clone(&cache)));
-    assert!(matches!(s.check_sat(&mut bank, &[sat_query]), CheckOutcome::Sat(_)));
-    assert_eq!(s.stats().obligation_cache_stores, 0);
-    assert_eq!(cache.stats().inserts, 0, "a Sat verdict must never enter the shared cache");
-    assert_eq!(cache.stats().misses, 1, "the lookup itself still happened");
+    let CheckOutcome::Sat(model) = s.check_sat(&mut bank, &[q]) else {
+        panic!("expected sat");
+    };
+    assert!(model.get("v").is_some(), "a computed Sat carries a real witness");
+    assert_eq!(s.stats().obligation_cache_stores, 1);
+    assert_eq!(cache.stats().inserts, 1, "the verdict is stored, model-free");
+
+    // A model-free asker — different solver, different bank, renamed
+    // variable — rides the cached verdict without bit-blasting.
+    let mut bank_b = TermBank::new();
+    let q = satisfiable(&mut bank_b, "renamed");
+    let mut b = Solver::new();
+    b.set_obligation_cache(Some(Arc::clone(&cache)));
+    assert_eq!(b.feasibility(&mut bank_b, &[q]), Ok(true));
+    assert_eq!(b.stats().obligation_cache_hits, 1, "{:?}", b.stats());
+    assert_eq!(b.stats().terms_blasted, 0, "a model-free hit skips bit-blasting");
+}
+
+#[test]
+fn model_needing_callers_do_not_ride_a_cached_sat() {
+    let cache = Arc::new(SharedObligationCache::new());
+    let mut bank = TermBank::new();
+    let q = satisfiable(&mut bank, "v");
+    let mut s = Solver::new();
+    s.set_obligation_cache(Some(Arc::clone(&cache)));
+    assert!(matches!(s.check_sat(&mut bank, &[q]), CheckOutcome::Sat(_)));
+    assert_eq!(cache.stats().inserts, 1);
+
+    // `check_sat` needs the witness: the cached model-free verdict counts
+    // as a miss and the query recomputes a real model.
+    let mut bank_c = TermBank::new();
+    let q = satisfiable(&mut bank_c, "u");
+    let mut c = Solver::new();
+    c.set_obligation_cache(Some(Arc::clone(&cache)));
+    let CheckOutcome::Sat(model) = c.check_sat(&mut bank_c, &[q]) else {
+        panic!("expected sat");
+    };
+    assert!(model.get("u").is_some(), "model-needing callers get a real witness");
+    assert_eq!(c.stats().obligation_cache_hits, 0, "{:?}", c.stats());
+    assert_eq!(c.stats().obligation_cache_misses, 1, "{:?}", c.stats());
 }
 
 #[test]
@@ -85,10 +129,14 @@ fn budgeted_outcomes_are_never_stored() {
         Solver::with_budget(Budget { max_conflicts: 5, max_terms: 1_000_000, max_time: None });
     s.set_obligation_cache(Some(Arc::clone(&cache)));
     match s.check_sat(&mut bank, &[eq, x_big, y_big]) {
-        CheckOutcome::Budget(BudgetKind::Conflicts) | CheckOutcome::Sat(_) => {}
+        CheckOutcome::Budget(BudgetKind::Conflicts) => {
+            assert_eq!(cache.stats().inserts, 0, "budget-class outcomes must never be cached");
+        }
+        // Found fast on some search orderings — a decided verdict, which
+        // legitimately stores (model-free).
+        CheckOutcome::Sat(_) => assert_eq!(cache.stats().inserts, 1),
         other => panic!("unexpected outcome {other:?}"),
     }
-    assert_eq!(cache.stats().inserts, 0, "budget-class outcomes must never be cached");
 }
 
 #[test]

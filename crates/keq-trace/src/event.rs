@@ -224,6 +224,39 @@ pub enum Event {
         /// Function index in the module.
         func: u32,
     },
+    /// The server front end accepted one request frame from a client
+    /// (request-level events are server-mode only: batch runs never emit
+    /// them, so their event stream is unchanged).
+    RequestReceived {
+        /// Server-assigned client connection id.
+        client: u64,
+        /// Client-chosen request tag, echoed back in the response.
+        tag: u64,
+    },
+    /// The scheduler refused a submission at the admission gate
+    /// (backpressure or quota) — the request never entered the queue.
+    RequestRejected {
+        /// Client connection id.
+        client: u64,
+        /// Client request tag.
+        tag: u64,
+        /// Stable reason name: `"queue_full"`, `"quota"`, or `"draining"`.
+        reason: &'static str,
+    },
+    /// One scheduled request finalized and its completion was delivered
+    /// (or dropped, if the client had disconnected).
+    RequestCompleted {
+        /// Client connection id.
+        client: u64,
+        /// Client request tag.
+        tag: u64,
+        /// Result category (stable wire name, e.g. `"succeeded"`).
+        result: &'static str,
+        /// Time spent queued before the first attempt started, µs.
+        queue_us: u64,
+        /// Submission-to-finalize wall clock, µs.
+        wall_us: u64,
+    },
 }
 
 impl Event {
@@ -246,6 +279,9 @@ impl Event {
             Event::StoreError { .. } => "store_error",
             Event::StoreDegraded { .. } => "store_degraded",
             Event::ResumeSkipped { .. } => "resume_skipped",
+            Event::RequestReceived { .. } => "request_received",
+            Event::RequestRejected { .. } => "request_rejected",
+            Event::RequestCompleted { .. } => "request_completed",
         }
     }
 }
@@ -354,6 +390,19 @@ impl TraceEvent {
                 let _ = write!(out, ",\"target\":\"{target}\",\"failures\":{failures}");
             }
             Event::ResumeSkipped { .. } => {}
+            Event::RequestReceived { client, tag } => {
+                let _ = write!(out, ",\"client\":{client},\"tag\":{tag}");
+            }
+            Event::RequestRejected { client, tag, reason } => {
+                let _ = write!(out, ",\"client\":{client},\"tag\":{tag},\"reason\":\"{reason}\"");
+            }
+            Event::RequestCompleted { client, tag, result, queue_us, wall_us } => {
+                let _ = write!(
+                    out,
+                    ",\"client\":{client},\"tag\":{tag},\"result\":\"{result}\",\
+                     \"queue_us\":{queue_us},\"wall_us\":{wall_us}"
+                );
+            }
         }
         out.push('}');
     }
@@ -411,6 +460,15 @@ mod tests {
             },
             Event::StoreDegraded { target: "store", failures: 3 },
             Event::ResumeSkipped { func: 9 },
+            Event::RequestReceived { client: 2, tag: 40 },
+            Event::RequestRejected { client: 2, tag: 41, reason: "queue_full" },
+            Event::RequestCompleted {
+                client: 2,
+                tag: 40,
+                result: "succeeded",
+                queue_us: 15,
+                wall_us: 1200,
+            },
         ];
         for (i, event) in events.into_iter().enumerate() {
             let te = TraceEvent { t_us: 100 + i as u64, func: Some(3), attempt: Some(1), event };

@@ -44,6 +44,65 @@ impl Histogram {
         self.counts.iter().sum()
     }
 
+    /// Adds every bucket of `other` into `self` (per-connection tallies →
+    /// one distribution).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bucket bounds differ — merging histograms of
+    /// different shapes has no meaningful result.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "merging histograms of different shapes");
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) estimated from the buckets:
+    /// rank-based, linearly interpolated within the bucket that holds the
+    /// rank. Samples in the overflow bucket clamp to the last bound (the
+    /// histogram cannot see past it). `None` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 || self.bounds.is_empty() {
+            return None;
+        }
+        // 1-based rank of the sample that answers the quantile.
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as usize).clamp(1, total);
+        let mut seen = 0usize;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let Some(&hi) = self.bounds.get(i) else {
+                    // Overflow bucket: unbounded above, clamp to the edge.
+                    return self.bounds.last().copied();
+                };
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let within = (rank - seen) as f64 / c as f64;
+                return Some(lo + (hi - lo) * within);
+            }
+            seen += c;
+        }
+        self.bounds.last().copied()
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
     /// Renders the histogram.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -81,6 +140,61 @@ mod tests {
         assert_eq!(h.counts, vec![2, 1, 1]);
         let r = h.render();
         assert!(r.contains("t:"));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::new("q", vec![10.0, 20.0, 40.0]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        for _ in 0..8 {
+            h.add(5.0); // bucket 0..10
+        }
+        h.add(15.0); // bucket 10..20
+        h.add(30.0); // bucket 20..40
+        // Rank 5 of 10 lands mid-bucket-0: 0 + 10 * (5/8).
+        assert_eq!(h.p50(), Some(6.25));
+        // Rank 9 is the single sample of bucket 1: 10 + 10 * (1/1).
+        assert_eq!(h.p90(), Some(20.0));
+        // Rank 10 is the single sample of bucket 2.
+        assert_eq!(h.p99(), Some(40.0));
+        assert_eq!(h.quantile(0.0), Some(1.25), "rank clamps to the first sample");
+        assert_eq!(h.quantile(1.0), Some(40.0));
+    }
+
+    #[test]
+    fn overflow_samples_clamp_to_the_last_bound() {
+        let mut h = Histogram::new("o", vec![1.0, 2.0]);
+        h.add(0.5);
+        h.add(1e9);
+        h.add(2e9);
+        assert_eq!(h.p99(), Some(2.0), "overflow clamps to the histogram's edge");
+        // All-overflow histograms still answer with the edge.
+        let mut all_over = Histogram::new("o2", vec![1.0]);
+        all_over.add(7.0);
+        assert_eq!(all_over.p50(), Some(1.0));
+    }
+
+    #[test]
+    fn log_bucket_quantiles_are_monotone() {
+        let mut h = Histogram::log_us("lat");
+        for i in 0..1000 {
+            h.add(f64::from(i));
+        }
+        let (p50, p90, p99) = (h.p50().unwrap(), h.p90().unwrap(), h.p99().unwrap());
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!(p50 > 256.0 && p99 <= 1024.0, "{p50} {p99}");
+    }
+
+    #[test]
+    fn merge_adds_per_bucket() {
+        let mut a = Histogram::new("a", vec![1.0, 10.0]);
+        let mut b = Histogram::new("b", vec![1.0, 10.0]);
+        a.add(0.5);
+        b.add(5.0);
+        b.add(50.0);
+        a.merge(&b);
+        assert_eq!(a.counts, vec![1, 1, 1]);
+        assert_eq!(a.total(), 3);
     }
 
     #[test]

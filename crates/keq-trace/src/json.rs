@@ -433,12 +433,14 @@ impl<'a> Parser<'a> {
     }
 }
 
-/// Convenience builders used by the report writer.
-pub(crate) fn obj(fields: Vec<(&str, Json)>) -> Json {
+/// Convenience builder: an object from `(key, value)` pairs (used by the
+/// report writer and the `keq-server` wire protocol).
+pub fn obj(fields: Vec<(&str, Json)>) -> Json {
     Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
-pub(crate) fn num(n: u64) -> Json {
+/// Convenience builder: an unsigned counter as a JSON number.
+pub fn num(n: u64) -> Json {
     Json::Num(n as f64)
 }
 

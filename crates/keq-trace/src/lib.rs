@@ -42,5 +42,6 @@ pub use recorder::{
 };
 pub use report::{
     check_phase_coverage, phase_summaries, validate, AttemptReport, CacheCounters, FunctionReport,
-    OutcomeTable, PhaseSummary, ResumeSection, RunReport, SolverCounters, Violation, REPORT_SCHEMA,
+    OutcomeTable, PhaseSummary, ResumeSection, RunReport, ServerSection, SolverCounters, Violation,
+    REPORT_SCHEMA,
 };

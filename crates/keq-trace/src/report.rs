@@ -22,8 +22,10 @@ use crate::json::{self, Json};
 /// v2 added the `cache` section (shared obligation-cache counters); v3
 /// added the `resume` section (write-ahead journal recovery), the
 /// `quarantined` outcome category, per-function `recovered` flags, and
-/// the incremental-flush / circuit-breaker cache counters.
-pub const REPORT_SCHEMA: &str = "keq-run-report/v3";
+/// the incremental-flush / circuit-breaker cache counters; v4 added the
+/// `server` section (request counters and latency quantiles of the
+/// long-lived `keq-server` front end — all-zero for batch runs).
+pub const REPORT_SCHEMA: &str = "keq-run-report/v4";
 
 /// The Fig. 6 outcome table.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -232,6 +234,54 @@ impl ResumeSection {
     }
 }
 
+/// The request-serving section of the v4 schema: how the long-lived
+/// `keq-server` front end fared. Batch runs carry the all-zero default
+/// (`enabled: false`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServerSection {
+    /// Whether this report came from a server run.
+    pub enabled: bool,
+    /// Validation requests accepted into the scheduler.
+    pub requests: u64,
+    /// Requests that ran to a final verdict.
+    pub completed: u64,
+    /// Requests bounced by queue-depth backpressure.
+    pub rejected_queue_full: u64,
+    /// Requests bounced by a per-client inflight quota.
+    pub rejected_quota: u64,
+    /// Requests whose client disconnected before the verdict was delivered.
+    pub disconnects: u64,
+    /// Median request latency (submit → verdict), µs.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, µs.
+    pub p99_us: u64,
+}
+
+impl ServerSection {
+    const FIELDS: [&'static str; 7] = [
+        "requests",
+        "completed",
+        "rejected_queue_full",
+        "rejected_quota",
+        "disconnects",
+        "p50_us",
+        "p99_us",
+    ];
+
+    fn to_json(self) -> Json {
+        json::obj(vec![
+            ("enabled", Json::Bool(self.enabled)),
+            ("requests", json::num(self.requests)),
+            ("completed", json::num(self.completed)),
+            ("rejected_queue_full", json::num(self.rejected_queue_full)),
+            ("rejected_quota", json::num(self.rejected_quota)),
+            ("disconnects", json::num(self.disconnects)),
+            ("p50_us", json::num(self.p50_us)),
+            ("p99_us", json::num(self.p99_us)),
+        ])
+    }
+}
+
 /// Aggregated span times of one phase.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseSummary {
@@ -377,6 +427,8 @@ pub struct RunReport {
     pub cache: CacheCounters,
     /// Write-ahead journal recovery.
     pub resume: ResumeSection,
+    /// Request serving (`keq-server` runs; all-zero default for batch).
+    pub server: ServerSection,
     /// Per-phase span aggregates (phases with no spans are omitted).
     pub phases: Vec<PhaseSummary>,
     /// Per-function rows, ordered by index.
@@ -400,6 +452,7 @@ impl RunReport {
             ("solver", self.solver.to_json()),
             ("cache", self.cache.to_json()),
             ("resume", self.resume.to_json()),
+            ("server", self.server.to_json()),
             ("phases", Json::Arr(self.phases.iter().map(PhaseSummary::to_json).collect())),
             (
                 "functions",
@@ -578,6 +631,26 @@ pub fn validate(doc: &Json) -> Result<(), Vec<Violation>> {
         }
         for key in ["skipped", "recovered", "corrupt"] {
             require_u64(resume, "$.resume", key, &mut v);
+        }
+    }
+
+    if let Some(server) = require(doc, "$", "server", &mut v) {
+        if require(server, "$.server", "enabled", &mut v)
+            .is_some_and(|d| d.as_bool().is_none())
+        {
+            v.push("$.server.enabled: expected a boolean".into());
+        }
+        for key in ServerSection::FIELDS {
+            require_u64(server, "$.server", key, &mut v);
+        }
+        let requests = server.get("requests").and_then(Json::as_u64);
+        let completed = server.get("completed").and_then(Json::as_u64);
+        if let (Some(r), Some(c)) = (requests, completed) {
+            if c > r {
+                v.push(format!(
+                    "$.server: completed ({c}) exceeds accepted requests ({r})"
+                ));
+            }
         }
     }
 
@@ -766,6 +839,16 @@ mod tests {
                 degraded: false,
             },
             resume: ResumeSection { enabled: false, skipped: 0, recovered: 0, corrupt: 0 },
+            server: ServerSection {
+                enabled: true,
+                requests: 5,
+                completed: 4,
+                rejected_queue_full: 1,
+                rejected_quota: 0,
+                disconnects: 1,
+                p50_us: 12_000,
+                p99_us: 80_000,
+            },
             phases: vec![PhaseSummary {
                 phase: Phase::Check,
                 count: 2,
@@ -933,6 +1016,35 @@ mod tests {
         }
         let errs = validate(&doc).expect_err("must fail");
         assert!(errs.iter().any(|e| e.contains("missing key \"resume\"")), "{errs:?}");
+    }
+
+    #[test]
+    fn missing_server_section_is_reported() {
+        let text = sample_report().to_json();
+        let mut doc = Json::parse(&text).expect("parses");
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "server");
+        }
+        let errs = validate(&doc).expect_err("must fail");
+        assert!(errs.iter().any(|e| e.contains("missing key \"server\"")), "{errs:?}");
+    }
+
+    #[test]
+    fn server_completed_cannot_exceed_requests() {
+        let mut report = sample_report();
+        report.server.completed = report.server.requests + 1;
+        let doc = Json::parse(&report.to_json()).expect("parses");
+        let errs = validate(&doc).expect_err("must fail");
+        assert!(errs.iter().any(|e| e.contains("exceeds accepted requests")), "{errs:?}");
+    }
+
+    #[test]
+    fn batch_reports_carry_the_zero_server_section() {
+        let mut report = sample_report();
+        report.server = ServerSection::default();
+        let doc = Json::parse(&report.to_json()).expect("parses");
+        validate(&doc).expect("all-zero server section validates");
+        assert_eq!(doc.get("server").and_then(|s| s.get("enabled")).and_then(Json::as_bool), Some(false));
     }
 
     #[test]

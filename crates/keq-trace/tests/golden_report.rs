@@ -9,7 +9,7 @@
 
 use keq_trace::{
     check_phase_coverage, validate, AttemptReport, CacheCounters, FunctionReport, Histogram, Json,
-    OutcomeTable, Phase, PhaseSummary, ResumeSection, RunReport, SolverCounters,
+    OutcomeTable, Phase, PhaseSummary, ResumeSection, RunReport, ServerSection, SolverCounters,
 };
 
 const TRICKY_MESSAGE: &str = "boom \"quoted\"\nsecond line\twith tab \\ backslash and π";
@@ -63,6 +63,16 @@ fn golden_report() -> RunReport {
             degraded: false,
         },
         resume: ResumeSection { enabled: true, skipped: 1, recovered: 1, corrupt: 1 },
+        server: ServerSection {
+            enabled: true,
+            requests: 6,
+            completed: 5,
+            rejected_queue_full: 1,
+            rejected_quota: 1,
+            disconnects: 1,
+            p50_us: 12_000,
+            p99_us: 80_000,
+        },
         phases: vec![PhaseSummary { phase: Phase::Check, count: 2, total_us: 80_120, histogram: hist }],
         functions: vec![
             FunctionReport {

@@ -1,0 +1,157 @@
+//! The `keq-server` daemon: a long-lived validation service over one
+//! resident scheduler, so the shared obligation cache, warm-start
+//! contexts, and write-ahead journal amortize across requests instead of
+//! being rebuilt per corpus.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example keq_serve -- [--addr 127.0.0.1:7411] \
+//!     [--workers N] [--deadline-ms MS] [--queue-depth N] [--max-inflight N] \
+//!     [--cache obligations.keqcache] [--journal server.keqwal] [--resume] \
+//!     [--trace-jsonl trace.jsonl]
+//! ```
+//!
+//! `--addr` also accepts `unix:/path/to.sock` on Unix. Port 0 picks a free
+//! port; the daemon always prints one `listening on ADDR` line first, so a
+//! wrapper script can discover the resolved address. `--queue-depth`
+//! bounds the whole daemon's accepted-but-unfinished submissions (excess
+//! requests are rejected with `queue_full`, never queued without bound);
+//! `--max-inflight` bounds one connection. Stop it by sending the
+//! `shutdown` op (`keq_client --shutdown`): the daemon drains every
+//! admitted submission, flushes the store, and prints its lifetime
+//! summary. The wire protocol is length-framed JSON — see
+//! `keq_harness::protocol` and DESIGN.md.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use keq_repro::harness::{ClientQuota, HarnessOptions, RetryPolicy, Server, ServerOptions};
+use keq_repro::smt::Budget;
+use keq_repro::trace::{JsonlSink, TraceSink};
+
+struct Cli {
+    addr: String,
+    workers: usize,
+    deadline_ms: Option<u64>,
+    queue_depth: usize,
+    max_inflight: usize,
+    cache: Option<String>,
+    journal: Option<String>,
+    resume: bool,
+    trace_jsonl: Option<String>,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        addr: "127.0.0.1:7411".to_string(),
+        workers: 0,
+        deadline_ms: None,
+        queue_depth: 0,
+        max_inflight: 0,
+        cache: None,
+        journal: None,
+        resume: false,
+        trace_jsonl: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => cli.addr = args.next().expect("--addr <addr>"),
+            "--workers" => {
+                cli.workers = args.next().and_then(|s| s.parse().ok()).expect("--workers <n>");
+            }
+            "--deadline-ms" => {
+                cli.deadline_ms =
+                    Some(args.next().and_then(|s| s.parse().ok()).expect("--deadline-ms <ms>"));
+            }
+            "--queue-depth" => {
+                cli.queue_depth =
+                    args.next().and_then(|s| s.parse().ok()).expect("--queue-depth <n>");
+            }
+            "--max-inflight" => {
+                cli.max_inflight =
+                    args.next().and_then(|s| s.parse().ok()).expect("--max-inflight <n>");
+            }
+            "--cache" => cli.cache = Some(args.next().expect("--cache <path>")),
+            "--journal" => cli.journal = Some(args.next().expect("--journal <path>")),
+            "--resume" => cli.resume = true,
+            "--trace-jsonl" => {
+                cli.trace_jsonl = Some(args.next().expect("--trace-jsonl <path>"));
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other}\nusage: keq_serve [--addr A] [--workers N] \
+                     [--deadline-ms MS] [--queue-depth N] [--max-inflight N] [--cache PATH] \
+                     [--journal PATH] [--resume] [--trace-jsonl PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_cli();
+    let trace = cli.trace_jsonl.as_ref().map(|path| {
+        let file = std::fs::File::create(path).expect("create --trace-jsonl file");
+        TraceSink::from(Arc::new(JsonlSink::new(file)))
+    });
+    let opts = ServerOptions {
+        harness: HarnessOptions {
+            keq: keq_repro::core::KeqOptions {
+                time_limit: Some(Duration::from_secs(20)),
+                solver_budget: Budget {
+                    max_conflicts: 500_000,
+                    max_terms: 2_000_000,
+                    max_time: Some(Duration::from_secs(5)),
+                },
+                ..keq_repro::core::KeqOptions::default()
+            },
+            workers: cli.workers,
+            deadline: cli.deadline_ms.map(Duration::from_millis),
+            retry: RetryPolicy { max_attempts: 2, ..RetryPolicy::default() },
+            trace,
+            cache_path: cli.cache.as_ref().map(std::path::PathBuf::from),
+            journal_path: cli.journal.as_ref().map(std::path::PathBuf::from),
+            resume: cli.resume,
+            ..HarnessOptions::default()
+        },
+        queue_depth: cli.queue_depth,
+        quota: ClientQuota {
+            max_inflight: cli.max_inflight,
+            max_deadline: Some(Duration::from_secs(60)),
+            max_attempts: 0,
+        },
+    };
+
+    let server = Server::bind(&cli.addr, &opts).expect("bind server address");
+    println!("listening on {}", server.local_addr());
+    let summary = server.run();
+
+    let s = &summary.fin.server;
+    println!(
+        "keq-server drained: {} connections, {} requests ({} completed, {} disconnected), \
+         rejected {} queue-full / {} quota / {} draining",
+        summary.connections,
+        s.requests,
+        s.completed,
+        s.disconnects,
+        s.rejected_queue_full,
+        s.rejected_quota,
+        s.rejected_draining,
+    );
+    let p50 = summary.fin.latency.p50().unwrap_or(0.0);
+    let p99 = summary.fin.latency.p99().unwrap_or(0.0);
+    println!("request latency: p50 {:.0}µs p99 {:.0}µs", p50, p99);
+    let c = &summary.fin.cache;
+    println!(
+        "obligation store: {} entries, loaded {}, persisted {} ({} flushes{})",
+        c.entries,
+        c.disk_loaded,
+        c.disk_persisted,
+        c.flushes,
+        if c.degraded { ", DEGRADED" } else { "" },
+    );
+}

@@ -215,9 +215,10 @@ fn run_chaos(cli: &Cli, cycles: u32) {
     }
 
     // 4. Store purity: a crash-interrupted store may only ever contain
-    //    `Unsat` records (verdict byte 1 in the store's wire format) —
-    //    whatever was torn mid-write must have been skipped, never
-    //    reinterpreted.
+    //    decided verdicts (`Unsat` = byte 1, model-free `Sat` = byte 2 in
+    //    the store's wire format) — budget/fault attempt outcomes must
+    //    never be persisted, and whatever was torn mid-write must have
+    //    been skipped, never reinterpreted.
     if let Some(cache) = &cli.cache {
         if let Ok(bytes) = std::fs::read(cache) {
             let mut at = 20; // header: magic + version + semantics revision
@@ -227,7 +228,7 @@ fn run_chaos(cli: &Cli, cycles: u32) {
                     break; // torn tail: the loader skips it too
                 }
                 let verdict_byte = bytes[at + 4 + 16];
-                if verdict_byte != 1 {
+                if verdict_byte != 1 && verdict_byte != 2 {
                     eprintln!("chaos: STORE IMPURITY: persisted verdict byte {verdict_byte}");
                     std::process::exit(1);
                 }

@@ -10,16 +10,20 @@
 #   pr6  journaling overhead and kill/resume wall-time ratios, emitted
 #        as BENCH_PR6.json
 #        (crates/keq-bench/benches/bench_pr6.rs for schema and knobs)
+#   server  keq-server steady-state throughput, latency quantiles, and
+#        resident-cache hit ratio, emitted as BENCH_SERVER.json
+#        (crates/keq-bench/benches/bench_server.rs for schema and knobs)
 #
 # Usage:
 #   scripts/bench.sh                  # pr2, full-size run
 #   scripts/bench.sh --smoke          # pr2, CI-sized run
 #   scripts/bench.sh pr4 [--smoke]    # obligation-cache benchmark
 #   scripts/bench.sh pr6 [--smoke]    # crash-safety benchmark
+#   scripts/bench.sh server [--smoke] # keq-server daemon benchmark
 #
-# Any KEQ_PR2_* / KEQ_PR4_* / KEQ_PR6_* variable already in the
-# environment wins over the smoke defaults, so a partial override stays
-# possible in either mode.
+# Any KEQ_PR2_* / KEQ_PR4_* / KEQ_PR6_* / KEQ_SRV_* variable already in
+# the environment wins over the smoke defaults, so a partial override
+# stays possible in either mode.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,10 +31,10 @@ target=pr2
 smoke=0
 for arg in "$@"; do
     case "$arg" in
-        pr2|pr4|pr6) target="$arg" ;;
+        pr2|pr4|pr6|server) target="$arg" ;;
         --smoke) smoke=1 ;;
         *)
-            echo "usage: scripts/bench.sh [pr2|pr4|pr6] [--smoke]" >&2
+            echo "usage: scripts/bench.sh [pr2|pr4|pr6|server] [--smoke]" >&2
             exit 2
             ;;
     esac
@@ -67,5 +71,15 @@ case "$target" in
         echo "==> cargo bench -p keq-bench --bench bench_pr6"
         cargo bench -p keq-bench --bench bench_pr6
         echo "==> wrote ${KEQ_PR6_OUT}"
+        ;;
+    server)
+        if [[ "$smoke" == 1 ]]; then
+            export KEQ_SRV_N="${KEQ_SRV_N:-8}"
+            export KEQ_SRV_ROUNDS="${KEQ_SRV_ROUNDS:-2}"
+        fi
+        export KEQ_SRV_OUT="${KEQ_SRV_OUT:-$PWD/BENCH_SERVER.json}"
+        echo "==> cargo bench -p keq-bench --bench bench_server"
+        cargo bench -p keq-bench --bench bench_server
+        echo "==> wrote ${KEQ_SRV_OUT}"
         ;;
 esac
