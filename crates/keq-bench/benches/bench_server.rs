@@ -5,11 +5,15 @@
 //! then measures a sustained steady-state window: `rounds` full corpus
 //! passes split round-robin over `conns` parallel connections, every
 //! request one function wrapped with the corpus globals/declarations (what
-//! `keq_client` sends). Emits `BENCH_SERVER.json` (hand-rolled writer; the
-//! workspace is dependency-free) with the sustained request rate, the
-//! client-observed round-trip latency quantiles, and the steady-state
-//! cache hit ratio taken from `stats`-op counter deltas across the
-//! measured window only — the cold warm-up pass does not dilute it.
+//! `keq_client` sends). The whole lifecycle runs **twice** — once with
+//! live telemetry disabled and once with it enabled — so the bench also
+//! prices the instrumentation itself. Emits `BENCH_SERVER.json`
+//! (hand-rolled writer; the workspace is dependency-free) with the
+//! sustained request rate, the client-observed round-trip latency
+//! quantiles (p50/p90/p99), the steady-state cache hit ratio taken from
+//! `stats`-op counter deltas across the measured window only — the cold
+//! warm-up pass does not dilute it — and the metrics-enabled window's
+//! rate beside the overhead ratio.
 //!
 //! In-bench acceptance bars (the run aborts when missed):
 //!
@@ -19,16 +23,21 @@
 //! * every measured round reproduces the warm-up round's verdict table —
 //!   residency must be invisible in verdicts;
 //! * the drain accounts for every admitted submission (no losses, no
-//!   disconnects) and the server-side latency histogram saw them all.
+//!   disconnects) and the server-side latency histogram saw them all;
+//! * the metrics-enabled window sustains ≥ 95% of the disabled window's
+//!   request rate (`KEQ_SRV_METRICS_RATIO` overrides the bar) — telemetry
+//!   must be cheap enough to leave on.
 //!
 //! Environment knobs:
 //!
-//! * `KEQ_SRV_N`      — corpus functions (default 16)
-//! * `KEQ_SRV_ROUNDS` — measured steady-state corpus passes (default 4)
-//! * `KEQ_SRV_CONNS`  — parallel client connections (default 2)
-//! * `KEQ_SRV_SECS`   — per-function wall-clock limit (default 10)
-//! * `KEQ_SRV_SEED`   — corpus seed (default 2021)
-//! * `KEQ_SRV_OUT`    — output path (default `BENCH_SERVER.json`)
+//! * `KEQ_SRV_N`             — corpus functions (default 16)
+//! * `KEQ_SRV_ROUNDS`        — measured steady-state corpus passes (default 4)
+//! * `KEQ_SRV_CONNS`         — parallel client connections (default 2)
+//! * `KEQ_SRV_SECS`          — per-function wall-clock limit (default 10)
+//! * `KEQ_SRV_SEED`          — corpus seed (default 2021)
+//! * `KEQ_SRV_OUT`           — output path (default `BENCH_SERVER.json`)
+//! * `KEQ_SRV_METRICS_RATIO` — enabled/disabled req/s acceptance bar
+//!   (default 0.95)
 //!
 //! `scripts/bench.sh server` drives this target; CI runs it smoke-sized.
 
@@ -37,14 +46,18 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use keq_core::KeqOptions;
-use keq_harness::protocol::{ClientRequest, ServerResponse, StatsSnapshot};
-use keq_harness::{connect, HarnessOptions, Server, ServerOptions};
+use keq_harness::protocol::{ClientRequest, MetricsReport, ServerResponse, StatsSnapshot};
+use keq_harness::{connect, HarnessOptions, MetricsConfig, Server, ServerOptions};
 use keq_llvm::ast::Module;
 use keq_smt::Budget;
 use keq_trace::Histogram;
 use keq_workload::{generate_corpus, GenConfig};
 
 fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
@@ -98,15 +111,36 @@ fn stats(conn: &mut keq_harness::ClientConn) -> StatsSnapshot {
     }
 }
 
-fn main() {
-    let n = env_u64("KEQ_SRV_N", 16) as usize;
-    let rounds = env_u64("KEQ_SRV_ROUNDS", 4) as usize;
-    let conns = (env_u64("KEQ_SRV_CONNS", 2) as usize).clamp(1, n.max(1));
-    let secs = env_u64("KEQ_SRV_SECS", 10);
-    let seed = env_u64("KEQ_SRV_SEED", 2021);
-    let out = std::env::var("KEQ_SRV_OUT").unwrap_or_else(|_| "BENCH_SERVER.json".to_string());
+/// One measured server lifecycle: boot → warm-up pass → steady-state
+/// window → (optional `metrics`-op scrape) → drain. The per-window
+/// acceptance bars run inside, so both lifecycles are held to the same
+/// contract.
+struct Window {
+    warmup_wall: Duration,
+    warmup_latency: Histogram,
+    measured_wall: Duration,
+    latency: Histogram,
+    hits: u64,
+    misses: u64,
+    hit_ratio: f64,
+    req_per_sec: f64,
+    fin_requests: u64,
+    fin_completed: u64,
+    server_latency: Histogram,
+    metrics: Option<Box<MetricsReport>>,
+}
 
-    let corpus = generate_corpus(GenConfig { seed, ..GenConfig::default() }, n);
+#[allow(clippy::too_many_lines)]
+fn run_window(
+    corpus: &Module,
+    n: usize,
+    rounds: usize,
+    conns: usize,
+    secs: u64,
+    seed: u64,
+    metrics_enabled: bool,
+) -> Window {
+    let label = if metrics_enabled { "metrics ON" } else { "metrics OFF" };
     let opts = ServerOptions {
         harness: HarnessOptions {
             keq: KeqOptions {
@@ -118,6 +152,13 @@ fn main() {
                 },
                 ..KeqOptions::default()
             },
+            metrics: MetricsConfig {
+                enabled: metrics_enabled,
+                // Fast sampling so even a smoke-sized measured window
+                // lands collector samples to report.
+                sample_interval: Duration::from_millis(50),
+                ..MetricsConfig::default()
+            },
             ..HarnessOptions::default()
         },
         ..ServerOptions::default()
@@ -127,23 +168,24 @@ fn main() {
     let run = std::thread::spawn(move || server.run());
 
     // Warm-up: one cold corpus pass fills the resident obligation cache.
-    eprintln!("warm-up: {n} corpus functions (seed {seed}) through {addr}...");
+    eprintln!("[{label}] warm-up: {n} corpus functions (seed {seed}) through {addr}...");
     let mut ctl = connect(&addr).expect("connect control connection");
     let mut warmup_latency = Histogram::log_us("warm-up round trip (µs)");
     let units: Vec<usize> = (0..n).collect();
     let warmup_start = Instant::now();
-    let baseline = stream_pass(&mut ctl, &corpus, &units, 0, &mut warmup_latency);
+    let baseline = stream_pass(&mut ctl, corpus, &units, 0, &mut warmup_latency);
     let warmup_wall = warmup_start.elapsed();
     let before = stats(&mut ctl);
 
     // Steady state: `rounds` further corpus passes, split round-robin over
     // `conns` parallel connections. The tag space is partitioned per
     // connection; the unit stays the corpus function index everywhere.
-    eprintln!("steady state: {rounds} rounds x {n} functions over {conns} connection(s)...");
+    eprintln!(
+        "[{label}] steady state: {rounds} rounds x {n} functions over {conns} connection(s)..."
+    );
     let measured_start = Instant::now();
     let (latency, verdict_tables): (Histogram, Vec<BTreeMap<usize, String>>) =
         std::thread::scope(|scope| {
-            let corpus = &corpus;
             let addr = addr.as_str();
             let handles: Vec<_> = (0..conns)
                 .map(|c| {
@@ -182,6 +224,20 @@ fn main() {
     let measured_wall = measured_start.elapsed();
     let after = stats(&mut ctl);
 
+    // The instrumented window must actually have telemetry to show for
+    // its overhead: collector samples and a populated slow table.
+    let metrics = metrics_enabled.then(|| {
+        match ctl.roundtrip(&ClientRequest::Metrics).expect("metrics round trip") {
+            ServerResponse::Metrics(m) => {
+                assert!(m.enabled, "the instrumented window must report metrics enabled");
+                assert!(m.samples > 0, "the collector must have sampled the measured window");
+                assert!(!m.slow.is_empty(), "the slow-obligation table must be populated");
+                m
+            }
+            other => panic!("expected metrics, got {other:?}"),
+        }
+    });
+
     match ctl.roundtrip(&ClientRequest::Shutdown).expect("shutdown round trip") {
         ServerResponse::ShuttingDown => {}
         other => panic!("expected shutdown ack, got {other:?}"),
@@ -193,7 +249,7 @@ fn main() {
     for (round, table) in verdict_tables.iter().enumerate() {
         assert_eq!(
             table, &baseline,
-            "steady-state round {round} drifted from the warm-up verdicts"
+            "[{label}] steady-state round {round} drifted from the warm-up verdicts"
         );
     }
 
@@ -227,9 +283,58 @@ fn main() {
          ratio {hit_ratio:.3})"
     );
 
-    let req_per_sec = requests as f64 / measured_wall.as_secs_f64().max(1e-9);
-    let p50 = latency.p50().unwrap_or(0.0);
-    let p99 = latency.p99().unwrap_or(0.0);
+    Window {
+        warmup_wall,
+        warmup_latency,
+        measured_wall,
+        latency,
+        hits,
+        misses,
+        hit_ratio,
+        req_per_sec: requests as f64 / measured_wall.as_secs_f64().max(1e-9),
+        fin_requests: fin.requests,
+        fin_completed: fin.completed,
+        server_latency: summary.fin.latency.clone(),
+        metrics,
+    }
+}
+
+fn main() {
+    let n = env_u64("KEQ_SRV_N", 16) as usize;
+    let rounds = env_u64("KEQ_SRV_ROUNDS", 4) as usize;
+    let conns = (env_u64("KEQ_SRV_CONNS", 2) as usize).clamp(1, n.max(1));
+    let secs = env_u64("KEQ_SRV_SECS", 10);
+    let seed = env_u64("KEQ_SRV_SEED", 2021);
+    let out = std::env::var("KEQ_SRV_OUT").unwrap_or_else(|_| "BENCH_SERVER.json".to_string());
+    let metrics_ratio_bar = env_f64("KEQ_SRV_METRICS_RATIO", 0.95);
+
+    let corpus = generate_corpus(GenConfig { seed, ..GenConfig::default() }, n);
+
+    // Lifecycle 1: telemetry disabled — the headline numbers.
+    let base = run_window(&corpus, n, rounds, conns, secs, seed, false);
+    // Lifecycle 2: telemetry enabled — what the instrumentation costs.
+    let inst = run_window(&corpus, n, rounds, conns, secs, seed, true);
+
+    let requests = (rounds * n) as u64;
+    let metrics_ratio = inst.req_per_sec / base.req_per_sec.max(1e-9);
+    assert!(
+        metrics_ratio >= metrics_ratio_bar,
+        "acceptance bar: the metrics-enabled window must sustain >={:.0}% of the \
+         disabled window's rate (disabled {:.1} req/s, enabled {:.1} req/s, \
+         ratio {metrics_ratio:.3})",
+        metrics_ratio_bar * 100.0,
+        base.req_per_sec,
+        inst.req_per_sec,
+    );
+
+    let req_per_sec = base.req_per_sec;
+    let p50 = base.latency.p50().unwrap_or(0.0);
+    let p90 = base.latency.p90().unwrap_or(0.0);
+    let p99 = base.latency.p99().unwrap_or(0.0);
+    let hits = base.hits;
+    let misses = base.misses;
+    let hit_ratio = base.hit_ratio;
+    let m = inst.metrics.as_ref().expect("instrumented window scraped metrics");
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -241,33 +346,60 @@ fn main() {
     let _ = writeln!(json, "  \"per_function_secs\": {secs},");
     let _ = writeln!(
         json,
-        "  \"warmup\": {{\"wall_ms\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}},",
-        warmup_wall.as_millis(),
-        warmup_latency.p50().unwrap_or(0.0),
-        warmup_latency.p99().unwrap_or(0.0)
+        "  \"warmup\": {{\"wall_ms\": {}, \"p50_us\": {:.1}, \"p90_us\": {:.1}, \
+         \"p99_us\": {:.1}}},",
+        base.warmup_wall.as_millis(),
+        base.warmup_latency.p50().unwrap_or(0.0),
+        base.warmup_latency.p90().unwrap_or(0.0),
+        base.warmup_latency.p99().unwrap_or(0.0)
     );
     let _ = writeln!(json, "  \"steady_state\": {{");
     let _ = writeln!(json, "    \"requests\": {requests},");
-    let _ = writeln!(json, "    \"wall_ms\": {},", measured_wall.as_millis());
+    let _ = writeln!(json, "    \"wall_ms\": {},", base.measured_wall.as_millis());
     let _ = writeln!(json, "    \"req_per_sec\": {req_per_sec:.2},");
     let _ = writeln!(json, "    \"p50_us\": {p50:.1},");
+    let _ = writeln!(json, "    \"p90_us\": {p90:.1},");
     let _ = writeln!(json, "    \"p99_us\": {p99:.1},");
     let _ = writeln!(json, "    \"cache_hits\": {hits},");
     let _ = writeln!(json, "    \"cache_misses\": {misses},");
     let _ = writeln!(json, "    \"hit_ratio\": {hit_ratio:.4}");
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"metrics_enabled\": {{");
+    let _ = writeln!(json, "    \"wall_ms\": {},", inst.measured_wall.as_millis());
+    let _ = writeln!(json, "    \"req_per_sec\": {:.2},", inst.req_per_sec);
+    let _ = writeln!(json, "    \"p50_us\": {:.1},", inst.latency.p50().unwrap_or(0.0));
+    let _ = writeln!(json, "    \"p90_us\": {:.1},", inst.latency.p90().unwrap_or(0.0));
+    let _ = writeln!(json, "    \"p99_us\": {:.1},", inst.latency.p99().unwrap_or(0.0));
+    let _ = writeln!(json, "    \"hit_ratio\": {:.4},", inst.hit_ratio);
+    let _ = writeln!(json, "    \"collector_samples\": {},", m.samples);
+    let _ = writeln!(json, "    \"slow_rows\": {},", m.slow.len());
+    let _ = writeln!(json, "    \"overhead_ratio\": {metrics_ratio:.4}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"server\": {{");
-    let _ = writeln!(json, "    \"requests\": {},", fin.requests);
-    let _ = writeln!(json, "    \"completed\": {},", fin.completed);
-    let _ = writeln!(json, "    \"server_p50_us\": {:.1},", summary.fin.latency.p50().unwrap_or(0.0));
-    let _ = writeln!(json, "    \"server_p99_us\": {:.1}", summary.fin.latency.p99().unwrap_or(0.0));
+    let _ = writeln!(json, "    \"requests\": {},", base.fin_requests);
+    let _ = writeln!(json, "    \"completed\": {},", base.fin_completed);
+    let _ = writeln!(
+        json,
+        "    \"server_p50_us\": {:.1},",
+        base.server_latency.p50().unwrap_or(0.0)
+    );
+    let _ = writeln!(
+        json,
+        "    \"server_p90_us\": {:.1},",
+        base.server_latency.p90().unwrap_or(0.0)
+    );
+    let _ = writeln!(
+        json,
+        "    \"server_p99_us\": {:.1}",
+        base.server_latency.p99().unwrap_or(0.0)
+    );
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 
     std::fs::write(&out, &json).expect("write BENCH_SERVER json");
     print!("{json}");
     eprintln!(
-        "wrote {out} (sustained {req_per_sec:.0} req/s, p99 {p99:.0}µs, \
-         steady-state hit ratio {hit_ratio:.2})"
+        "wrote {out} (sustained {req_per_sec:.0} req/s, p99 {p99:.0}µs, steady-state hit \
+         ratio {hit_ratio:.2}, metrics overhead ratio {metrics_ratio:.2})"
     );
 }

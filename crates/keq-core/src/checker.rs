@@ -456,9 +456,14 @@ impl<'a> Keq<'a> {
     }
 }
 
-/// Reports the check's headline counters to the trace journal (one branch
-/// when tracing is disabled).
+/// Reports the check's headline counters to the trace journal and the
+/// metrics registry (one flag branch each when both are disabled).
 fn trace_check_counters(stats: &KeqStats) {
+    keq_trace::metrics::counter_add(keq_trace::CounterId::SyncPoints, stats.start_points);
+    keq_trace::metrics::counter_add(
+        keq_trace::CounterId::Obligations,
+        stats.obligations_proved,
+    );
     if !keq_trace::enabled() {
         return;
     }

@@ -319,6 +319,7 @@ impl JournalWriter {
         if let Err(err) = opening {
             writer.failures += 1;
             writer.degraded = true;
+            keq_trace::metrics::counter_add(keq_trace::CounterId::JournalAppendFailures, 1);
             if keq_trace::enabled() {
                 keq_trace::emit(keq_trace::Event::StoreError {
                     target: "journal",
@@ -327,6 +328,7 @@ impl JournalWriter {
                 });
             }
             keq_trace::emit(keq_trace::Event::StoreDegraded { target: "journal", failures: 1 });
+            keq_trace::flush_sink();
         }
         writer
     }
@@ -342,10 +344,12 @@ impl JournalWriter {
             Ok(()) => {
                 self.consecutive = 0;
                 self.appended += 1;
+                keq_trace::metrics::counter_add(keq_trace::CounterId::JournalAppends, 1);
             }
             Err(err) => {
                 self.failures += 1;
                 self.consecutive += 1;
+                keq_trace::metrics::counter_add(keq_trace::CounterId::JournalAppendFailures, 1);
                 if keq_trace::enabled() {
                     keq_trace::emit(keq_trace::Event::StoreError {
                         target: "journal",
@@ -359,6 +363,9 @@ impl JournalWriter {
                         target: "journal",
                         failures: self.consecutive,
                     });
+                    // Losing the journal is exactly when buffered trace
+                    // lines must reach disk: flush the sink now.
+                    keq_trace::flush_sink();
                 }
             }
         }

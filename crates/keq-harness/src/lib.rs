@@ -53,10 +53,11 @@ pub use result::{
 };
 pub use run::{run_module, HarnessOptions, RetryPolicy};
 pub use protocol::{
-    read_frame, write_frame, ClientRequest, FunctionVerdict, ServerResponse, StatsSnapshot,
+    read_frame, write_frame, ClientRequest, FunctionVerdict, MetricsReport, ServerResponse,
+    StatsSnapshot,
 };
 pub use scheduler::{
-    ClientQuota, Completion, JournalConfig, Rejected, Request, Scheduler, SchedulerConfig,
-    SchedulerFinal, ServerCounters,
+    ClientQuota, Completion, JournalConfig, MetricsConfig, Rejected, Request, Scheduler,
+    SchedulerConfig, SchedulerFinal, ServerCounters, Telemetry,
 };
 pub use server::{connect, ClientConn, Server, ServerOptions, ServerSummary};

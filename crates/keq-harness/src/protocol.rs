@@ -11,6 +11,7 @@
 //! ```json
 //! {"op":"validate","tag":7,"unit":3,"deadline_ms":2000,"max_attempts":2,"ir":"define ..."}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -29,8 +30,15 @@
 //! {"ok":false,"tag":7,"rejected":"queue_full"}
 //! {"ok":false,"error":"parse: ..."}
 //! {"ok":true,"stats":{...}}
+//! {"ok":true,"metrics":{...}}
 //! {"ok":true,"draining":true}
 //! ```
+//!
+//! The `metrics` response carries the full telemetry snapshot: live
+//! gauges and counters, the sampled time series (the `keq_top` dashboard
+//! plots these), the slow-obligation table, and the same registry rendered
+//! as Prometheus text exposition (`prometheus` field) so a scrape bridge
+//! is one field access away.
 
 use std::io::{self, Read, Write};
 
@@ -106,6 +114,9 @@ pub enum ClientRequest {
     },
     /// Fetch live server counters.
     Stats,
+    /// Fetch the full telemetry snapshot: registry values, sampled time
+    /// series, the slow-obligation table, and a Prometheus rendering.
+    Metrics,
     /// Drain and exit.
     Shutdown,
 }
@@ -130,6 +141,7 @@ impl ClientRequest {
                 json::obj(fields)
             }
             ClientRequest::Stats => json::obj(vec![("op", Json::Str("stats".into()))]),
+            ClientRequest::Metrics => json::obj(vec![("op", Json::Str("metrics".into()))]),
             ClientRequest::Shutdown => json::obj(vec![("op", Json::Str("shutdown".into()))]),
         };
         let mut out = String::new();
@@ -163,6 +175,7 @@ impl ClientRequest {
                 Ok(ClientRequest::Validate { tag, unit, ir, deadline_ms, max_attempts })
             }
             "stats" => Ok(ClientRequest::Stats),
+            "metrics" => Ok(ClientRequest::Metrics),
             "shutdown" => Ok(ClientRequest::Shutdown),
             other => Err(format!("unknown op \"{other}\"")),
         }
@@ -231,10 +244,17 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     /// Live cache entries.
     pub cache_entries: u64,
+    /// Median request latency (submit → verdict), µs. Maintained live by
+    /// the scheduler even with the metrics registry off.
+    pub p50_us: u64,
+    /// 90th-percentile request latency, µs.
+    pub p90_us: u64,
+    /// 99th-percentile request latency, µs.
+    pub p99_us: u64,
 }
 
 impl StatsSnapshot {
-    const FIELDS: [&'static str; 9] = [
+    const FIELDS: [&'static str; 12] = [
         "requests",
         "completed",
         "rejected_queue_full",
@@ -244,9 +264,12 @@ impl StatsSnapshot {
         "cache_hits",
         "cache_misses",
         "cache_entries",
+        "p50_us",
+        "p90_us",
+        "p99_us",
     ];
 
-    fn values(&self) -> [u64; 9] {
+    fn values(&self) -> [u64; 12] {
         [
             self.requests,
             self.completed,
@@ -257,6 +280,9 @@ impl StatsSnapshot {
             self.cache_hits,
             self.cache_misses,
             self.cache_entries,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
         ]
     }
 
@@ -268,11 +294,11 @@ impl StatsSnapshot {
     }
 
     fn from_json(doc: &Json) -> Option<StatsSnapshot> {
-        let mut values = [0u64; 9];
+        let mut values = [0u64; 12];
         for (slot, key) in values.iter_mut().zip(Self::FIELDS) {
             *slot = doc.get(key)?.as_u64()?;
         }
-        let [requests, completed, rejected_queue_full, rejected_quota, disconnects, depth, cache_hits, cache_misses, cache_entries] =
+        let [requests, completed, rejected_queue_full, rejected_quota, disconnects, depth, cache_hits, cache_misses, cache_entries, p50_us, p90_us, p99_us] =
             values;
         Some(StatsSnapshot {
             requests,
@@ -284,6 +310,154 @@ impl StatsSnapshot {
             cache_hits,
             cache_misses,
             cache_entries,
+            p50_us,
+            p90_us,
+            p99_us,
+        })
+    }
+}
+
+/// The full telemetry snapshot returned by the `metrics` op.
+///
+/// Everything the `keq_top` dashboard renders in one frame: headline
+/// gauges, completion rate and latency quantiles, the sampled time series
+/// (shape of [`keq_trace::metrics::Collector::to_json`]), obligation-cache
+/// shard occupancy, the slow-obligation table, and the same registry
+/// rendered as Prometheus text exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Whether the server's metrics registry is live (`--metrics`). The
+    /// gauges and quantiles below are maintained either way; the series,
+    /// registry counters, and Prometheus text are all-zero when off.
+    pub enabled: bool,
+    /// Milliseconds since the scheduler started.
+    pub uptime_ms: u64,
+    /// Accepted-but-unfinalized submissions right now.
+    pub queue_depth: u64,
+    /// Workers running an attempt right now.
+    pub workers_busy: u64,
+    /// Workers waiting for work right now.
+    pub workers_idle: u64,
+    /// Submissions accepted since boot.
+    pub requests: u64,
+    /// Submissions finalized since boot.
+    pub completed: u64,
+    /// Shared obligation-cache lookups answered.
+    pub cache_hits: u64,
+    /// Shared obligation-cache lookups missed.
+    pub cache_misses: u64,
+    /// Live cache entries.
+    pub cache_entries: u64,
+    /// Completions per second over the most recent sample window.
+    pub rate_per_sec: f64,
+    /// Median request latency (submit → verdict), µs.
+    pub p50_us: u64,
+    /// 90th-percentile request latency, µs.
+    pub p90_us: u64,
+    /// 99th-percentile request latency, µs.
+    pub p99_us: u64,
+    /// Collector samples taken so far.
+    pub samples: u64,
+    /// Live entry count of each obligation-cache shard, in shard order.
+    pub shard_entries: Vec<u64>,
+    /// The sampled time series:
+    /// `[{"name":..., "points":[[t_ms, v], ...]}, ...]`.
+    pub series: Json,
+    /// Top-K slowest obligations, descending wall time.
+    pub slow: Vec<keq_trace::SlowObligation>,
+    /// The registry plus the slow table in Prometheus text exposition.
+    pub prometheus: String,
+}
+
+impl Default for MetricsReport {
+    fn default() -> Self {
+        MetricsReport {
+            enabled: false,
+            uptime_ms: 0,
+            queue_depth: 0,
+            workers_busy: 0,
+            workers_idle: 0,
+            requests: 0,
+            completed: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_entries: 0,
+            rate_per_sec: 0.0,
+            p50_us: 0,
+            p90_us: 0,
+            p99_us: 0,
+            samples: 0,
+            shard_entries: Vec::new(),
+            series: Json::Arr(Vec::new()),
+            slow: Vec::new(),
+            prometheus: String::new(),
+        }
+    }
+}
+
+impl MetricsReport {
+    fn to_json(&self) -> Json {
+        json::obj(vec![
+            ("enabled", Json::Bool(self.enabled)),
+            ("uptime_ms", json::num(self.uptime_ms)),
+            ("queue_depth", json::num(self.queue_depth)),
+            ("workers_busy", json::num(self.workers_busy)),
+            ("workers_idle", json::num(self.workers_idle)),
+            ("requests", json::num(self.requests)),
+            ("completed", json::num(self.completed)),
+            ("cache_hits", json::num(self.cache_hits)),
+            ("cache_misses", json::num(self.cache_misses)),
+            ("cache_entries", json::num(self.cache_entries)),
+            ("rate_per_sec", Json::Num(self.rate_per_sec)),
+            ("p50_us", json::num(self.p50_us)),
+            ("p90_us", json::num(self.p90_us)),
+            ("p99_us", json::num(self.p99_us)),
+            ("samples", json::num(self.samples)),
+            (
+                "shard_entries",
+                Json::Arr(self.shard_entries.iter().map(|&v| json::num(v)).collect()),
+            ),
+            ("series", self.series.clone()),
+            (
+                "slow",
+                Json::Arr(self.slow.iter().map(keq_trace::SlowObligation::to_json).collect()),
+            ),
+            ("prometheus", Json::Str(self.prometheus.clone())),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Option<MetricsReport> {
+        let num = |k: &str| doc.get(k).and_then(Json::as_u64);
+        Some(MetricsReport {
+            enabled: doc.get("enabled").and_then(Json::as_bool)?,
+            uptime_ms: num("uptime_ms")?,
+            queue_depth: num("queue_depth")?,
+            workers_busy: num("workers_busy")?,
+            workers_idle: num("workers_idle")?,
+            requests: num("requests")?,
+            completed: num("completed")?,
+            cache_hits: num("cache_hits")?,
+            cache_misses: num("cache_misses")?,
+            cache_entries: num("cache_entries")?,
+            rate_per_sec: doc.get("rate_per_sec").and_then(Json::as_f64)?,
+            p50_us: num("p50_us")?,
+            p90_us: num("p90_us")?,
+            p99_us: num("p99_us")?,
+            samples: num("samples")?,
+            shard_entries: doc
+                .get("shard_entries")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_u64)
+                .collect::<Option<Vec<_>>>()?,
+            series: doc.get("series")?.clone(),
+            slow: doc
+                .get("slow")?
+                .as_arr()?
+                .iter()
+                .map(keq_trace::SlowObligation::from_json)
+                .collect::<Option<Vec<_>>>()?,
+            prometheus: doc.get("prometheus")?.as_str()?.to_string(),
         })
     }
 }
@@ -312,6 +486,8 @@ pub enum ServerResponse {
     },
     /// Live counters.
     Stats(StatsSnapshot),
+    /// The full telemetry snapshot.
+    Metrics(Box<MetricsReport>),
     /// Shutdown acknowledged; the server drains and exits.
     ShuttingDown,
 }
@@ -339,6 +515,9 @@ impl ServerResponse {
             ]),
             ServerResponse::Stats(stats) => {
                 json::obj(vec![("ok", Json::Bool(true)), ("stats", stats.to_json())])
+            }
+            ServerResponse::Metrics(report) => {
+                json::obj(vec![("ok", Json::Bool(true)), ("metrics", report.to_json())])
             }
             ServerResponse::ShuttingDown => {
                 json::obj(vec![("ok", Json::Bool(true)), ("draining", Json::Bool(true))])
@@ -371,6 +550,11 @@ impl ServerResponse {
         }
         if doc.get("draining").and_then(Json::as_bool) == Some(true) {
             return Ok(ServerResponse::ShuttingDown);
+        }
+        if let Some(metrics) = doc.get("metrics") {
+            let report =
+                MetricsReport::from_json(metrics).ok_or("metrics: malformed report")?;
+            return Ok(ServerResponse::Metrics(Box::new(report)));
         }
         if let Some(stats) = doc.get("stats") {
             let snapshot =
@@ -444,6 +628,7 @@ mod tests {
                 max_attempts: None,
             },
             ClientRequest::Stats,
+            ClientRequest::Metrics,
             ClientRequest::Shutdown,
         ];
         for req in reqs {
@@ -482,7 +667,51 @@ mod tests {
                 cache_hits: 30,
                 cache_misses: 12,
                 cache_entries: 12,
+                p50_us: 900,
+                p90_us: 4_000,
+                p99_us: 15_000,
             }),
+            ServerResponse::Metrics(Box::new(MetricsReport {
+                enabled: true,
+                uptime_ms: 12_500,
+                queue_depth: 3,
+                workers_busy: 2,
+                workers_idle: 2,
+                requests: 40,
+                completed: 37,
+                cache_hits: 100,
+                cache_misses: 25,
+                cache_entries: 25,
+                rate_per_sec: 3.5,
+                p50_us: 800,
+                p90_us: 3_500,
+                p99_us: 12_000,
+                samples: 50,
+                shard_entries: vec![3, 0, 7, 1],
+                series: Json::Arr(vec![json::obj(vec![
+                    ("name", Json::Str("keq_queue_depth".into())),
+                    (
+                        "points",
+                        Json::Arr(vec![Json::Arr(vec![json::num(250), json::num(3)])]),
+                    ),
+                ])]),
+                slow: vec![keq_trace::SlowObligation {
+                    fingerprint: "00000000deadbeef".into(),
+                    label: "@hot_loop".into(),
+                    wall_us: 1_900_000,
+                    result: "succeeded".into(),
+                    attempts: 2,
+                    retries: 1,
+                    phase_us: vec![
+                        (keq_trace::Phase::Lower, 200_000),
+                        (keq_trace::Phase::Cdcl, 1_500_000),
+                    ],
+                    solver: Default::default(),
+                }],
+                prometheus: "# HELP keq_requests_total Submissions accepted since boot.\n"
+                    .into(),
+            })),
+            ServerResponse::Metrics(Box::default()),
             ServerResponse::ShuttingDown,
         ];
         for resp in resps {

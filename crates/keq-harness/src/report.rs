@@ -63,14 +63,17 @@ fn index_attempts(events: &[TraceEvent]) -> HashMap<(u32, u32), AttemptTrace> {
     map
 }
 
-fn solver_counters(summary: &CorpusSummary) -> SolverCounters {
-    let s = &summary.solver;
+/// Flattens [`keq_smt::SolverStats`] into the report's stable wire shape.
+/// Shared by the run-level counters here and the per-row solver deltas of
+/// the scheduler's slow-obligation profiler.
+pub(crate) fn solver_counters_of(s: &keq_smt::SolverStats) -> SolverCounters {
     SolverCounters {
         queries: s.queries,
         sat: s.sat,
         unsat: s.unsat,
         budget: s.budget,
         conflicts: s.conflicts,
+        restarts: s.restarts,
         cache_hits: s.cache_hits,
         cache_evictions: s.cache_evictions,
         sessions_opened: s.sessions_opened,
@@ -184,7 +187,7 @@ pub fn build_report(summary: &CorpusSummary, journal: Option<&Journal>, seed: u6
         n_functions: summary.total() as u64,
         trace_enabled: journal.is_some(),
         outcome: outcome_table(summary),
-        solver: solver_counters(summary),
+        solver: solver_counters_of(&summary.solver),
         cache: cache_counters(summary),
         resume: ResumeSection {
             enabled: summary.resume.enabled,
@@ -193,6 +196,7 @@ pub fn build_report(summary: &CorpusSummary, journal: Option<&Journal>, seed: u6
             corrupt: summary.resume.corrupt,
         },
         server: ServerSection::default(),
+        telemetry: summary.telemetry.clone(),
         phases: keq_trace::phase_summaries(&events),
         functions,
         events_recorded: journal.map_or(0, Journal::recorded),

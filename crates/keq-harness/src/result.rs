@@ -202,6 +202,9 @@ pub struct CorpusSummary {
     /// Write-ahead journal recovery (all-default when the run had no
     /// journal or was not resuming).
     pub resume: ResumeSummary,
+    /// Live-telemetry summary: collector samples taken and the top-K
+    /// slow-obligation table (all-default when metrics were disabled).
+    pub telemetry: keq_trace::TelemetrySection,
 }
 
 impl CorpusSummary {
@@ -287,8 +290,11 @@ impl CorpusSummary {
             self.cache.disk_bytes,
         );
         let lat = self.attempt_latency_histogram();
-        if let (Some(p50), Some(p99)) = (lat.p50(), lat.p99()) {
-            line.push_str(&format!(" | latency: p50_us {:.0} p99_us {:.0}", p50, p99));
+        if let (Some(p50), Some(p90), Some(p99)) = (lat.p50(), lat.p90(), lat.p99()) {
+            line.push_str(&format!(
+                " | latency: p50_us {:.0} p90_us {:.0} p99_us {:.0}",
+                p50, p90, p99
+            ));
         }
         if self.resume.enabled {
             line.push_str(&format!(
@@ -418,6 +424,7 @@ mod tests {
         let s = CorpusSummary { rows: vec![r], ..Default::default() };
         let line = s.summary_line();
         assert!(line.contains("latency: p50_us"), "{line}");
+        assert!(line.contains("p90_us"), "{line}");
         assert!(line.contains("p99_us"), "{line}");
         assert_eq!(s.attempt_latency_histogram().total(), 1);
 

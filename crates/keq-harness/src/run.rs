@@ -31,7 +31,9 @@ use keq_smt::{Budget, FaultyIo, SharedObligationCache};
 use crate::journal::{self, JournalRecord};
 use crate::panic_capture;
 use crate::result::{AttemptRecord, CorpusResult, CorpusRow, CorpusSummary, ResumeSummary};
-use crate::scheduler::{ClientQuota, JournalConfig, Request, Scheduler, SchedulerConfig};
+use crate::scheduler::{
+    ClientQuota, JournalConfig, MetricsConfig, Request, Scheduler, SchedulerConfig,
+};
 
 /// Escalating-budget retry policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,6 +184,10 @@ pub struct HarnessOptions {
     /// run, with a `StoreDegraded` trace event, instead of hammering a sick
     /// disk once per finalization.
     pub store_breaker_threshold: u32,
+    /// Live-telemetry configuration: the metrics registry, time-series
+    /// collector, and slow-obligation profiler (disabled by default —
+    /// probe sites then cost one thread-local flag read).
+    pub metrics: MetricsConfig,
 }
 
 impl Default for HarnessOptions {
@@ -203,6 +209,7 @@ impl Default for HarnessOptions {
             resume: false,
             store_flush_every: 8,
             store_breaker_threshold: 3,
+            metrics: MetricsConfig::default(),
         }
     }
 }
@@ -308,6 +315,7 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
         store_flush_every: opts.store_flush_every,
         store_breaker_threshold: opts.store_breaker_threshold,
         journal: journal_cfg,
+        metrics: opts.metrics,
     });
 
     // Pre-finalize recovered functions — they are never submitted.
@@ -358,6 +366,7 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
         solver: fin.solver,
         cache: fin.cache,
         resume,
+        telemetry: fin.telemetry,
         ..CorpusSummary::default()
     };
     for (index, f) in module.functions.iter().enumerate() {

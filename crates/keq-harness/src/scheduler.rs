@@ -46,6 +46,10 @@ use keq_llvm::ast::Module;
 use keq_smt::fault::{self, FaultPlan};
 use keq_smt::obcache::StoreIo;
 use keq_smt::{CancelToken, SharedObligationCache, SolverStats};
+use keq_trace::metrics::{
+    self, Collector, CounterId, GaugeId, HistId, PromKind, PromMetric, PromSample, Registry,
+};
+use keq_trace::{Phase, SlowObligation, TelemetrySection};
 
 use crate::journal::{JournalRecord, JournalWriter};
 use crate::panic_capture;
@@ -68,6 +72,208 @@ pub struct ClientQuota {
     /// Upper clamp on the retry ladder length (0 = the scheduler's own
     /// [`RetryPolicy::max_attempts`]).
     pub max_attempts: u32,
+}
+
+/// Live-telemetry configuration of a [`Scheduler`].
+///
+/// Disabled (the default) keeps every probe site on its zero-allocation
+/// fast path: one thread-local flag read per probe, no clock, no atomics.
+/// Enabled, the scheduler installs one [`Registry`] on the supervisor and
+/// every worker, samples it into fixed-capacity time-series rings on the
+/// watchdog tick, and retains the top-K slowest obligations with their
+/// phase breakdown and solver-counter deltas.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricsConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// How often the collector samples the registry into its series rings.
+    pub sample_interval: Duration,
+    /// Ring capacity of each time series, in samples.
+    pub series_capacity: usize,
+    /// Rows retained by the slow-obligation profiler (top-K by wall time;
+    /// 0 disables the table).
+    pub slow_k: usize,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig {
+            enabled: false,
+            sample_interval: Duration::from_millis(250),
+            series_capacity: 240,
+            slow_k: 16,
+        }
+    }
+}
+
+/// Bounded top-K table of the slowest finalized submissions, kept sorted
+/// by descending wall time (the report-schema invariant). An offer below
+/// the current floor of a full table is O(1).
+struct SlowTable {
+    k: usize,
+    rows: Vec<SlowObligation>,
+}
+
+impl SlowTable {
+    fn new(k: usize) -> SlowTable {
+        SlowTable { k, rows: Vec::new() }
+    }
+
+    fn offer(&mut self, row: SlowObligation) {
+        if self.k == 0 {
+            return;
+        }
+        if self.rows.len() >= self.k
+            && row.wall_us <= self.rows.last().map_or(0, |r| r.wall_us)
+        {
+            return;
+        }
+        let at = self.rows.partition_point(|r| r.wall_us >= row.wall_us);
+        self.rows.insert(at, row);
+        self.rows.truncate(self.k);
+    }
+}
+
+/// The resident telemetry of one scheduler: the metrics [`Registry`] every
+/// probe site feeds, the [`Collector`] sampling it into fixed-capacity
+/// time-series rings, the slow-obligation profiler, and always-on live
+/// request-latency quantiles (the `stats` op reports those even with
+/// metrics disabled — three atomic loads, no registry traffic).
+pub struct Telemetry {
+    enabled: bool,
+    registry: Arc<Registry>,
+    collector: Mutex<Collector>,
+    slow: Mutex<SlowTable>,
+    started: Instant,
+    p50_us: AtomicU64,
+    p90_us: AtomicU64,
+    p99_us: AtomicU64,
+}
+
+impl Telemetry {
+    fn new(cfg: MetricsConfig) -> Telemetry {
+        Telemetry {
+            enabled: cfg.enabled,
+            registry: Arc::new(Registry::new()),
+            collector: Mutex::new(Collector::new(cfg.series_capacity)),
+            slow: Mutex::new(SlowTable::new(cfg.slow_k)),
+            started: Instant::now(),
+            p50_us: AtomicU64::new(0),
+            p90_us: AtomicU64::new(0),
+            p99_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the metrics registry is live.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The scheduler's metrics registry (all-zero when disabled).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Milliseconds since the scheduler started.
+    pub fn uptime_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Live lifetime request-latency quantiles `(p50, p90, p99)`, µs.
+    /// Maintained on every finalization regardless of the metrics switch.
+    pub fn latency_quantiles_us(&self) -> (u64, u64, u64) {
+        (
+            self.p50_us.load(Ordering::Relaxed),
+            self.p90_us.load(Ordering::Relaxed),
+            self.p99_us.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Collector samples taken so far.
+    pub fn samples(&self) -> u64 {
+        self.collector.lock().expect("collector poisoned").samples()
+    }
+
+    /// Every time series as JSON (`[{"name", "points": [[t_ms, v], ...]}]`).
+    pub fn series_json(&self) -> keq_trace::Json {
+        self.collector.lock().expect("collector poisoned").to_json()
+    }
+
+    /// Completed requests per second over the most recent sample window.
+    pub fn rate_per_sec(&self, window_ms: u64) -> f64 {
+        self.collector
+            .lock()
+            .expect("collector poisoned")
+            .counter(CounterId::Completed)
+            .rate_per_sec(window_ms)
+    }
+
+    /// A snapshot of the slow-obligation table, descending wall time.
+    pub fn slow_rows(&self) -> Vec<SlowObligation> {
+        self.slow.lock().expect("slow table poisoned").rows.clone()
+    }
+
+    /// The report-schema telemetry section of this scheduler's lifetime.
+    pub fn section(&self) -> TelemetrySection {
+        TelemetrySection {
+            enabled: self.enabled,
+            samples: self.samples(),
+            slow: self.slow_rows(),
+        }
+    }
+
+    /// The whole registry plus the slow-obligation table in Prometheus
+    /// text exposition format (hand-rolled, std-only — see
+    /// [`metrics::render_prometheus`]).
+    pub fn prometheus(&self) -> String {
+        let mut fams = metrics::prom_from_registry(&self.registry);
+        let samples = self
+            .slow_rows()
+            .iter()
+            .map(|r| PromSample {
+                suffix: "",
+                labels: vec![
+                    ("fingerprint".to_string(), r.fingerprint.clone()),
+                    ("label".to_string(), r.label.clone()),
+                    ("result".to_string(), r.result.clone()),
+                ],
+                value: r.wall_us as f64,
+            })
+            .collect();
+        fams.push(PromMetric {
+            name: "keq_slow_obligation_wall_us".to_string(),
+            help: "Total wall time of the slowest obligations (top-K), microseconds"
+                .to_string(),
+            kind: PromKind::Gauge,
+            samples,
+        });
+        metrics::render_prometheus(&fams)
+    }
+
+    /// Request-finalization accounting: refresh the live quantile atomics
+    /// from the supervisor's latency histogram (always), and feed the
+    /// registry's request counters/histogram (metrics on only).
+    fn observe_request(&self, wall_us: u64, latency: &keq_trace::Histogram) {
+        let q = |v: Option<f64>| v.map_or(0, |x| x as u64);
+        self.p50_us.store(q(latency.p50()), Ordering::Relaxed);
+        self.p90_us.store(q(latency.p90()), Ordering::Relaxed);
+        self.p99_us.store(q(latency.p99()), Ordering::Relaxed);
+        if self.enabled {
+            self.registry.counter_add(CounterId::Completed, 1);
+            self.registry.observe_us(HistId::RequestLatencyUs, wall_us);
+        }
+    }
+
+    /// Offers one finalized submission to the slow-obligation table.
+    fn offer_slow(&self, row: SlowObligation) {
+        self.slow.lock().expect("slow table poisoned").offer(row);
+    }
+
+    /// Takes one collector sample at the current uptime.
+    fn sample_now(&self) {
+        let t_ms = self.uptime_ms();
+        self.collector.lock().expect("collector poisoned").sample(&self.registry, t_ms);
+    }
 }
 
 /// Where the write-ahead verdict journal lives and what identifies it.
@@ -114,6 +320,8 @@ pub struct SchedulerConfig {
     pub warm_start: bool,
     /// Trace sink installed on the supervisor and every worker.
     pub trace: Option<keq_trace::TraceSink>,
+    /// Live-telemetry configuration (disabled by default).
+    pub metrics: MetricsConfig,
     /// Maximum accepted-but-unfinalized submissions (0 = unbounded — the
     /// batch front end, which submits a whole corpus at once).
     pub queue_depth: usize,
@@ -245,6 +453,9 @@ pub struct SchedulerFinal {
     pub server: ServerCounters,
     /// Submit → finalize latency distribution (µs).
     pub latency: keq_trace::Histogram,
+    /// Live-telemetry summary: collector samples and the slow-obligation
+    /// table (all-default when metrics were disabled).
+    pub telemetry: TelemetrySection,
 }
 
 /// Batched, breaker-guarded persistence of the shared obligation store.
@@ -320,10 +531,12 @@ impl StoreFlusher {
                 self.consecutive = 0;
                 self.disk_persisted += persist.written;
                 self.disk_bytes = persist.file_bytes;
+                metrics::counter_add(CounterId::StoreFlushes, 1);
             }
             Err(err) => {
                 self.flush_failures += 1;
                 self.consecutive += 1;
+                metrics::counter_add(CounterId::StoreFlushFailures, 1);
                 if keq_trace::enabled() {
                     keq_trace::emit(keq_trace::Event::StoreError {
                         target: "store",
@@ -337,6 +550,9 @@ impl StoreFlusher {
                         target: "store",
                         failures: self.consecutive,
                     });
+                    // The run just started losing its storage: push any
+                    // buffered trace lines out while we still can.
+                    keq_trace::flush_sink();
                 }
             }
         }
@@ -566,6 +782,10 @@ struct AttemptOutcome {
     /// over the attempt's context; zero for panicked attempts, whose
     /// context died mid-flight).
     solver: SolverStats,
+    /// Per-phase span time of this attempt, µs, indexed by
+    /// [`Phase::ALL`] position (all-zero when metrics are disabled; the
+    /// worker drains its thread-local phase accumulator per attempt).
+    phase_us: [u64; Phase::ALL.len()],
 }
 
 /// A submission accepted past the gate, en route to the supervisor.
@@ -586,8 +806,9 @@ enum Msg {
     Submit(Submission),
     /// A worker picked up a job and will honor this cancellation token.
     Started { job: u64, worker: usize, cancel: CancelToken },
-    /// A worker finished a job.
-    Finished { job: u64, outcome: AttemptOutcome },
+    /// A worker finished a job. Boxed: the outcome carries the per-phase
+    /// time table and solver counters, and must not bloat every message.
+    Finished { job: u64, outcome: Box<AttemptOutcome> },
     /// Stop admitting (the gate already is) and exit once idle.
     Drain,
 }
@@ -624,6 +845,13 @@ struct SubState {
     submitted: Instant,
     first_started: Option<Instant>,
     attempts: Vec<AttemptRecord>,
+    /// Solver-counter delta accumulated across this submission's delivered
+    /// attempts (per-attempt deltas are merged into the run total at
+    /// `Finished` and would otherwise be gone before the slow-obligation
+    /// profiler could attribute them).
+    solver_acc: SolverStats,
+    /// Per-phase span time accumulated across attempts, µs.
+    phase_acc: [u64; Phase::ALL.len()],
 }
 
 /// Admission gate state, shared by submitters and the supervisor.
@@ -646,6 +874,9 @@ struct AttemptSettings {
     fault_plan: FaultPlan,
     warm_start: bool,
     trace: Option<keq_trace::TraceSink>,
+    /// Metrics registry each worker installs thread-locally (`None` when
+    /// metrics are disabled — the probe sites then cost one flag read).
+    metrics: Option<Arc<Registry>>,
 }
 
 /// A running scheduler: submit work with [`Scheduler::submit`], stop with
@@ -663,6 +894,7 @@ pub struct Scheduler {
     rejected_queue_full: AtomicU64,
     rejected_quota: AtomicU64,
     rejected_draining: AtomicU64,
+    telemetry: Arc<Telemetry>,
 }
 
 impl Scheduler {
@@ -706,10 +938,12 @@ impl Scheduler {
         let default_deadline = config.deadline;
         let max_attempts = config.retry.max_attempts.max(1);
         let request_events = config.request_events;
+        let telemetry = Arc::new(Telemetry::new(config.metrics));
         let gate_sup = Arc::clone(&gate);
+        let tel_sup = Arc::clone(&telemetry);
         let handle = std::thread::Builder::new()
             .name("keq-scheduler".into())
-            .spawn(move || supervise(config, rx, gate_sup, journal_writer, flusher))
+            .spawn(move || supervise(config, rx, gate_sup, journal_writer, flusher, tel_sup))
             .expect("spawn scheduler supervisor");
         Scheduler {
             gate,
@@ -723,7 +957,14 @@ impl Scheduler {
             rejected_queue_full: AtomicU64::new(0),
             rejected_quota: AtomicU64::new(0),
             rejected_draining: AtomicU64::new(0),
+            telemetry,
         }
+    }
+
+    /// This scheduler's live telemetry: the metrics registry, time-series
+    /// collector, slow-obligation table, and live latency quantiles.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Submits one request. The verdict arrives as a [`Completion`] on
@@ -779,6 +1020,9 @@ impl Scheduler {
         match rejection {
             Ok(id) => {
                 self.accepted.fetch_add(1, Ordering::Relaxed);
+                if self.telemetry.enabled() {
+                    self.telemetry.registry().counter_add(CounterId::Requests, 1);
+                }
                 if self.request_events && keq_trace::enabled() {
                     keq_trace::emit(keq_trace::Event::RequestReceived {
                         client: req.client,
@@ -788,12 +1032,19 @@ impl Scheduler {
                 Ok(id)
             }
             Err(rej) => {
-                let counter = match rej {
-                    Rejected::QueueFull { .. } => &self.rejected_queue_full,
-                    Rejected::QuotaExceeded { .. } => &self.rejected_quota,
-                    Rejected::Draining => &self.rejected_draining,
+                let (counter, metric) = match rej {
+                    Rejected::QueueFull { .. } => {
+                        (&self.rejected_queue_full, CounterId::RejectedQueueFull)
+                    }
+                    Rejected::QuotaExceeded { .. } => {
+                        (&self.rejected_quota, CounterId::RejectedQuota)
+                    }
+                    Rejected::Draining => (&self.rejected_draining, CounterId::RejectedDraining),
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
+                if self.telemetry.enabled() {
+                    self.telemetry.registry().counter_add(metric, 1);
+                }
                 if self.request_events && keq_trace::enabled() {
                     keq_trace::emit(keq_trace::Event::RequestRejected {
                         client: req.client,
@@ -881,8 +1132,14 @@ fn supervise(
     gate: Arc<Mutex<Gate>>,
     mut journal_writer: Option<JournalWriter>,
     mut flusher: StoreFlusher,
+    telemetry: Arc<Telemetry>,
 ) -> SchedulerFinal {
     let _trace_guard = config.trace.as_ref().map(keq_trace::install);
+    // The supervisor installs the registry too: journal appends and store
+    // flushes happen on this thread and report through the thread-local
+    // metric probes, like any worker-side probe site.
+    let _metrics_guard =
+        telemetry.enabled().then(|| keq_trace::install_metrics(telemetry.registry()));
     let settings = Arc::new(AttemptSettings {
         keq: config.keq,
         isel: config.isel,
@@ -891,6 +1148,7 @@ fn supervise(
         fault_plan: config.fault_plan,
         warm_start: config.warm_start,
         trace: config.trace.clone(),
+        metrics: telemetry.enabled().then(|| Arc::clone(telemetry.registry())),
     });
     let queue = Arc::new(ShardedQueue::new(config.workers));
     let ctxs = Arc::new(WarmStarts::default());
@@ -910,6 +1168,7 @@ fn supervise(
     let mut completed: u64 = 0;
     let mut disconnects: u64 = 0;
     let mut latency = keq_trace::Histogram::log_us("request latency (µs)");
+    let mut last_sample = Instant::now();
 
     loop {
         match rx.recv_timeout(config.watchdog_tick) {
@@ -935,6 +1194,8 @@ fn supervise(
                         submitted: sub.submitted,
                         first_started: None,
                         attempts: Vec::new(),
+                        solver_acc: SolverStats::default(),
+                        phase_acc: [0; Phase::ALL.len()],
                     },
                 );
                 queue.push(job);
@@ -967,7 +1228,37 @@ fn supervise(
                 let Some(info) = inflight.remove(&job) else { continue };
                 job_meta.remove(&job);
                 solver_total.merge(&outcome.solver);
+                if telemetry.enabled() {
+                    let reg = telemetry.registry();
+                    reg.counter_add(CounterId::Attempts, 1);
+                    if info.attempt > 1 {
+                        reg.counter_add(CounterId::Retries, 1);
+                    }
+                    reg.counter_add(CounterId::SolverQueries, outcome.solver.queries);
+                    reg.counter_add(CounterId::CdclConflicts, outcome.solver.conflicts);
+                    reg.counter_add(CounterId::CdclRestarts, outcome.solver.restarts);
+                    reg.counter_add(
+                        CounterId::ObligationCacheHits,
+                        outcome.solver.obligation_cache_hits,
+                    );
+                    reg.counter_add(
+                        CounterId::ObligationCacheMisses,
+                        outcome.solver.obligation_cache_misses,
+                    );
+                    reg.counter_add(
+                        CounterId::ObligationCacheStores,
+                        outcome.solver.obligation_cache_stores,
+                    );
+                    reg.observe_us(
+                        HistId::AttemptWallUs,
+                        u64::try_from(outcome.time.as_micros()).unwrap_or(u64::MAX),
+                    );
+                }
                 let Some(st) = subs.get_mut(&info.submission) else { continue };
+                st.solver_acc.merge(&outcome.solver);
+                for (acc, us) in st.phase_acc.iter_mut().zip(outcome.phase_us) {
+                    *acc += us;
+                }
                 st.attempts.push(AttemptRecord {
                     attempt: info.attempt,
                     budget_scale: settings.retry.scale(info.attempt),
@@ -1023,6 +1314,7 @@ fn supervise(
                         &mut completed,
                         &mut disconnects,
                         config.request_events,
+                        &telemetry,
                     );
                 }
             }
@@ -1074,6 +1366,7 @@ fn supervise(
                 &mut completed,
                 &mut disconnects,
                 config.request_events,
+                &telemetry,
             );
             // The abandoned worker still *owns* the submission's context
             // (it took it before the attempt) and may try to re-insert it
@@ -1085,6 +1378,28 @@ fn supervise(
             retire_worker(&mut pool, info.worker);
             let id = pool.len();
             pool.push(spawn_worker(&settings, &queue, &ctxs, &config.shared, &worker_tx, id));
+        }
+
+        // Gauge refresh + one collector sample per interval. Gauges are
+        // point-in-time reads of supervisor-visible state, so sampling
+        // them here (not at the probe sites) keeps the hot paths free.
+        if telemetry.enabled() && last_sample.elapsed() >= config.metrics.sample_interval {
+            last_sample = Instant::now();
+            let reg = telemetry.registry();
+            let depth = gate.lock().expect("gate poisoned").depth as u64;
+            reg.gauge_set(GaugeId::QueueDepth, depth);
+            let busy = inflight.len() as u64;
+            reg.gauge_set(GaugeId::WorkersBusy, busy);
+            let active =
+                pool.iter().filter(|w| !w.retired.load(Ordering::Acquire)).count() as u64;
+            reg.gauge_set(GaugeId::WorkersIdle, active.saturating_sub(busy));
+            let degraded = flusher.degraded
+                || journal_writer.as_ref().is_some_and(|w| w.degraded);
+            reg.gauge_set(GaugeId::StoreDegraded, u64::from(degraded));
+            let cache = config.shared.stats();
+            reg.gauge_set(GaugeId::ObcacheEntries, cache.entries);
+            reg.gauge_set(GaugeId::ObcacheBytes, cache.bytes);
+            telemetry.sample_now();
         }
 
         if draining && subs.is_empty() {
@@ -1110,6 +1425,16 @@ fn supervise(
     // warning) and was already traced as a `StoreError` event.
     flusher.finish();
     let cache_stats = config.shared.stats();
+    // One closing sample so even a short run's series carry its final
+    // counter state (and `samples > 0` holds whenever metrics were on).
+    if telemetry.enabled() {
+        let reg = telemetry.registry();
+        reg.gauge_set(GaugeId::QueueDepth, 0);
+        reg.gauge_set(GaugeId::WorkersBusy, 0);
+        reg.gauge_set(GaugeId::ObcacheEntries, cache_stats.entries);
+        reg.gauge_set(GaugeId::ObcacheBytes, cache_stats.bytes);
+        telemetry.sample_now();
+    }
     SchedulerFinal {
         solver: solver_total,
         cache: CacheSummary {
@@ -1126,6 +1451,7 @@ fn supervise(
         },
         server: ServerCounters { completed, disconnects, ..ServerCounters::default() },
         latency,
+        telemetry: telemetry.section(),
     }
 }
 
@@ -1144,6 +1470,7 @@ fn finalize_submission(
     completed: &mut u64,
     disconnects: &mut u64,
     request_events: bool,
+    telemetry: &Telemetry,
 ) {
     journal_finalize(journal_writer, st.core.func, st.func_fp, &st.attempts, &result);
     flusher.tick();
@@ -1155,6 +1482,26 @@ fn finalize_submission(
         .unwrap_or(wall_us);
     latency.add(wall_us as f64);
     *completed += 1;
+    telemetry.observe_request(wall_us, latency);
+    if telemetry.enabled() {
+        let phase_us: Vec<(Phase, u64)> = Phase::ALL
+            .iter()
+            .zip(st.phase_acc)
+            .filter(|&(_, us)| us > 0)
+            .map(|(p, us)| (*p, us))
+            .collect();
+        telemetry.offer_slow(SlowObligation {
+            // Hex, not a JSON number: u64 fingerprints can exceed 2^53.
+            fingerprint: format!("{:016x}", st.func_fp),
+            label: st.core.module.functions[st.core.func].name.clone(),
+            wall_us,
+            result: result.kind().name().to_string(),
+            attempts: st.attempts.len() as u64,
+            retries: (st.attempts.len() as u64).saturating_sub(1),
+            phase_us,
+            solver: crate::report::solver_counters_of(&st.solver_acc),
+        });
+    }
     {
         let mut g = gate.lock().expect("gate poisoned");
         g.depth = g.depth.saturating_sub(1);
@@ -1179,6 +1526,9 @@ fn finalize_submission(
         .is_ok();
     if !delivered {
         *disconnects += 1;
+        if telemetry.enabled() {
+            telemetry.registry().counter_add(CounterId::Disconnects, 1);
+        }
     }
     if request_events && keq_trace::enabled() {
         keq_trace::emit(keq_trace::Event::RequestCompleted {
@@ -1216,6 +1566,7 @@ fn spawn_worker(
         .name("keq-harness-worker".into())
         .spawn(move || {
             let _trace_guard = settings.trace.as_ref().map(keq_trace::install);
+            let _metrics_guard = settings.metrics.as_ref().map(keq_trace::install_metrics);
             while !retired_in.load(Ordering::Acquire) {
                 let Some(job) = queue.pop(id) else { break };
                 // Decorrelated-jitter backoff before retries, *before*
@@ -1236,7 +1587,7 @@ fn spawn_worker(
                 }
                 let start = Instant::now();
                 let outcome = run_attempt(&settings, &ctxs, &shared, &job, &cancel, start);
-                if tx.send(Msg::Finished { job: job.id, outcome }).is_err() {
+                if tx.send(Msg::Finished { job: job.id, outcome: Box::new(outcome) }).is_err() {
                     break;
                 }
             }
@@ -1338,7 +1689,13 @@ fn run_attempt(
         result: result.kind().name(),
         dur_us: u64::try_from(time.as_micros()).unwrap_or(u64::MAX),
     });
-    AttemptOutcome { result, retryable, time, solver }
+    // Drain this thread's phase accumulator so the attempt's span times
+    // travel with its outcome (and the next attempt on this worker starts
+    // from zero). All-zero when metrics are off. Spans dropped during a
+    // panic unwind still landed in the accumulator, so even a crashed
+    // attempt reports where its time went.
+    let phase_us = keq_trace::take_phase_totals();
+    AttemptOutcome { result, retryable, time, solver, phase_us }
 }
 
 /// Maps a verdict to its Fig. 6 row and decides whether escalated budgets

@@ -39,7 +39,8 @@ use keq_smt::{FaultyIo, SharedObligationCache};
 
 use crate::journal;
 use crate::protocol::{
-    read_frame, write_frame, ClientRequest, FunctionVerdict, ServerResponse, StatsSnapshot,
+    read_frame, write_frame, ClientRequest, FunctionVerdict, MetricsReport, ServerResponse,
+    StatsSnapshot,
 };
 use crate::run::HarnessOptions;
 use crate::scheduler::{
@@ -107,6 +108,9 @@ struct ConnCtx {
     shared: Arc<SharedObligationCache>,
     shutdown: AtomicBool,
     wake: WakeAddr,
+    /// The telemetry collector's sampling interval, milliseconds (sizes
+    /// the `metrics` op's rate window).
+    sample_interval_ms: u64,
 }
 
 impl ConnCtx {
@@ -114,6 +118,7 @@ impl ConnCtx {
         let adm = self.scheduler.admission();
         let depth = self.scheduler.depth() as u64;
         let cache = self.shared.stats();
+        let (p50_us, p90_us, p99_us) = self.scheduler.telemetry().latency_quantiles_us();
         StatsSnapshot {
             requests: adm.requests,
             // Finalized = admitted minus still-inflight. `disconnects` is
@@ -126,6 +131,44 @@ impl ConnCtx {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_entries: cache.entries,
+            p50_us,
+            p90_us,
+            p99_us,
+        }
+    }
+
+    /// Serves the `metrics` op: one coherent telemetry snapshot. The
+    /// headline gauges come from the live scheduler (meaningful with the
+    /// registry off); the series, worker-state gauges, and Prometheus text
+    /// come from the telemetry registry and read zero when `--metrics`
+    /// is off.
+    fn metrics(&self) -> MetricsReport {
+        let stats = self.stats();
+        let telemetry = self.scheduler.telemetry();
+        let registry = telemetry.registry();
+        let sample_ms = self.sample_interval_ms;
+        MetricsReport {
+            enabled: telemetry.enabled(),
+            uptime_ms: telemetry.uptime_ms(),
+            queue_depth: stats.depth,
+            workers_busy: registry.gauge(keq_trace::GaugeId::WorkersBusy),
+            workers_idle: registry.gauge(keq_trace::GaugeId::WorkersIdle),
+            requests: stats.requests,
+            completed: stats.completed,
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            cache_entries: stats.cache_entries,
+            // Rate over the last ~4 sample windows: long enough to smooth
+            // tick jitter, short enough to track load changes.
+            rate_per_sec: telemetry.rate_per_sec(sample_ms.saturating_mul(4)),
+            p50_us: stats.p50_us,
+            p90_us: stats.p90_us,
+            p99_us: stats.p99_us,
+            samples: telemetry.samples(),
+            shard_entries: self.shared.shard_entries(),
+            series: telemetry.series_json(),
+            slow: telemetry.slow_rows(),
+            prometheus: telemetry.prometheus(),
         }
     }
 }
@@ -230,6 +273,7 @@ impl Server {
             store_flush_every: h.store_flush_every,
             store_breaker_threshold: h.store_breaker_threshold,
             journal: journal_cfg,
+            metrics: h.metrics,
         });
 
         Ok(Server {
@@ -239,6 +283,8 @@ impl Server {
                 shared,
                 shutdown: AtomicBool::new(false),
                 wake: wake_addr,
+                sample_interval_ms: u64::try_from(h.metrics.sample_interval.as_millis())
+                    .unwrap_or(u64::MAX),
             }),
         })
     }
@@ -395,6 +441,7 @@ fn handle_connection(mut stream: Box<dyn Conn>, ctx: &ConnCtx, client: u64) -> i
         let resp = match ClientRequest::parse(&text) {
             Err(detail) => ServerResponse::Error { detail },
             Ok(ClientRequest::Stats) => ServerResponse::Stats(ctx.stats()),
+            Ok(ClientRequest::Metrics) => ServerResponse::Metrics(Box::new(ctx.metrics())),
             Ok(ClientRequest::Shutdown) => {
                 write_frame(&mut stream, &ServerResponse::ShuttingDown.to_json_string())?;
                 ctx.shutdown.store(true, Ordering::Release);
@@ -611,6 +658,103 @@ mod tests {
         assert_eq!(summary.fin.server.requests, 3);
         assert_eq!(summary.fin.server.completed, 3);
         assert_eq!(summary.connections, 1);
+    }
+
+    #[test]
+    fn metrics_op_serves_the_full_telemetry_snapshot() {
+        let mut opts = small_options();
+        opts.harness.metrics =
+            crate::scheduler::MetricsConfig { enabled: true, ..Default::default() };
+        let server = Server::bind("127.0.0.1:0", &opts).expect("bind");
+        let addr = server.local_addr();
+        let run = std::thread::spawn(move || server.run());
+
+        let mut conn = connect(&addr).expect("connect");
+        let resp = conn
+            .roundtrip(&ClientRequest::Validate {
+                tag: 1,
+                unit: 0,
+                ir: corpus_ir(4),
+                deadline_ms: None,
+                max_attempts: None,
+            })
+            .expect("validate round trip");
+        assert!(matches!(resp, ServerResponse::Validated { .. }), "{resp:?}");
+
+        let resp = conn.roundtrip(&ClientRequest::Metrics).expect("metrics round trip");
+        let ServerResponse::Metrics(m) = resp else {
+            panic!("expected metrics, got {resp:?}");
+        };
+        assert!(m.enabled);
+        assert_eq!(m.requests, 4, "one admitted submission per function");
+        assert_eq!(m.completed, 4);
+        assert!(m.p99_us >= m.p50_us, "{m:?}");
+        assert!(m.p50_us > 0, "quantiles live after finalizations");
+        assert!(!m.slow.is_empty(), "slow table populated");
+        assert!(
+            m.slow.windows(2).all(|w| w[0].wall_us >= w[1].wall_us),
+            "slow table sorted by descending wall time"
+        );
+        for row in &m.slow {
+            assert_eq!(row.fingerprint.len(), 16, "zero-padded hex fingerprint");
+            assert!(row.attempts >= 1);
+        }
+        assert!(!m.shard_entries.is_empty(), "shard occupancy reported");
+        assert!(
+            m.prometheus.contains("# TYPE keq_requests_total counter"),
+            "{}",
+            m.prometheus
+        );
+        assert!(
+            m.prometheus.contains("keq_slow_obligation_wall_us{fingerprint="),
+            "{}",
+            m.prometheus
+        );
+
+        // The stats op carries the same live quantiles.
+        let resp = conn.roundtrip(&ClientRequest::Stats).expect("stats round trip");
+        let ServerResponse::Stats(stats) = resp else {
+            panic!("expected stats, got {resp:?}");
+        };
+        assert_eq!(stats.p50_us, m.p50_us);
+        assert_eq!(stats.p99_us, m.p99_us);
+
+        conn.roundtrip(&ClientRequest::Shutdown).expect("shutdown");
+        run.join().expect("server thread");
+    }
+
+    #[test]
+    fn metrics_op_answers_with_registry_disabled() {
+        let server = Server::bind("127.0.0.1:0", &small_options()).expect("bind");
+        let addr = server.local_addr();
+        let run = std::thread::spawn(move || server.run());
+
+        let mut conn = connect(&addr).expect("connect");
+        let resp = conn
+            .roundtrip(&ClientRequest::Validate {
+                tag: 1,
+                unit: 0,
+                ir: corpus_ir(1),
+                deadline_ms: None,
+                max_attempts: None,
+            })
+            .expect("validate round trip");
+        assert!(matches!(resp, ServerResponse::Validated { .. }), "{resp:?}");
+        let resp = conn.roundtrip(&ClientRequest::Metrics).expect("metrics round trip");
+        let ServerResponse::Metrics(m) = resp else {
+            panic!("expected metrics, got {resp:?}");
+        };
+        assert!(!m.enabled);
+        // Live scheduler state is still meaningful with the registry off...
+        assert_eq!(m.requests, 1);
+        assert_eq!(m.completed, 1);
+        assert!(m.p50_us > 0, "stats-grade quantiles survive the off switch");
+        // ...while registry-backed surfaces read empty, not stale.
+        assert_eq!(m.samples, 0);
+        assert!(m.slow.is_empty(), "profiler off with the registry");
+
+        conn.roundtrip(&ClientRequest::Shutdown).expect("shutdown");
+        run.join().expect("server thread");
     }
 
     #[test]

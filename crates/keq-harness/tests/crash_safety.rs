@@ -25,7 +25,7 @@ use keq_harness::{
 };
 use keq_smt::fault::{FaultPlan, Rate};
 use keq_smt::obcache::StdStoreIo;
-use keq_trace::{Event, Journal, TraceSink};
+use keq_trace::{Event, Journal, Json, JsonlSink, TraceSink};
 use keq_workload::{generate_corpus, GenConfig};
 
 /// Small all-supported corpus (no loops/calls/memory keeps validation
@@ -388,6 +388,93 @@ fn abort_resume_loop_is_verdict_identical_to_one_clean_run() {
     );
     assert!(merged.resume.enabled);
     let _ = std::fs::remove_file(&journal_path);
+}
+
+/// Not a test of its own: the torn-line campaign's child process. Runs the
+/// chaos pipeline with a *buffered* JSONL trace stream to a file and dies
+/// by `abort` at the offset in the environment; without the env vars it is
+/// a no-op. The buffering is the point — it is what an abort would tear if
+/// the sink ever split a line across writes.
+#[test]
+fn torn_trace_chaos_child() {
+    let Ok(trace_path) = std::env::var("KEQ_TORN_TRACE") else { return };
+    let kill_ms: u64 = std::env::var("KEQ_TORN_KILL_MS")
+        .expect("parent always sets the kill offset")
+        .parse()
+        .expect("kill offset parses");
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(kill_ms));
+        std::process::abort();
+    });
+    let file = std::fs::File::create(&trace_path).expect("create trace file");
+    let sink = JsonlSink::new(std::io::BufWriter::new(file));
+    let module = small_corpus(6);
+    let _ = run_module(
+        &module,
+        &HarnessOptions {
+            trace: Some(TraceSink::from(Arc::new(sink))),
+            ..chaos_opts(None, false)
+        },
+    );
+}
+
+#[test]
+fn aborted_trace_stream_never_tears_a_line() {
+    // The JSONL trace durability contract under process death: the sink
+    // writes each event as one complete line, so an abort may lose whole
+    // buffered lines but every line that *reached the file* must parse as
+    // a JSON document. (A surviving child's guard-drop flush additionally
+    // leaves the file newline-terminated and complete.)
+    let trace_path = temp_path("torn-trace");
+    let module = small_corpus(6);
+
+    // Calibrate kill offsets from one clean run of the same pipeline.
+    let started = std::time::Instant::now();
+    let _ = run_module(&module, &chaos_opts(None, false));
+    let ref_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX).max(20);
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut parsed_lines = 0u64;
+    for cycle in 1..=4u64 {
+        let _ = std::fs::remove_file(&trace_path);
+        let frac = 10 + keq_smt::mix64(29 ^ cycle) % 80;
+        let kill_ms = (ref_ms * frac / 100).max(5);
+        let status = std::process::Command::new(&exe)
+            .args(["torn_trace_chaos_child", "--exact", "--test-threads=1"])
+            .env("KEQ_TORN_TRACE", &trace_path)
+            .env("KEQ_TORN_KILL_MS", kill_ms.to_string())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .expect("spawn torn-trace child");
+        let bytes = std::fs::read(&trace_path).unwrap_or_default();
+        let text = String::from_utf8(bytes).expect("trace stream stays UTF-8");
+        if status.success() {
+            assert!(
+                text.is_empty() || text.ends_with('\n'),
+                "cycle {cycle}: a clean exit must flush a newline-terminated stream"
+            );
+        }
+        // Every newline-terminated line is a complete JSON document. Only
+        // an abort that lands *inside* the final write may leave an
+        // unterminated fragment, and a fragment is exactly what a reader
+        // discards — it must never be followed by more data.
+        let complete = match text.rfind('\n') {
+            Some(end) => &text[..=end],
+            None => "",
+        };
+        for line in complete.lines() {
+            Json::parse(line).unwrap_or_else(|e| {
+                panic!("cycle {cycle}: torn trace line {line:?}: {e:?}")
+            });
+            parsed_lines += 1;
+        }
+    }
+    assert!(
+        parsed_lines > 0,
+        "the campaign must observe real trace traffic to prove anything"
+    );
+    let _ = std::fs::remove_file(&trace_path);
 }
 
 #[test]

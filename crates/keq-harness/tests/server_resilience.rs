@@ -54,6 +54,7 @@ fn config(journal_path: Option<PathBuf>, fp: u64) -> SchedulerConfig {
         store_breaker_threshold: 3,
         journal: journal_path
             .map(|path| keq_harness::JournalConfig { path, corpus_fp: fp, valid_prefix: None }),
+        metrics: keq_harness::MetricsConfig::default(),
     }
 }
 

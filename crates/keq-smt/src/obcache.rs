@@ -299,6 +299,16 @@ impl SharedObligationCache {
         }
     }
 
+    /// Per-shard entry counts, in shard order. Feeds the telemetry
+    /// collector's occupancy gauges; skew across shards would flag a bad
+    /// fingerprint distribution.
+    pub fn shard_entries(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len() as u64)
+            .collect()
+    }
+
     /// Loads a persisted store. Fail-soft: any corruption is tolerated
     /// record-by-record and an unusable store simply leaves the cache cold
     /// (see the module docs for the exact rules). Loaded entries are not

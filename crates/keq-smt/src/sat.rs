@@ -234,6 +234,7 @@ pub struct SatSolver {
     ok: bool,
     num_learnt: usize,
     conflicts: u64,
+    restarts: u64,
 }
 
 impl Default for SatSolver {
@@ -263,6 +264,7 @@ impl SatSolver {
             ok: true,
             num_learnt: 0,
             conflicts: 0,
+            restarts: 0,
         }
     }
 
@@ -274,6 +276,11 @@ impl SatSolver {
     /// Total conflicts encountered over the solver's lifetime.
     pub fn conflicts(&self) -> u64 {
         self.conflicts
+    }
+
+    /// Total restarts taken over the solver's lifetime.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
     }
 
     /// Number of learnt clauses currently retained in the database.
@@ -792,6 +799,7 @@ impl SatSolver {
                 if conflicts_until_restart == 0 {
                     luby_index += 1;
                     conflicts_until_restart = 100 * luby(luby_index);
+                    self.restarts += 1;
                     self.backtrack(0);
                 }
                 if self.num_learnt as f64 > max_learnt {

@@ -138,6 +138,8 @@ pub struct SolverStats {
     pub budget: u64,
     /// Total CDCL conflicts.
     pub conflicts: u64,
+    /// Total CDCL restarts.
+    pub restarts: u64,
     /// Queries answered from the memo cache.
     pub cache_hits: u64,
     /// Entries evicted from the bounded query cache.
@@ -179,6 +181,7 @@ impl SolverStats {
         self.unsat += other.unsat;
         self.budget += other.budget;
         self.conflicts += other.conflicts;
+        self.restarts += other.restarts;
         self.cache_hits += other.cache_hits;
         self.cache_evictions += other.cache_evictions;
         self.sessions_opened += other.sessions_opened;
@@ -203,6 +206,7 @@ impl SolverStats {
             unsat: self.unsat.saturating_sub(earlier.unsat),
             budget: self.budget.saturating_sub(earlier.budget),
             conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
             sessions_opened: self.sessions_opened.saturating_sub(earlier.sessions_opened),
@@ -565,14 +569,18 @@ impl Solver {
         if live.is_empty() {
             return CheckOutcome::Sat(Model::default());
         }
-        let lowered = match lower(bank, &live, self.budget.max_terms) {
-            Ok(l) => l,
-            Err(_) => return CheckOutcome::Budget(BudgetKind::Terms),
+        let lowered = {
+            let _s = keq_trace::span(keq_trace::Phase::Lower);
+            match lower(bank, &live, self.budget.max_terms) {
+                Ok(l) => l,
+                Err(_) => return CheckOutcome::Budget(BudgetKind::Terms),
+            }
         };
         let mut sat = SatSolver::new();
         let mut blast = BlastCache::new();
         let mut lowered_asserts = Vec::new();
         {
+            let _s = keq_trace::span(keq_trace::Phase::Blast);
             let mut blaster = BitBlaster::new(bank, &mut sat, &mut blast);
             for &a in lowered.assertions.iter().chain(&lowered.side_conditions) {
                 match bank.as_bool_const(a) {
@@ -590,24 +598,22 @@ impl Solver {
         let var_bits = blast.var_bits().clone();
         let bool_vars = blast.bool_vars().clone();
         let deadline = self.budget.max_time.map(|d| Instant::now() + d);
-        match sat.solve_with_limits(
+        let cdcl_span = keq_trace::span(keq_trace::Phase::Cdcl);
+        let sat_outcome = sat.solve_with_limits(
             Some(self.budget.max_conflicts),
             deadline,
             self.cancel.as_ref(),
-        ) {
-            SatOutcome::Unsat => {
-                self.stats.conflicts += sat.conflicts();
-                CheckOutcome::Unsat
-            }
-            SatOutcome::Budget(kind) => {
-                self.stats.conflicts += sat.conflicts();
-                CheckOutcome::Budget(match kind {
-                    SatBudget::Conflicts => BudgetKind::Conflicts,
-                    SatBudget::Deadline => BudgetKind::WallClock,
-                })
-            }
+        );
+        cdcl_span.done();
+        self.stats.conflicts += sat.conflicts();
+        self.stats.restarts += sat.restarts();
+        match sat_outcome {
+            SatOutcome::Unsat => CheckOutcome::Unsat,
+            SatOutcome::Budget(kind) => CheckOutcome::Budget(match kind {
+                SatBudget::Conflicts => BudgetKind::Conflicts,
+                SatBudget::Deadline => BudgetKind::WallClock,
+            }),
             SatOutcome::Sat(bits) => {
-                self.stats.conflicts += sat.conflicts();
                 let (model, asg) = extract_model(bank, &var_bits, &bool_vars, &bits);
                 // Validate the model against the lowered formula; a failure
                 // here indicates a bit-blasting bug and must be loud.
@@ -970,12 +976,15 @@ impl<'s> Session<'s> {
                 None => live.push(a),
             }
         }
-        let lowered = match self
-            .lowerer
-            .lower_incremental(bank, &live, self.solver.budget.max_terms)
-        {
-            Ok(l) => l,
-            Err(_) => return CheckOutcome::Budget(BudgetKind::Terms),
+        let lowered = {
+            let _s = keq_trace::span(keq_trace::Phase::Lower);
+            match self
+                .lowerer
+                .lower_incremental(bank, &live, self.solver.budget.max_terms)
+            {
+                Ok(l) => l,
+                Err(_) => return CheckOutcome::Budget(BudgetKind::Terms),
+            }
         };
         // From here on the query reuses the already-asserted prefix.
         self.solver.stats.prefix_hits += 1;
@@ -984,6 +993,7 @@ impl<'s> Session<'s> {
         let reused_before = self.blast.terms_reused();
         let mut delta_lits: Vec<(TermId, Lit)> = Vec::new();
         {
+            let _s = keq_trace::span(keq_trace::Phase::Blast);
             let mut blaster = BitBlaster::new(bank, &mut self.sat, &mut self.blast);
             // New Ackermann side conditions are facts about the session's
             // fresh read variables, valid for every query: hard-assert.
@@ -1026,13 +1036,17 @@ impl<'s> Session<'s> {
         }
         let deadline = self.solver.budget.max_time.map(|d| Instant::now() + d);
         let conflicts_before = self.sat.conflicts();
+        let restarts_before = self.sat.restarts();
+        let cdcl_span = keq_trace::span(keq_trace::Phase::Cdcl);
         let outcome = self.sat.solve_under_assumptions(
             &assumptions,
             Some(self.solver.budget.max_conflicts),
             deadline,
             self.solver.cancel.as_ref(),
         );
+        cdcl_span.done();
         self.solver.stats.conflicts += self.sat.conflicts() - conflicts_before;
+        self.solver.stats.restarts += self.sat.restarts() - restarts_before;
         match outcome {
             SatOutcome::Unsat => CheckOutcome::Unsat,
             SatOutcome::Budget(kind) => CheckOutcome::Budget(match kind {

@@ -34,11 +34,17 @@ pub enum Phase {
     ErrorRule,
     /// A target-constraint proof batch (nested in `SyncPoint`).
     TargetConstraint,
+    /// Term lowering inside one solver query (nested in the solver).
+    Lower,
+    /// Bit-blasting lowered terms to CNF (nested in the solver).
+    Blast,
+    /// The CDCL search itself (nested in the solver).
+    Cdcl,
 }
 
 impl Phase {
     /// All phases, in pipeline order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 12] = [
         Phase::Parse,
         Phase::Isel,
         Phase::Regalloc,
@@ -48,6 +54,9 @@ impl Phase {
         Phase::Feasibility,
         Phase::ErrorRule,
         Phase::TargetConstraint,
+        Phase::Lower,
+        Phase::Blast,
+        Phase::Cdcl,
     ];
 
     /// Stable wire name.
@@ -62,6 +71,9 @@ impl Phase {
             Phase::Feasibility => "feasibility",
             Phase::ErrorRule => "error_rule",
             Phase::TargetConstraint => "target_constraint",
+            Phase::Lower => "lower",
+            Phase::Blast => "blast",
+            Phase::Cdcl => "cdcl",
         }
     }
 

@@ -133,12 +133,21 @@ impl<W: Write + Send> Recorder for JsonlSink<W> {
         ev.write_jsonl(&mut line);
         line.push('\n');
         let mut out = self.out.lock().expect("jsonl sink poisoned");
-        // A full disk mid-trace must not take the validation run down.
+        // One write per complete line (never split across calls), so a
+        // kill between records can lose whole lines but not tear one. A
+        // full disk mid-trace must not take the validation run down.
         let _ = out.write_all(line.as_bytes());
     }
 
     fn epoch(&self) -> Instant {
         self.epoch
+    }
+
+    fn flush(&self) {
+        // Same fail-soft rule as `record`: flush failure must not take
+        // the run down. Guard drops, store degradation, and drains all
+        // route here so buffered writers leave no torn tail behind.
+        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
     }
 }
 
@@ -195,5 +204,57 @@ mod tests {
             j.record(ev(i));
         }
         assert_eq!(j.to_jsonl().lines().count(), 4);
+    }
+
+    /// A writer whose visible contents only advance on `flush`, modelling
+    /// a buffered stream whose tail a kill would lose.
+    #[derive(Clone, Default)]
+    struct SharedBuf {
+        pending: Vec<u8>,
+        flushed: std::sync::Arc<Mutex<Vec<u8>>>,
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.pending.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.flushed.lock().unwrap().extend_from_slice(&self.pending);
+            self.pending.clear();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn guard_drop_flushes_buffered_trace_output() {
+        let buf = SharedBuf::default();
+        let flushed = std::sync::Arc::clone(&buf.flushed);
+        let sink = crate::TraceSink::from(std::sync::Arc::new(JsonlSink::new(buf)));
+        {
+            let _g = crate::install(&sink);
+            crate::emit(Event::Counter { name: "n", delta: 1 });
+            assert!(
+                flushed.lock().unwrap().is_empty(),
+                "the buffered line must still be pending before the guard drops"
+            );
+        }
+        let text = String::from_utf8(flushed.lock().unwrap().clone()).expect("utf8");
+        assert_eq!(text.lines().count(), 1);
+        Json::parse(text.lines().next().unwrap()).expect("flushed line is complete JSON");
+    }
+
+    #[test]
+    fn explicit_sink_flush_pushes_the_tail() {
+        let buf = SharedBuf::default();
+        let flushed = std::sync::Arc::clone(&buf.flushed);
+        let sink = JsonlSink::new(buf);
+        sink.record(ev(1));
+        Recorder::flush(&sink);
+        assert_eq!(
+            String::from_utf8(flushed.lock().unwrap().clone()).unwrap().lines().count(),
+            1
+        );
     }
 }

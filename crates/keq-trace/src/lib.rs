@@ -29,6 +29,7 @@ pub mod event;
 pub mod histogram;
 pub mod journal;
 pub mod json;
+pub mod metrics;
 pub mod recorder;
 pub mod report;
 
@@ -36,12 +37,16 @@ pub use event::{Event, Phase, TraceEvent};
 pub use histogram::Histogram;
 pub use journal::{Journal, JsonlSink, DEFAULT_JOURNAL_CAPACITY};
 pub use json::{Json, JsonError};
+pub use metrics::{
+    install_metrics, metrics_enabled, take_phase_totals, Collector, CounterId, GaugeId, HistId,
+    MetricsGuard, Registry, Series,
+};
 pub use recorder::{
-    current_attempt, emit, enabled, install, span, with_attempt, CtxGuard, Fanout, Recorder, Span,
-    TraceGuard, TraceSink,
+    current_attempt, emit, enabled, flush_sink, install, span, with_attempt, CtxGuard, Fanout,
+    Recorder, Span, TraceGuard, TraceSink,
 };
 pub use report::{
     check_phase_coverage, phase_summaries, validate, AttemptReport, CacheCounters, FunctionReport,
-    OutcomeTable, PhaseSummary, ResumeSection, RunReport, ServerSection, SolverCounters, Violation,
-    REPORT_SCHEMA,
+    OutcomeTable, PhaseSummary, ResumeSection, RunReport, ServerSection, SlowObligation,
+    SolverCounters, TelemetrySection, Violation, REPORT_SCHEMA,
 };

@@ -26,6 +26,11 @@ pub trait Recorder: Send + Sync {
     /// The instant timestamps are measured from. All sinks installed
     /// during one run must share an epoch for their timestamps to align.
     fn epoch(&self) -> Instant;
+    /// Pushes buffered output to its destination. A no-op for in-memory
+    /// sinks; streaming sinks (the JSONL file stream) override it so a
+    /// guard drop, a store degradation, or a drain leaves no buffered
+    /// tail behind.
+    fn flush(&self) {}
 }
 
 /// A cloneable handle to a shared [`Recorder`], carried in options structs
@@ -50,6 +55,11 @@ impl TraceSink {
     /// The underlying recorder.
     pub fn recorder(&self) -> &Arc<dyn Recorder> {
         &self.rec
+    }
+
+    /// Flushes the underlying recorder's buffered output.
+    pub fn flush(&self) {
+        self.rec.flush();
     }
 }
 
@@ -84,6 +94,12 @@ impl Recorder for Fanout {
 
     fn epoch(&self) -> Instant {
         self.epoch
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.recorder().flush();
+        }
     }
 }
 
@@ -125,7 +141,16 @@ pub struct TraceGuard {
 impl Drop for TraceGuard {
     fn drop(&mut self) {
         let prev = self.prev.take();
-        ACTIVE.with(|a| *a.borrow_mut() = prev);
+        ACTIVE.with(|a| {
+            let mut active = a.borrow_mut();
+            // Flush the sink being uninstalled so a thread that stops
+            // tracing leaves no buffered tail (the crash-safety torn-line
+            // test pins this).
+            if let Some(cur) = active.as_ref() {
+                cur.rec.flush();
+            }
+            *active = prev;
+        });
         ENABLED.with(|e| e.set(self.prev_enabled));
     }
 }
@@ -135,6 +160,21 @@ impl Drop for TraceGuard {
 #[inline]
 pub fn enabled() -> bool {
     ENABLED.with(Cell::get)
+}
+
+/// Flushes this thread's installed recorder (a no-op when none is). Called
+/// at durability edges — store degradation, journal degradation — so a
+/// buffered JSONL stream leaves no torn tail behind the moment the run
+/// starts losing its storage.
+pub fn flush_sink() {
+    if !enabled() {
+        return;
+    }
+    ACTIVE.with(|a| {
+        if let Some(active) = a.borrow().as_ref() {
+            active.rec.flush();
+        }
+    });
 }
 
 /// Sets this thread's attempt context; every event emitted while the guard
@@ -195,13 +235,15 @@ fn emit_slow(event: Event) {
     });
 }
 
-/// Starts a span for `phase`. When tracing is disabled this reads one flag
-/// and touches no clock; when enabled, dropping the returned guard emits
-/// an [`Event::Span`] with the span's start offset and duration.
+/// Starts a span for `phase`. When both tracing and metrics are disabled
+/// this reads two flags and touches no clock; when enabled, dropping the
+/// returned guard emits an [`Event::Span`] (tracing) and/or adds the
+/// duration to the per-thread phase accumulator (metrics — see
+/// [`crate::metrics::take_phase_totals`]).
 #[inline]
 #[must_use]
 pub fn span(phase: Phase) -> Span {
-    if !enabled() {
+    if !enabled() && !crate::metrics::phase_timing_enabled() {
         return Span { live: None };
     }
     Span { live: Some((phase, Instant::now())) }
@@ -221,11 +263,17 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         let Some((phase, start)) = self.live.take() else { return };
+        let dur_us = duration_us(start.elapsed());
+        if crate::metrics::phase_timing_enabled() {
+            crate::metrics::record_phase(phase, dur_us);
+        }
+        if !enabled() {
+            return;
+        }
         ACTIVE.with(|a| {
             let borrow = a.borrow();
             let Some(active) = borrow.as_ref() else { return };
             let start_us = duration_us(start.duration_since(active.epoch));
-            let dur_us = duration_us(start.elapsed());
             let t_us = duration_us(active.epoch.elapsed());
             let (func, attempt) = match CTX.with(Cell::get) {
                 (u32::MAX, _) => (None, None),

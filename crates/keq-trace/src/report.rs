@@ -24,8 +24,10 @@ use crate::json::{self, Json};
 /// `quarantined` outcome category, per-function `recovered` flags, and
 /// the incremental-flush / circuit-breaker cache counters; v4 added the
 /// `server` section (request counters and latency quantiles of the
-/// long-lived `keq-server` front end — all-zero for batch runs).
-pub const REPORT_SCHEMA: &str = "keq-run-report/v4";
+/// long-lived `keq-server` front end — all-zero for batch runs); v5 added
+/// `p90_us` to the server section, the solver `restarts` counter, and the
+/// `telemetry` section (metrics sampling plus the slow-obligation table).
+pub const REPORT_SCHEMA: &str = "keq-run-report/v5";
 
 /// The Fig. 6 outcome table.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -85,6 +87,8 @@ pub struct SolverCounters {
     pub budget: u64,
     /// Total CDCL conflicts.
     pub conflicts: u64,
+    /// Total CDCL restarts.
+    pub restarts: u64,
     /// Queries answered from the memo cache.
     pub cache_hits: u64,
     /// Entries evicted from the bounded query cache.
@@ -104,12 +108,13 @@ pub struct SolverCounters {
 }
 
 impl SolverCounters {
-    const FIELDS: [&'static str; 13] = [
+    const FIELDS: [&'static str; 14] = [
         "queries",
         "sat",
         "unsat",
         "budget",
         "conflicts",
+        "restarts",
         "cache_hits",
         "cache_evictions",
         "sessions_opened",
@@ -120,13 +125,16 @@ impl SolverCounters {
         "time_us",
     ];
 
-    fn to_json(self) -> Json {
+    /// Serializes to the stable wire shape (shared by `RUN_REPORT.json`
+    /// and the server protocol's slow-obligation rows).
+    pub fn to_json(self) -> Json {
         json::obj(vec![
             ("queries", json::num(self.queries)),
             ("sat", json::num(self.sat)),
             ("unsat", json::num(self.unsat)),
             ("budget", json::num(self.budget)),
             ("conflicts", json::num(self.conflicts)),
+            ("restarts", json::num(self.restarts)),
             ("cache_hits", json::num(self.cache_hits)),
             ("cache_evictions", json::num(self.cache_evictions)),
             ("sessions_opened", json::num(self.sessions_opened)),
@@ -136,6 +144,29 @@ impl SolverCounters {
             ("terms_blast_reused", json::num(self.terms_blast_reused)),
             ("time_us", json::num(self.time_us)),
         ])
+    }
+
+    /// Parses the [`SolverCounters::to_json`] shape. Missing fields read
+    /// zero (forward compatibility on the wire); a non-object is `None`.
+    pub fn from_json(doc: &Json) -> Option<SolverCounters> {
+        let Json::Obj(_) = doc else { return None };
+        let f = |k: &str| doc.get(k).and_then(Json::as_u64).unwrap_or(0);
+        Some(SolverCounters {
+            queries: f("queries"),
+            sat: f("sat"),
+            unsat: f("unsat"),
+            budget: f("budget"),
+            conflicts: f("conflicts"),
+            restarts: f("restarts"),
+            cache_hits: f("cache_hits"),
+            cache_evictions: f("cache_evictions"),
+            sessions_opened: f("sessions_opened"),
+            prefix_hits: f("prefix_hits"),
+            clauses_retained: f("clauses_retained"),
+            terms_blasted: f("terms_blasted"),
+            terms_blast_reused: f("terms_blast_reused"),
+            time_us: f("time_us"),
+        })
     }
 }
 
@@ -253,18 +284,21 @@ pub struct ServerSection {
     pub disconnects: u64,
     /// Median request latency (submit → verdict), µs.
     pub p50_us: u64,
+    /// 90th-percentile request latency, µs.
+    pub p90_us: u64,
     /// 99th-percentile request latency, µs.
     pub p99_us: u64,
 }
 
 impl ServerSection {
-    const FIELDS: [&'static str; 7] = [
+    const FIELDS: [&'static str; 8] = [
         "requests",
         "completed",
         "rejected_queue_full",
         "rejected_quota",
         "disconnects",
         "p50_us",
+        "p90_us",
         "p99_us",
     ];
 
@@ -277,7 +311,114 @@ impl ServerSection {
             ("rejected_quota", json::num(self.rejected_quota)),
             ("disconnects", json::num(self.disconnects)),
             ("p50_us", json::num(self.p50_us)),
+            ("p90_us", json::num(self.p90_us)),
             ("p99_us", json::num(self.p99_us)),
+        ])
+    }
+}
+
+/// One row of the slow-obligation table: a validation unit whose total
+/// wall time made the bounded top-K, with enough attached context —
+/// canonical fingerprint, per-phase time split, and the solver-counter
+/// delta it alone accrued — to profile the tail without re-running it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SlowObligation {
+    /// PR 4 canonical obligation fingerprint, rendered as a hex string
+    /// (u64 fingerprints can exceed 2^53, the JSON integer precision
+    /// bound, so they never travel as numbers).
+    pub fingerprint: String,
+    /// Function name or client-supplied request tag.
+    pub label: String,
+    /// Total wall-clock across attempts, µs.
+    pub wall_us: u64,
+    /// Final result category (stable wire name).
+    pub result: String,
+    /// Attempts run.
+    pub attempts: u64,
+    /// Retries after the first attempt (`attempts - 1`, floored at 0).
+    pub retries: u64,
+    /// Summed span time per phase across attempts, µs (pipeline order;
+    /// phases with no spans omitted).
+    pub phase_us: Vec<(Phase, u64)>,
+    /// Solver counters accrued by this obligation alone.
+    pub solver: SolverCounters,
+}
+
+impl SlowObligation {
+    /// Serializes one slow-table row (shared by `RUN_REPORT.json` and the
+    /// server protocol's `metrics` op).
+    pub fn to_json(&self) -> Json {
+        json::obj(vec![
+            ("fingerprint", Json::Str(self.fingerprint.clone())),
+            ("label", Json::Str(self.label.clone())),
+            ("wall_us", json::num(self.wall_us)),
+            ("result", Json::Str(self.result.clone())),
+            ("attempts", json::num(self.attempts)),
+            ("retries", json::num(self.retries)),
+            (
+                "phase_us",
+                Json::Obj(
+                    self.phase_us
+                        .iter()
+                        .map(|(p, us)| (p.name().to_string(), json::num(*us)))
+                        .collect(),
+                ),
+            ),
+            ("solver", self.solver.to_json()),
+        ])
+    }
+
+    /// Parses the [`SlowObligation::to_json`] shape; `None` on a row that
+    /// is not an object or lacks the string identity fields. Phase keys
+    /// that name no known [`Phase`] are skipped (forward compatibility).
+    pub fn from_json(doc: &Json) -> Option<SlowObligation> {
+        let fingerprint = doc.get("fingerprint")?.as_str()?.to_string();
+        let label = doc.get("label")?.as_str()?.to_string();
+        let result = doc.get("result")?.as_str()?.to_string();
+        let num = |k: &str| doc.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let mut phase_us = Vec::new();
+        if let Some(Json::Obj(pairs)) = doc.get("phase_us") {
+            for (name, v) in pairs {
+                if let (Some(phase), Some(us)) =
+                    (Phase::ALL.iter().find(|p| p.name() == name), v.as_u64())
+                {
+                    phase_us.push((*phase, us));
+                }
+            }
+        }
+        Some(SlowObligation {
+            fingerprint,
+            label,
+            wall_us: num("wall_us"),
+            result,
+            attempts: num("attempts"),
+            retries: num("retries"),
+            phase_us,
+            solver: doc.get("solver").and_then(SolverCounters::from_json).unwrap_or_default(),
+        })
+    }
+}
+
+/// The live-telemetry section of the v5 schema: whether the metrics
+/// registry was on, how many collector samples were taken, and the
+/// slow-obligation table (descending wall time). All-default when the run
+/// had metrics disabled.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySection {
+    /// Whether the metrics registry was enabled for the run.
+    pub enabled: bool,
+    /// Time-series samples the collector took.
+    pub samples: u64,
+    /// Top-K slowest obligations, descending wall time.
+    pub slow: Vec<SlowObligation>,
+}
+
+impl TelemetrySection {
+    fn to_json(&self) -> Json {
+        json::obj(vec![
+            ("enabled", Json::Bool(self.enabled)),
+            ("samples", json::num(self.samples)),
+            ("slow", Json::Arr(self.slow.iter().map(SlowObligation::to_json).collect())),
         ])
     }
 }
@@ -429,6 +570,9 @@ pub struct RunReport {
     pub resume: ResumeSection,
     /// Request serving (`keq-server` runs; all-zero default for batch).
     pub server: ServerSection,
+    /// Live telemetry (metrics sampling and the slow-obligation table;
+    /// all-default when metrics were disabled).
+    pub telemetry: TelemetrySection,
     /// Per-phase span aggregates (phases with no spans are omitted).
     pub phases: Vec<PhaseSummary>,
     /// Per-function rows, ordered by index.
@@ -453,6 +597,7 @@ impl RunReport {
             ("cache", self.cache.to_json()),
             ("resume", self.resume.to_json()),
             ("server", self.server.to_json()),
+            ("telemetry", self.telemetry.to_json()),
             ("phases", Json::Arr(self.phases.iter().map(PhaseSummary::to_json).collect())),
             (
                 "functions",
@@ -654,6 +799,45 @@ pub fn validate(doc: &Json) -> Result<(), Vec<Violation>> {
         }
     }
 
+    if let Some(telemetry) = require(doc, "$", "telemetry", &mut v) {
+        if require(telemetry, "$.telemetry", "enabled", &mut v)
+            .is_some_and(|d| d.as_bool().is_none())
+        {
+            v.push("$.telemetry.enabled: expected a boolean".into());
+        }
+        require_u64(telemetry, "$.telemetry", "samples", &mut v);
+        match require(telemetry, "$.telemetry", "slow", &mut v).map(Json::as_arr) {
+            Some(None) => v.push("$.telemetry.slow: expected an array".into()),
+            Some(Some(rows)) => {
+                let mut prev_wall = u64::MAX;
+                for (i, row) in rows.iter().enumerate() {
+                    let path = format!("$.telemetry.slow[{i}]");
+                    require_str(row, &path, "fingerprint", &mut v);
+                    require_str(row, &path, "label", &mut v);
+                    require_str(row, &path, "result", &mut v);
+                    let wall = require_u64(row, &path, "wall_us", &mut v);
+                    require_u64(row, &path, "attempts", &mut v);
+                    require_u64(row, &path, "retries", &mut v);
+                    require(row, &path, "phase_us", &mut v);
+                    if let Some(solver) = require(row, &path, "solver", &mut v) {
+                        for key in SolverCounters::FIELDS {
+                            require_u64(solver, &format!("{path}.solver"), key, &mut v);
+                        }
+                    }
+                    if let Some(w) = wall {
+                        if w > prev_wall {
+                            v.push(format!(
+                                "{path}: slow table must be sorted by descending wall_us"
+                            ));
+                        }
+                        prev_wall = w;
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+
     if let Some(functions) = require(doc, "$", "functions", &mut v) {
         match functions.as_arr() {
             None => v.push("$.functions: expected an array".into()),
@@ -814,6 +998,7 @@ mod tests {
                 unsat: 17,
                 budget: 1,
                 conflicts: 90,
+                restarts: 3,
                 cache_hits: 6,
                 cache_evictions: 2,
                 sessions_opened: 4,
@@ -847,7 +1032,42 @@ mod tests {
                 rejected_quota: 0,
                 disconnects: 1,
                 p50_us: 12_000,
+                p90_us: 44_000,
                 p99_us: 80_000,
+            },
+            telemetry: TelemetrySection {
+                enabled: true,
+                samples: 12,
+                slow: vec![SlowObligation {
+                    fingerprint: "00000000000000000000ffee00c0ffee".into(),
+                    label: "f0".into(),
+                    wall_us: 90_000,
+                    result: "succeeded".into(),
+                    attempts: 2,
+                    retries: 1,
+                    phase_us: vec![
+                        (Phase::Check, 83_000),
+                        (Phase::Lower, 9_000),
+                        (Phase::Blast, 14_000),
+                        (Phase::Cdcl, 31_000),
+                    ],
+                    solver: SolverCounters {
+                        queries: 25,
+                        sat: 14,
+                        unsat: 10,
+                        budget: 1,
+                        conflicts: 80,
+                        restarts: 3,
+                        cache_hits: 2,
+                        cache_evictions: 0,
+                        sessions_opened: 2,
+                        prefix_hits: 18,
+                        clauses_retained: 40,
+                        terms_blasted: 700,
+                        terms_blast_reused: 250,
+                        time_us: 61_000,
+                    },
+                }],
             },
             phases: vec![PhaseSummary {
                 phase: Phase::Check,
@@ -1045,6 +1265,43 @@ mod tests {
         let doc = Json::parse(&report.to_json()).expect("parses");
         validate(&doc).expect("all-zero server section validates");
         assert_eq!(doc.get("server").and_then(|s| s.get("enabled")).and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn missing_telemetry_section_is_reported() {
+        let text = sample_report().to_json();
+        let mut doc = Json::parse(&text).expect("parses");
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "telemetry");
+        }
+        let errs = validate(&doc).expect_err("must fail");
+        assert!(errs.iter().any(|e| e.contains("missing key \"telemetry\"")), "{errs:?}");
+    }
+
+    #[test]
+    fn unsorted_slow_table_is_reported() {
+        let mut report = sample_report();
+        let mut second = report.telemetry.slow[0].clone();
+        second.wall_us = report.telemetry.slow[0].wall_us + 1;
+        report.telemetry.slow.push(second);
+        let doc = Json::parse(&report.to_json()).expect("parses");
+        let errs = validate(&doc).expect_err("must fail");
+        assert!(
+            errs.iter().any(|e| e.contains("sorted by descending wall_us")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn metrics_disabled_reports_carry_the_zero_telemetry_section() {
+        let mut report = sample_report();
+        report.telemetry = TelemetrySection::default();
+        let doc = Json::parse(&report.to_json()).expect("parses");
+        validate(&doc).expect("all-default telemetry section validates");
+        assert_eq!(
+            doc.get("telemetry").and_then(|t| t.get("enabled")).and_then(Json::as_bool),
+            Some(false)
+        );
     }
 
     #[test]

@@ -9,7 +9,8 @@
 
 use keq_trace::{
     check_phase_coverage, validate, AttemptReport, CacheCounters, FunctionReport, Histogram, Json,
-    OutcomeTable, Phase, PhaseSummary, ResumeSection, RunReport, ServerSection, SolverCounters,
+    OutcomeTable, Phase, PhaseSummary, ResumeSection, RunReport, ServerSection, SlowObligation,
+    SolverCounters, TelemetrySection,
 };
 
 const TRICKY_MESSAGE: &str = "boom \"quoted\"\nsecond line\twith tab \\ backslash and π";
@@ -38,6 +39,7 @@ fn golden_report() -> RunReport {
             unsat: 17,
             budget: 1,
             conflicts: 90,
+            restarts: 3,
             cache_hits: 6,
             cache_evictions: 2,
             sessions_opened: 4,
@@ -71,7 +73,42 @@ fn golden_report() -> RunReport {
             rejected_quota: 1,
             disconnects: 1,
             p50_us: 12_000,
+            p90_us: 44_000,
             p99_us: 80_000,
+        },
+        telemetry: TelemetrySection {
+            enabled: true,
+            samples: 12,
+            slow: vec![SlowObligation {
+                fingerprint: "00000000000000000000ffee00c0ffee".into(),
+                label: "f0".into(),
+                wall_us: 90_000,
+                result: "succeeded".into(),
+                attempts: 2,
+                retries: 1,
+                phase_us: vec![
+                    (Phase::Check, 83_000),
+                    (Phase::Lower, 9_000),
+                    (Phase::Blast, 14_000),
+                    (Phase::Cdcl, 31_000),
+                ],
+                solver: SolverCounters {
+                    queries: 25,
+                    sat: 14,
+                    unsat: 10,
+                    budget: 1,
+                    conflicts: 80,
+                    restarts: 3,
+                    cache_hits: 2,
+                    cache_evictions: 0,
+                    sessions_opened: 2,
+                    prefix_hits: 18,
+                    clauses_retained: 40,
+                    terms_blasted: 700,
+                    terms_blast_reused: 250,
+                    time_us: 61_000,
+                },
+            }],
         },
         phases: vec![PhaseSummary { phase: Phase::Check, count: 2, total_us: 80_120, histogram: hist }],
         functions: vec![

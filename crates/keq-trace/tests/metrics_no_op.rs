@@ -1,0 +1,86 @@
+//! The disabled-metrics contract: with no registry installed, the metrics
+//! free functions perform **zero heap allocations** and mutate nothing —
+//! the cost is one thread-local flag read and a branch, mirroring the
+//! trace probes' disabled path (`no_op_fast_path.rs`). This is what lets
+//! the scheduler instrument every admission, journal append, and solver
+//! probe unconditionally while runs without `--metrics` stay at full
+//! speed.
+//!
+//! A counting global allocator observes every allocation in the process;
+//! the test is the only one in this binary so no concurrent test can
+//! perturb the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use keq_trace::metrics::{counter_add, observe_us};
+use keq_trace::{install_metrics, metrics_enabled, CounterId, HistId, Registry};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn uninstalled_metrics_probes_allocate_nothing_and_count_nothing() {
+    // A registry that must stay zero: it exists, but after the warmup its
+    // guard is dropped and nothing may reach it.
+    let registry = Arc::new(Registry::new());
+
+    // Warm up: exercise the installed path once so thread-local
+    // initialization and any lazy setup allocate outside the window.
+    {
+        let _g = install_metrics(&registry);
+        assert!(metrics_enabled());
+        counter_add(CounterId::Attempts, 1);
+        observe_us(HistId::AttemptWallUs, 250);
+    }
+    assert!(!metrics_enabled(), "guard dropped, metrics disabled again");
+    let attempts_after_warmup = registry.counter(CounterId::Attempts);
+    let observations_after_warmup = registry.histogram(HistId::AttemptWallUs).total();
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        counter_add(CounterId::Attempts, 1);
+        counter_add(CounterId::JournalAppends, i);
+        observe_us(HistId::AttemptWallUs, i);
+        let _ = metrics_enabled();
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(after - before, 0, "disabled metrics probes must not allocate");
+    assert_eq!(
+        registry.counter(CounterId::Attempts),
+        attempts_after_warmup,
+        "disabled probes must not reach the registry"
+    );
+    assert_eq!(
+        registry.histogram(HistId::AttemptWallUs).total(),
+        observations_after_warmup,
+        "disabled observations must not reach the histogram"
+    );
+}

@@ -175,15 +175,34 @@ fn main() {
         println!("  {kind:<12} {count}");
     }
     println!(
-        "done: {} verdicts, {} rejected, {} errors; wall p50 {:.0}µs p99 {:.0}µs",
+        "done: {} verdicts, {} rejected, {} errors; client wall p50 {:.0}µs p90 {:.0}µs \
+         p99 {:.0}µs",
         results.values().sum::<u64>(),
         rejected,
         errors,
         latency.p50().unwrap_or(0.0),
+        latency.p90().unwrap_or(0.0),
         latency.p99().unwrap_or(0.0),
     );
 
     let mut conn: ClientConn = connect(&cli.addr).expect("connect to keq-server");
+    // The server-observed view of the same load, printed beside the
+    // client-observed line above: submit→verdict latency excludes the
+    // network/framing overhead the client tally includes, and the hit
+    // ratio shows how much of the stream rode the resident cache.
+    match conn.roundtrip(&ClientRequest::Metrics).expect("metrics round trip") {
+        ServerResponse::Metrics(m) => {
+            let lookups = m.cache_hits + m.cache_misses;
+            let hit_ratio =
+                if lookups == 0 { 0.0 } else { m.cache_hits as f64 / lookups as f64 };
+            println!(
+                "server wall p50 {}µs p90 {}µs p99 {}µs; obligation-cache hit ratio {:.2} \
+                 ({} entries)",
+                m.p50_us, m.p90_us, m.p99_us, hit_ratio, m.cache_entries,
+            );
+        }
+        other => eprintln!("unexpected metrics response: {other:?}"),
+    }
     if cli.stats {
         match conn.roundtrip(&ClientRequest::Stats).expect("stats round trip") {
             ServerResponse::Stats(s) => {

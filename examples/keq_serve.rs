@@ -9,7 +9,7 @@
 //! cargo run --release --example keq_serve -- [--addr 127.0.0.1:7411] \
 //!     [--workers N] [--deadline-ms MS] [--queue-depth N] [--max-inflight N] \
 //!     [--cache obligations.keqcache] [--journal server.keqwal] [--resume] \
-//!     [--trace-jsonl trace.jsonl]
+//!     [--trace-jsonl trace.jsonl] [--metrics] [--metrics-interval-ms MS]
 //! ```
 //!
 //! `--addr` also accepts `unix:/path/to.sock` on Unix. Port 0 picks a free
@@ -22,11 +22,17 @@
 //! admitted submission, flushes the store, and prints its lifetime
 //! summary. The wire protocol is length-framed JSON — see
 //! `keq_harness::protocol` and DESIGN.md.
+//!
+//! `--metrics` turns on the live telemetry registry: the `metrics` op then
+//! serves sampled time series, the slow-obligation table, and a Prometheus
+//! rendering (watch it live with the `keq_top` example).
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use keq_repro::harness::{ClientQuota, HarnessOptions, RetryPolicy, Server, ServerOptions};
+use keq_repro::harness::{
+    ClientQuota, HarnessOptions, MetricsConfig, RetryPolicy, Server, ServerOptions,
+};
 use keq_repro::smt::Budget;
 use keq_repro::trace::{JsonlSink, TraceSink};
 
@@ -40,6 +46,8 @@ struct Cli {
     journal: Option<String>,
     resume: bool,
     trace_jsonl: Option<String>,
+    metrics: bool,
+    metrics_interval_ms: Option<u64>,
 }
 
 fn parse_cli() -> Cli {
@@ -53,6 +61,8 @@ fn parse_cli() -> Cli {
         journal: None,
         resume: false,
         trace_jsonl: None,
+        metrics: false,
+        metrics_interval_ms: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -79,11 +89,18 @@ fn parse_cli() -> Cli {
             "--trace-jsonl" => {
                 cli.trace_jsonl = Some(args.next().expect("--trace-jsonl <path>"));
             }
+            "--metrics" => cli.metrics = true,
+            "--metrics-interval-ms" => {
+                cli.metrics_interval_ms = Some(
+                    args.next().and_then(|s| s.parse().ok()).expect("--metrics-interval-ms <ms>"),
+                );
+            }
             other => {
                 eprintln!(
                     "unknown flag {other}\nusage: keq_serve [--addr A] [--workers N] \
                      [--deadline-ms MS] [--queue-depth N] [--max-inflight N] [--cache PATH] \
-                     [--journal PATH] [--resume] [--trace-jsonl PATH]"
+                     [--journal PATH] [--resume] [--trace-jsonl PATH] [--metrics] \
+                     [--metrics-interval-ms MS]"
                 );
                 std::process::exit(2);
             }
@@ -116,6 +133,13 @@ fn main() {
             cache_path: cli.cache.as_ref().map(std::path::PathBuf::from),
             journal_path: cli.journal.as_ref().map(std::path::PathBuf::from),
             resume: cli.resume,
+            metrics: {
+                let mut m = MetricsConfig { enabled: cli.metrics, ..MetricsConfig::default() };
+                if let Some(ms) = cli.metrics_interval_ms {
+                    m.sample_interval = Duration::from_millis(ms.max(1));
+                }
+                m
+            },
             ..HarnessOptions::default()
         },
         queue_depth: cli.queue_depth,
@@ -143,8 +167,9 @@ fn main() {
         s.rejected_draining,
     );
     let p50 = summary.fin.latency.p50().unwrap_or(0.0);
+    let p90 = summary.fin.latency.p90().unwrap_or(0.0);
     let p99 = summary.fin.latency.p99().unwrap_or(0.0);
-    println!("request latency: p50 {:.0}µs p99 {:.0}µs", p50, p99);
+    println!("request latency: p50 {:.0}µs p90 {:.0}µs p99 {:.0}µs", p50, p90, p99);
     let c = &summary.fin.cache;
     println!(
         "obligation store: {} entries, loaded {}, persisted {} ({} flushes{})",

@@ -8,7 +8,7 @@
 //! cargo run --release --example validate_corpus -- [N] [--seed S] \
 //!     [--report RUN_REPORT.json] [--trace-jsonl trace.jsonl] \
 //!     [--cache obligations.keqcache] [--journal run.keqwal] [--resume] \
-//!     [--chaos CYCLES]
+//!     [--chaos CYCLES] [--metrics]
 //! ```
 //!
 //! `--report` turns on tracing, collects the run's event journal, and
@@ -17,6 +17,10 @@
 //! additionally streams every raw event as one JSON line. `--cache`
 //! persists the shared obligation cache across runs: proved obligations
 //! are flushed incrementally and warm-start the next invocation.
+//!
+//! `--metrics` turns on the live telemetry registry: the run then prints
+//! its slowest obligations with per-phase breakdowns, and the telemetry
+//! section (collector samples + slow table) lands in `--report` output.
 //!
 //! `--journal` appends every finalized verdict to a write-ahead journal;
 //! `--resume` recovers a killed run from it, skipping already-decided
@@ -46,6 +50,7 @@ struct Cli {
     cache: Option<String>,
     journal: Option<String>,
     resume: bool,
+    metrics: bool,
     chaos: Option<u32>,
     /// Internal (chaos children): arm an abort timer this many ms in.
     kill_after_ms: Option<u64>,
@@ -62,6 +67,7 @@ fn parse_cli() -> Cli {
         cache: None,
         journal: None,
         resume: false,
+        metrics: false,
         chaos: None,
         kill_after_ms: None,
         chaos_run: false,
@@ -79,6 +85,7 @@ fn parse_cli() -> Cli {
             "--cache" => cli.cache = Some(args.next().expect("--cache <path>")),
             "--journal" => cli.journal = Some(args.next().expect("--journal <path>")),
             "--resume" => cli.resume = true,
+            "--metrics" => cli.metrics = true,
             "--chaos" => {
                 cli.chaos =
                     Some(args.next().and_then(|s| s.parse().ok()).expect("--chaos <cycles>"));
@@ -94,7 +101,7 @@ fn parse_cli() -> Cli {
                     eprintln!(
                         "usage: validate_corpus [N] [--seed S] [--report PATH] \
                          [--trace-jsonl PATH] [--cache PATH] [--journal PATH] [--resume] \
-                         [--chaos CYCLES]"
+                         [--chaos CYCLES] [--metrics]"
                     );
                     std::process::exit(2);
                 }
@@ -282,6 +289,10 @@ fn main() {
         resume: cli.resume,
         fault_plan: if cli.chaos_run { chaos_plan(cli.seed) } else { FaultPlan::quiet(0) },
         retry: if cli.chaos_run { chaos_retry() } else { RetryPolicy::default() },
+        metrics: keq_repro::harness::MetricsConfig {
+            enabled: cli.metrics,
+            ..keq_repro::harness::MetricsConfig::default()
+        },
         ..HarnessOptions::default()
     };
 
@@ -310,6 +321,24 @@ fn main() {
             summary.cache.disk_bytes,
             summary.cache.flushes,
         );
+    }
+
+    if cli.metrics && !summary.telemetry.slow.is_empty() {
+        println!("\nslowest obligations (top {} by wall time):", summary.telemetry.slow.len());
+        for row in &summary.telemetry.slow {
+            let mut phases: Vec<_> = row.phase_us.clone();
+            phases.sort_by_key(|&(_, us)| std::cmp::Reverse(us));
+            let breakdown = phases
+                .iter()
+                .take(3)
+                .map(|(p, us)| format!("{} {}µs", p.name(), us))
+                .collect::<Vec<_>>()
+                .join(", ");
+            println!(
+                "  {:<16} {:<12} {:>9}µs  {} attempts  [{}]",
+                row.label, row.result, row.wall_us, row.attempts, breakdown
+            );
+        }
     }
 
     if let Some(path) = &cli.report {
