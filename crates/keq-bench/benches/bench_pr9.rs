@@ -1,0 +1,169 @@
+//! **BENCH_PR9** — machine-readable obligation-normalization benchmark.
+//!
+//! Two "functions" (variant 0 and variant 1 of the redundancy-heavy
+//! [`keq_bench::normalization_workload`]) pose the same proof obligations
+//! in different surface syntax against one shared obligation cache, cold.
+//! The run happens twice:
+//!
+//! * **baseline** — saturating rewriting disabled: exactly the pre-rewrite
+//!   pipeline (the BENCH_PR4 cold behavior), where the two spellings
+//!   fingerprint apart and every function-B lookup misses;
+//! * **rewrite** — rewriting enabled (the default): both spellings
+//!   normalize to the same obligation, so function B discharges its
+//!   unsatisfiable obligations from function A's verdicts on a *cold*
+//!   store, and the blaster only ever sees normal forms.
+//!
+//! Emits `BENCH_PR9.json` with one section per leg — wall time, blasted
+//! terms, rewrite counters, shared-cache counters, and the headline
+//! function-B cold hit ratio.
+//!
+//! In-bench acceptance bars (the run aborts when missed):
+//!
+//! * the rewrite leg bit-blasts ≥ 20% fewer term nodes than the baseline;
+//! * the rewrite leg's function-B cold hit ratio beats the baseline's by
+//!   ≥ 0.2 (cross-function fingerprint collisions actually happened);
+//! * the rewrite leg is not slower than the baseline (with slack for
+//!   timer noise on smoke-sized runs).
+//!
+//! Environment knobs:
+//!
+//! * `KEQ_PR9_N`     — obligations per function (default 40)
+//! * `KEQ_PR9_WIDTH` — bitvector width (default 32)
+//! * `KEQ_PR9_OUT`   — output path (default `BENCH_PR9.json`)
+//!
+//! `scripts/bench.sh pr9` drives this target; CI runs it smoke-sized.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use keq_smt::{CheckOutcome, SharedObligationCache, Solver, SolverStats, TermBank};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+struct Leg {
+    wall: Duration,
+    total: SolverStats,
+    b_hits: u64,
+    b_misses: u64,
+}
+
+impl Leg {
+    fn b_hit_ratio(&self) -> f64 {
+        let lookups = self.b_hits + self.b_misses;
+        if lookups == 0 { 0.0 } else { self.b_hits as f64 / lookups as f64 }
+    }
+}
+
+/// Runs both functions against one cold shared cache; function B gets a
+/// fresh solver so its only reuse channel is the cross-function cache.
+fn run_leg(rewrite: bool, width: u32, count: usize) -> Leg {
+    let mut bank = TermBank::new();
+    let cache = Arc::new(SharedObligationCache::new());
+    let start = Instant::now();
+    let mut total = SolverStats::default();
+    let mut b_hits = 0;
+    let mut b_misses = 0;
+    for variant in 0..2u64 {
+        let wl = keq_bench::normalization_workload(&mut bank, width, count, variant);
+        let mut solver = Solver::new();
+        solver.set_rewrite_enabled(rewrite);
+        solver.set_obligation_cache(Some(cache.clone()));
+        for (delta, expect_sat) in &wl.obligations {
+            let mut full = wl.prefix.clone();
+            full.extend_from_slice(delta);
+            let outcome = solver.check_sat(&mut bank, &full);
+            assert_eq!(
+                matches!(outcome, CheckOutcome::Sat(_)),
+                *expect_sat,
+                "verdict drift (rewrite={rewrite}, variant={variant})"
+            );
+        }
+        let stats = solver.stats();
+        if variant == 1 {
+            b_hits = stats.obligation_cache_hits;
+            b_misses = stats.obligation_cache_misses;
+        }
+        total.merge(&stats);
+    }
+    Leg { wall: start.elapsed(), total, b_hits, b_misses }
+}
+
+fn json_leg(leg: &Leg) -> String {
+    let s = &leg.total;
+    format!(
+        "{{\"wall_ms\": {}, \"queries\": {}, \"terms_blasted\": {}, \
+         \"rewrite_rules_fired\": {}, \"rewrite_passes\": {}, \
+         \"rewrite_nodes_saved\": {}, \"obligation_cache_hits\": {}, \
+         \"obligation_cache_misses\": {}, \"obligation_cache_stores\": {}, \
+         \"cold_b_hit_ratio\": {:.4}}}",
+        leg.wall.as_millis(),
+        s.queries,
+        s.terms_blasted,
+        s.rewrite_rules_fired,
+        s.rewrite_passes,
+        s.rewrite_nodes_saved,
+        s.obligation_cache_hits,
+        s.obligation_cache_misses,
+        s.obligation_cache_stores,
+        leg.b_hit_ratio(),
+    )
+}
+
+fn main() {
+    let count = env_u64("KEQ_PR9_N", 40) as usize;
+    let width = env_u64("KEQ_PR9_WIDTH", 32) as u32;
+    let out = std::env::var("KEQ_PR9_OUT").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
+
+    eprintln!("baseline: 2 functions x {count} obligations (width {width}), rewriting off...");
+    let baseline = run_leg(false, width, count);
+    eprintln!("rewrite: same workload, saturating normalization on...");
+    let rewrite = run_leg(true, width, count);
+
+    let blasted_reduction = 1.0
+        - rewrite.total.terms_blasted as f64 / (baseline.total.terms_blasted as f64).max(1.0);
+    assert!(
+        rewrite.total.terms_blasted * 100 <= baseline.total.terms_blasted * 80,
+        "acceptance bar: normalization must cut blasted terms by >=20% \
+         (rewrite {}, baseline {})",
+        rewrite.total.terms_blasted,
+        baseline.total.terms_blasted
+    );
+    assert!(
+        rewrite.b_hits > 0 && rewrite.b_hit_ratio() >= baseline.b_hit_ratio() + 0.2,
+        "acceptance bar: cross-function collisions must lift the cold hit ratio by >=0.2 \
+         (rewrite {:.2}, baseline {:.2})",
+        rewrite.b_hit_ratio(),
+        baseline.b_hit_ratio()
+    );
+    assert!(
+        rewrite.wall <= baseline.wall.mul_f64(1.05) + Duration::from_millis(250),
+        "acceptance bar: normalization must not be slower \
+         (baseline {:?}, rewrite {:?})",
+        baseline.wall,
+        rewrite.wall
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_PR9\",");
+    let _ = writeln!(json, "  \"obligations_per_function\": {count},");
+    let _ = writeln!(json, "  \"width\": {width},");
+    let _ = writeln!(json, "  \"baseline\": {},", json_leg(&baseline));
+    let _ = writeln!(json, "  \"rewrite\": {},", json_leg(&rewrite));
+    let _ = writeln!(json, "  \"blasted_reduction\": {blasted_reduction:.4},");
+    let _ = writeln!(json, "  \"cold_hit_ratio_baseline\": {:.4},", baseline.b_hit_ratio());
+    let _ = writeln!(json, "  \"cold_hit_ratio_rewrite\": {:.4}", rewrite.b_hit_ratio());
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out, &json).expect("write BENCH_PR9 json");
+    print!("{json}");
+    eprintln!(
+        "wrote {out} (blasted -{:.0}%, cold B hit ratio {:.2} vs {:.2})",
+        blasted_reduction * 100.0,
+        rewrite.b_hit_ratio(),
+        baseline.b_hit_ratio()
+    );
+}

@@ -211,10 +211,63 @@ fn bench_fingerprint_overhead() {
     );
 }
 
+/// Obligation normalization: the same redundancy-heavy micro corpus solved
+/// with the saturating rewriter on (the default) and off. The rewriter-on
+/// leg must bit-blast ≥20% fewer term nodes — the PR's acceptance bar —
+/// without regressing wall time on this easy mass.
+fn bench_normalization() {
+    println!("--- obligation_normalization ---");
+    let obligations = 20usize;
+
+    let run = |rewrite: bool| -> (Duration, keq_smt::SolverStats) {
+        let mut bank = TermBank::new();
+        let wl = keq_bench::normalization_workload(&mut bank, 32, obligations, 0);
+        let mut solver = Solver::new();
+        solver.set_rewrite_enabled(rewrite);
+        let before = solver.stats();
+        let start = Instant::now();
+        for (delta, expect_sat) in &wl.obligations {
+            let mut full = wl.prefix.clone();
+            full.extend_from_slice(delta);
+            let outcome = solver.check_sat(&mut bank, &full);
+            assert_eq!(matches!(outcome, keq_smt::CheckOutcome::Sat(_)), *expect_sat);
+        }
+        (start.elapsed(), solver.stats().since(&before))
+    };
+
+    let (off_time, off_stats) = run(false);
+    let (on_time, on_stats) = run(true);
+    println!(
+        "rewrite-off/{obligations}-obligations {:>18}   blasted {:>6}",
+        format_duration(off_time),
+        off_stats.terms_blasted
+    );
+    println!(
+        "rewrite-on/{obligations}-obligations  {:>18}   blasted {:>6}  rules_fired {:>5}  nodes_saved {:>5}",
+        format_duration(on_time),
+        on_stats.terms_blasted,
+        on_stats.rewrite_rules_fired,
+        on_stats.rewrite_nodes_saved
+    );
+    assert!(
+        on_stats.terms_blasted * 100 <= off_stats.terms_blasted * 80,
+        "acceptance bar: normalization must cut blasted terms by >=20% \
+         (on {}, off {})",
+        on_stats.terms_blasted,
+        off_stats.terms_blasted
+    );
+    assert!(
+        on_time <= off_time.mul_f64(1.05) + Duration::from_millis(250),
+        "acceptance bar: normalization must not regress wall time \
+         (off {off_time:?}, on {on_time:?})"
+    );
+}
+
 fn main() {
     bench_positive_form();
     bench_solver_scaling();
     bench_running_example();
     bench_session_reuse();
     bench_fingerprint_overhead();
+    bench_normalization();
 }

@@ -4,6 +4,7 @@
 //! evaluation; see EXPERIMENTS.md at the repository root for the index.
 
 pub mod corpus_run;
+pub mod normalization_workload;
 pub mod session_workload;
 
 pub use corpus_run::{
@@ -13,4 +14,5 @@ pub use corpus_run::{
 /// The shared histogram type (lives in `keq-trace` so the run report's
 /// latency distributions and the Fig. 7 plots use the same buckets).
 pub use keq_trace::Histogram;
+pub use normalization_workload::normalization_workload;
 pub use session_workload::{sync_point_workload, SessionWorkload};

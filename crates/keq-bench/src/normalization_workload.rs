@@ -1,0 +1,123 @@
+//! A redundancy-heavy obligation workload for the rewrite-normalization
+//! benches.
+//!
+//! Each obligation is built around a term that the saturating rewriter
+//! ([`keq_smt::rewrite`]) collapses to a much smaller normal form: xor
+//! self-cancellation chains, add/sub round trips, multiply-by-power-of-two,
+//! adjacent-slice concats, same-condition nested `ite`s, and redundant
+//! store chains. Two *variants* produce syntactically different surface
+//! terms with identical normal forms — the stand-in for two compiled
+//! functions posing the same proof obligation in different spellings:
+//!
+//! * with normalization **off**, the variants fingerprint apart and the
+//!   blaster pays for the full surface term;
+//! * with normalization **on**, both variants fingerprint to the same
+//!   obligation (cross-function cache collisions on a cold store) and the
+//!   blaster sees only the normal form.
+
+use keq_smt::{Sort, TermBank};
+
+use crate::SessionWorkload;
+
+/// Builds `count` obligations over `width`-bit state in the surface syntax
+/// of `variant` (0 or 1). Both variants share one prefix (`x = z`,
+/// `x <u n`) and normalize to identical obligations.
+///
+/// Even-numbered obligations are satisfiable feasibility probes; odd ones
+/// are unsatisfiable implication-style queries whose contradiction only
+/// appears once the redundant term collapses against the prefix.
+///
+/// # Panics
+///
+/// Panics when `width` is odd or below 16 (the slice shapes need an even
+/// split and room for a shift by two).
+pub fn normalization_workload(
+    bank: &mut TermBank,
+    width: u32,
+    count: usize,
+    variant: u64,
+) -> SessionWorkload {
+    assert!(width >= 16 && width.is_multiple_of(2), "width must be even and >= 16");
+    let x = bank.mk_var("x", Sort::BitVec(width));
+    let y = bank.mk_var("y", Sort::BitVec(width));
+    let z = bank.mk_var("z", Sort::BitVec(width));
+    let n = bank.mk_var("n", Sort::BitVec(width));
+    let p = bank.mk_var("p", Sort::Bool);
+    let m = bank.mk_var("m", Sort::Memory);
+
+    let eq_xz = bank.mk_eq(x, z);
+    let path = bank.mk_bvult(x, n);
+    let prefix = vec![eq_xz, path];
+
+    let mut obligations = Vec::with_capacity(count);
+    for k in 0..count {
+        let c = bank.mk_bv(width, 1 + k as u128);
+        // The redundant core: variant 0 and variant 1 spell the same value
+        // differently; both normalize to the `// ->` comment.
+        let t = match (k % 5, variant) {
+            // -> y
+            (0, 0) => {
+                let inner = bank.mk_bvxor(x, y);
+                bank.mk_bvxor(x, inner)
+            }
+            (0, _) => {
+                let sum = bank.mk_bvadd(x, y);
+                bank.mk_bvsub(sum, x)
+            }
+            // -> x << 2
+            (1, 0) => {
+                let four = bank.mk_bv(width, 4);
+                bank.mk_bvmul(x, four)
+            }
+            (1, _) => {
+                let two = bank.mk_bv(width, 2);
+                bank.mk_bvshl(x, two)
+            }
+            // -> x
+            (2, 0) => {
+                let hi = bank.mk_extract(x, width - 1, width / 2);
+                let lo = bank.mk_extract(x, width / 2 - 1, 0);
+                bank.mk_concat(hi, lo)
+            }
+            (2, _) => x,
+            // -> ite(p, x, z)
+            (3, 0) => {
+                let inner = bank.mk_ite(p, y, z);
+                bank.mk_ite(p, x, inner)
+            }
+            (3, _) => bank.mk_ite(p, x, z),
+            // -> zext(select(m, zext(z, 64)), width)
+            (4, 0) => {
+                let addr = bank.mk_zext(x, 64);
+                let held = bank.mk_select(m, addr);
+                let rewritten_back = bank.mk_store(m, addr, held);
+                let read_addr = bank.mk_zext(z, 64);
+                let byte = bank.mk_select(rewritten_back, read_addr);
+                bank.mk_zext(byte, width)
+            }
+            _ => {
+                let read_addr = bank.mk_zext(z, 64);
+                let byte = bank.mk_select(m, read_addr);
+                bank.mk_zext(byte, width)
+            }
+        };
+        if k % 2 == 0 {
+            // Feasibility probe: satisfiable for a large enough `n`.
+            let probe_base = bank.mk_bvadd(t, c);
+            let probe = bank.mk_bvult(probe_base, n);
+            obligations.push((vec![probe], true));
+        } else {
+            // `z ( + t - t ) <u n` follows from the prefix, so its negation
+            // is unsatisfiable — but only the collapsed form makes that
+            // one propagation step; the surface form buries it under the
+            // redundant chain.
+            let padded = bank.mk_bvadd(z, t);
+            let collapsible = bank.mk_bvsub(padded, t);
+            let in_bounds = bank.mk_bvult(collapsible, n);
+            let negated = bank.mk_not(in_bounds);
+            let distinct = bank.mk_ne(t, c);
+            obligations.push((vec![negated, distinct], false));
+        }
+    }
+    SessionWorkload { prefix, obligations }
+}

@@ -81,6 +81,10 @@ pub(crate) fn solver_counters_of(s: &keq_smt::SolverStats) -> SolverCounters {
         clauses_retained: s.clauses_retained,
         terms_blasted: s.terms_blasted,
         terms_blast_reused: s.terms_blast_reused,
+        rewrite_rules_fired: s.rewrite_rules_fired,
+        rewrite_passes: s.rewrite_passes,
+        rewrite_nodes_saved: s.rewrite_nodes_saved,
+        lbd_kept: s.lbd_kept,
         time_us: duration_us(s.time),
     }
 }

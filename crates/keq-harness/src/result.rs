@@ -259,7 +259,8 @@ impl CorpusSummary {
 
     /// The end-of-run summary line: the Fig. 6 outcome counts plus the
     /// run-level solver reuse counters (cache evictions, session prefix
-    /// hits, learnt clauses retained), the shared obligation cache's
+    /// hits, learnt clauses retained), the obligation-normalization totals
+    /// (rules fired, nodes saved), the shared obligation cache's
     /// hit ratio and on-disk footprint, and the attempt-latency quantiles
     /// (log-bucket estimates — the same way the server reports request
     /// latency). Resume recovery and storage degradation, when they
@@ -269,7 +270,8 @@ impl CorpusSummary {
         let mut line = format!(
             "corpus: {} functions, {} attempts | succeeded {} timeout {} oom {} crashed {} \
              quarantined {} other {} | solver: queries {} cache_hits {} cache_evictions {} \
-             prefix_hits {} clauses_retained {} | obcache: hits {} misses {} hit_ratio {:.2} \
+             prefix_hits {} clauses_retained {} | rewrite: rules_fired {} nodes_saved {} \
+             lbd_kept {} | obcache: hits {} misses {} hit_ratio {:.2} \
              store_bytes {}",
             self.total(),
             self.total_attempts(),
@@ -284,6 +286,9 @@ impl CorpusSummary {
             self.solver.cache_evictions,
             self.solver.prefix_hits,
             self.solver.clauses_retained,
+            self.solver.rewrite_rules_fired,
+            self.solver.rewrite_nodes_saved,
+            self.solver.lbd_kept,
             self.solver.obligation_cache_hits,
             self.solver.obligation_cache_misses,
             self.obligation_cache_hit_ratio(),

@@ -1249,6 +1249,10 @@ fn supervise(
                         CounterId::ObligationCacheStores,
                         outcome.solver.obligation_cache_stores,
                     );
+                    // The per-family rewrite counters are emitted at source
+                    // by the rewriter itself; only the glue-retention
+                    // counter needs sampling from the solver deltas here.
+                    reg.counter_add(CounterId::LbdKept, outcome.solver.lbd_kept);
                     reg.observe_us(
                         HistId::AttemptWallUs,
                         u64::try_from(outcome.time.as_micros()).unwrap_or(u64::MAX),

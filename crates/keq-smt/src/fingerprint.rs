@@ -46,6 +46,16 @@
 //! obligations may fingerprint differently. Such ties cost cache **misses**,
 //! never wrong hits — which is the only sound failure direction for a
 //! verdict cache.
+//!
+//! Fingerprinting runs *after* the saturating rewrite pass
+//! ([`crate::rewrite`]): obligations arrive here already in normal form,
+//! so spellings that differ only by rewritable redundancy (xor
+//! self-cancellation, add/sub round trips, collapsible extract/extend
+//! chains, …) share one fingerprint and one cache entry. Any change to
+//! that normal form — new rules, reordered families — shifts which
+//! fingerprint an obligation maps to and must bump
+//! [`crate::obcache::SEMANTICS_REVISION`], exactly like widening the `Op`
+//! vocabulary.
 
 use std::collections::{HashMap, HashSet};
 

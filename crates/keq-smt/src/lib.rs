@@ -6,10 +6,10 @@
 //! Application to LLVM*, ASPLOS 2021).
 //!
 //! Pipeline: hash-consed terms with normalizing constructors
-//! ([`term::TermBank`]) → array elimination + signed-division lowering
-//! ([`lower`]) → bit-blasting ([`bitblast`]) → CDCL SAT ([`sat`]), fronted
-//! by [`solver::Solver`] which also implements the paper's §3 positive-form
-//! query optimization.
+//! ([`term::TermBank`]) → saturating rewrite normalization ([`rewrite`]) →
+//! array elimination + signed-division lowering ([`lower`]) → bit-blasting
+//! ([`bitblast`]) → CDCL SAT ([`sat`]), fronted by [`solver::Solver`] which
+//! also implements the paper's §3 positive-form query optimization.
 //!
 //! ```
 //! use keq_smt::{Solver, Sort, TermBank};
@@ -30,6 +30,7 @@ pub mod fault;
 pub mod fingerprint;
 pub mod lower;
 pub mod obcache;
+pub mod rewrite;
 pub mod sat;
 pub mod solver;
 pub mod sort;
@@ -49,6 +50,7 @@ pub use obcache::{
     fnv1a32, CachedVerdict, LoadOutcome, ObligationCacheStats, PersistOutcome,
     SharedObligationCache, StdStoreIo, StoreIo, SEMANTICS_REVISION,
 };
+pub use rewrite::{RewriteStats, Rewriter, RuleFamily};
 pub use sat::SatBudget;
 pub use solver::{
     Budget, BudgetKind, CheckOutcome, Model, ProofOutcome, Session, Solver, SolverStats,

@@ -102,7 +102,13 @@ impl StoreIo for StdStoreIo {
 /// Bump when term semantics, normalization, or the fingerprint algorithm
 /// change in any way that could alter what a fingerprint means. A persisted
 /// store with a different revision is discarded wholesale at load.
-pub const SEMANTICS_REVISION: u64 = 1;
+///
+/// Revision history:
+/// - 1: constructor-time peepholes only.
+/// - 2: saturating obligation normalization ([`crate::rewrite`]) runs before
+///   fingerprinting, so revision-1 fingerprints name pre-rewrite shapes and
+///   must not be mixed with post-rewrite ones.
+pub const SEMANTICS_REVISION: u64 = 2;
 
 /// On-disk container format version (layout of header/records, not the
 /// meaning of fingerprints — that is [`SEMANTICS_REVISION`]).
@@ -563,6 +569,37 @@ mod tests {
         let warm = SharedObligationCache::new();
         let reloaded = warm.load(&path);
         assert_eq!((reloaded.loaded, reloaded.reset), (1, false), "{reloaded:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Regression: a store persisted before saturating rewrite normalization
+    /// (semantics revision 1) names pre-rewrite fingerprints and must be
+    /// rejected wholesale, not silently mixed with post-rewrite verdicts.
+    #[test]
+    fn pre_rewrite_store_is_rejected_wholesale() {
+        const {
+            assert!(SEMANTICS_REVISION >= 2, "revision must stay bumped past the pre-rewrite era")
+        };
+        let path = temp_path("prerewrite");
+        let _ = std::fs::remove_file(&path);
+        // Hand-write a revision-1 store carrying a verdict record.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&STORE_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        let mut payload = [0u8; PAYLOAD_LEN as usize];
+        payload[0..8].copy_from_slice(&77u64.to_le_bytes());
+        payload[16] = 1; // Unsat
+        bytes.extend_from_slice(&PAYLOAD_LEN.to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&fnv1a32(&payload).to_le_bytes());
+        std::fs::write(&path, &bytes).expect("write revision-1 store");
+
+        let cache = SharedObligationCache::new();
+        let loaded = cache.load(&path);
+        assert!(loaded.reset, "{loaded:?}");
+        assert_eq!(loaded.loaded, 0, "no revision-1 verdict may survive");
+        assert_eq!(cache.lookup(fp(77)), None);
         let _ = std::fs::remove_file(&path);
     }
 

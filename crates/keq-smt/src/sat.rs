@@ -116,6 +116,11 @@ struct Clause {
     lits: Vec<Lit>,
     learnt: bool,
     activity: f64,
+    /// Literal-block distance at learn time: the number of distinct
+    /// decision levels in the clause when it was derived. Glue clauses
+    /// (LBD ≤ 2) chain propagations between exactly two levels and are
+    /// exempt from database reduction. Zero for problem clauses.
+    lbd: u32,
 }
 
 type ClauseRef = usize;
@@ -235,6 +240,7 @@ pub struct SatSolver {
     num_learnt: usize,
     conflicts: u64,
     restarts: u64,
+    lbd_kept: u64,
 }
 
 impl Default for SatSolver {
@@ -265,6 +271,7 @@ impl SatSolver {
             num_learnt: 0,
             conflicts: 0,
             restarts: 0,
+            lbd_kept: 0,
         }
     }
 
@@ -281,6 +288,12 @@ impl SatSolver {
     /// Total restarts taken over the solver's lifetime.
     pub fn restarts(&self) -> u64 {
         self.restarts
+    }
+
+    /// Cumulative count of glue clauses (learn-time LBD ≤ 2) that database
+    /// reductions exempted from deletion.
+    pub fn lbd_kept(&self) -> u64 {
+        self.lbd_kept
     }
 
     /// Number of learnt clauses currently retained in the database.
@@ -365,13 +378,13 @@ impl SatSolver {
                 self.ok
             }
             _ => {
-                self.attach_clause(out, false);
+                self.attach_clause(out, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
         let cref = self.clauses.len();
         self.watches[lits[0].negate().index()].push(Watcher { cref, blocker: lits[1] });
@@ -379,7 +392,7 @@ impl SatSolver {
         if learnt {
             self.num_learnt += 1;
         }
-        self.clauses.push(Clause { lits, learnt, activity: 0.0 });
+        self.clauses.push(Clause { lits, learnt, activity: 0.0, lbd });
         cref
     }
 
@@ -485,8 +498,11 @@ impl SatSolver {
         }
     }
 
-    /// 1UIP conflict analysis; returns (learnt clause, backtrack level).
-    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+    /// 1UIP conflict analysis; returns (learnt clause, backtrack level,
+    /// learn-time LBD). The LBD must be computed here — after backtracking
+    /// the `level` array no longer reflects the levels the clause was
+    /// derived under.
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32, u32) {
         let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for asserting literal
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
@@ -550,7 +566,12 @@ impl SatSolver {
             out.swap(1, max_i);
             self.level[out[1].var().0 as usize]
         };
-        (out, bt)
+        let mut levels: Vec<u32> =
+            out.iter().map(|l| self.level[l.var().0 as usize]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        let lbd = levels.len() as u32;
+        (out, bt, lbd)
     }
 
     /// Checks whether `l` is implied by the other seen literals (bounded
@@ -634,12 +655,21 @@ impl SatSolver {
     }
 
     fn reduce_db(&mut self) {
-        // Remove the less active half of learnt clauses that are not reasons.
+        // Remove the less active half of learnt clauses that are not
+        // reasons. Glue clauses (learn-time LBD ≤ 2) are kept
+        // unconditionally: they bridge exactly two decision levels and are
+        // the clauses most likely to propagate again; among the rest the
+        // tie-break stays activity, as before.
+        self.lbd_kept += self
+            .clauses
+            .iter()
+            .filter(|c| c.learnt && c.lits.len() > 2 && c.lbd <= 2)
+            .count() as u64;
         let mut learnt: Vec<(f64, ClauseRef)> = self
             .clauses
             .iter()
             .enumerate()
-            .filter(|(_, c)| c.learnt && c.lits.len() > 2)
+            .filter(|(_, c)| c.learnt && c.lits.len() > 2 && c.lbd > 2)
             .map(|(i, c)| (c.activity, i))
             .collect();
         if learnt.len() < 2 {
@@ -771,12 +801,12 @@ impl SatSolver {
                     self.ok = false;
                     return SatOutcome::Unsat;
                 }
-                let (learnt, bt) = self.analyze(conflict);
+                let (learnt, bt, lbd) = self.analyze(conflict);
                 self.backtrack(bt);
                 if learnt.len() == 1 {
                     self.unchecked_enqueue(learnt[0], None);
                 } else {
-                    let cref = self.attach_clause(learnt.clone(), true);
+                    let cref = self.attach_clause(learnt.clone(), true, lbd);
                     self.bump_clause(cref);
                     self.unchecked_enqueue(learnt[0], Some(cref));
                 }

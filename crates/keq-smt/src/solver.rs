@@ -18,6 +18,7 @@ use crate::fault::{self, FaultAction, FaultSite};
 use crate::fingerprint::{fingerprint_obligation, ObligationFingerprint, ShapeMemo};
 use crate::lower::{lower, Lowerer};
 use crate::obcache::{CachedVerdict, SharedObligationCache};
+use crate::rewrite::Rewriter;
 use crate::sat::{Lit, SatBudget, SatOutcome, SatSolver};
 use crate::sort::Sort;
 use crate::term::{Op, TermBank, TermId};
@@ -168,6 +169,15 @@ pub struct SolverStats {
     pub obligation_cache_misses: u64,
     /// Verdicts this solver recorded into the shared obligation cache.
     pub obligation_cache_stores: u64,
+    /// Rewrite rules fired by obligation normalization (all families).
+    pub rewrite_rules_fired: u64,
+    /// Normalization passes run over obligation roots.
+    pub rewrite_passes: u64,
+    /// Term-DAG nodes eliminated by obligation normalization.
+    pub rewrite_nodes_saved: u64,
+    /// Learnt clauses exempted from CDCL database reduction because their
+    /// literal-block distance was glue-level (LBD ≤ 2).
+    pub lbd_kept: u64,
     /// Total wall-clock time in the solver.
     pub time: Duration,
 }
@@ -192,6 +202,10 @@ impl SolverStats {
         self.obligation_cache_hits += other.obligation_cache_hits;
         self.obligation_cache_misses += other.obligation_cache_misses;
         self.obligation_cache_stores += other.obligation_cache_stores;
+        self.rewrite_rules_fired += other.rewrite_rules_fired;
+        self.rewrite_passes += other.rewrite_passes;
+        self.rewrite_nodes_saved += other.rewrite_nodes_saved;
+        self.lbd_kept += other.lbd_kept;
         self.time += other.time;
     }
 
@@ -225,6 +239,14 @@ impl SolverStats {
             obligation_cache_stores: self
                 .obligation_cache_stores
                 .saturating_sub(earlier.obligation_cache_stores),
+            rewrite_rules_fired: self
+                .rewrite_rules_fired
+                .saturating_sub(earlier.rewrite_rules_fired),
+            rewrite_passes: self.rewrite_passes.saturating_sub(earlier.rewrite_passes),
+            rewrite_nodes_saved: self
+                .rewrite_nodes_saved
+                .saturating_sub(earlier.rewrite_nodes_saved),
+            lbd_kept: self.lbd_kept.saturating_sub(earlier.lbd_kept),
             time: self.time.checked_sub(earlier.time).unwrap_or_default(),
         }
     }
@@ -349,6 +371,13 @@ pub struct Solver {
     shared: Option<Arc<SharedObligationCache>>,
     /// Per-bank memo for the query-independent fingerprint layer.
     fp_memo: ShapeMemo,
+    /// Saturating obligation normalizer (see [`crate::rewrite`]); its
+    /// memo shares the per-bank contract of `fp_memo`.
+    rewriter: Rewriter,
+    /// `true` disables obligation normalization — the measurement/off leg
+    /// for benches and differential tests. Inverted so the zero-value
+    /// default keeps rewriting on.
+    rewrite_disabled: bool,
 }
 
 impl Solver {
@@ -386,6 +415,19 @@ impl Solver {
     /// analogue of [`Solver::with_cancel`].
     pub fn set_cancel(&mut self, cancel: Option<CancelToken>) {
         self.cancel = cancel;
+    }
+
+    /// Enables or disables saturating obligation normalization (on by
+    /// default). The off position exists for measurement: benches and the
+    /// differential property tests run a rewriter-off leg against the same
+    /// workload.
+    pub fn set_rewrite_enabled(&mut self, on: bool) {
+        self.rewrite_disabled = !on;
+    }
+
+    /// Whether obligation normalization is currently applied.
+    pub fn rewrite_enabled(&self) -> bool {
+        !self.rewrite_disabled
     }
 
     /// Cumulative statistics.
@@ -484,6 +526,26 @@ impl Solver {
         None
     }
 
+    /// Runs the saturating rewriter over one obligation's roots, folding the
+    /// rewrite deltas into [`SolverStats`]. `Err` means the rewrite pass
+    /// observed cooperative cancellation mid-obligation; the caller maps it
+    /// to a wall-clock budget outcome exactly like [`Solver::query_guard`].
+    fn normalize_obligation(
+        &mut self,
+        bank: &mut TermBank,
+        terms: &[TermId],
+    ) -> Result<Vec<TermId>, CheckOutcome> {
+        match self.rewriter.normalize(bank, terms, self.cancel.as_ref()) {
+            Some((out, delta)) => {
+                self.stats.rewrite_rules_fired += delta.total_fired();
+                self.stats.rewrite_passes += delta.passes;
+                self.stats.rewrite_nodes_saved += delta.nodes_saved();
+                Ok(out)
+            }
+            None => Err(CheckOutcome::Budget(BudgetKind::WallClock)),
+        }
+    }
+
     /// Checks satisfiability of the conjunction of `assertions`.
     pub fn check_sat(&mut self, bank: &mut TermBank, assertions: &[TermId]) -> CheckOutcome {
         self.check_sat_opts(bank, assertions, true)
@@ -505,6 +567,31 @@ impl Solver {
             return forced;
         }
         let stats_before = self.stats;
+        // Normalize before key construction so the local memo, the shared
+        // fingerprint, and the blasting pipeline all see the same terms.
+        let normalized: Vec<TermId>;
+        let assertions: &[TermId] = if self.rewrite_disabled {
+            assertions
+        } else {
+            match self.normalize_obligation(bank, assertions) {
+                Ok(terms) => {
+                    normalized = terms;
+                    &normalized
+                }
+                Err(outcome) => {
+                    self.stats.budget += 1;
+                    self.stats.time += start.elapsed();
+                    trace_query(
+                        "scratch",
+                        &outcome,
+                        false,
+                        start.elapsed(),
+                        &self.stats.since(&stats_before),
+                    );
+                    return outcome;
+                }
+            }
+        };
         let key = QueryKey::new(&[], assertions);
         if let Some(hit) = self.cache.get(&key) {
             self.stats.cache_hits += 1;
@@ -607,6 +694,7 @@ impl Solver {
         cdcl_span.done();
         self.stats.conflicts += sat.conflicts();
         self.stats.restarts += sat.restarts();
+        self.stats.lbd_kept += sat.lbd_kept();
         match sat_outcome {
             SatOutcome::Unsat => CheckOutcome::Unsat,
             SatOutcome::Budget(kind) => CheckOutcome::Budget(match kind {
@@ -740,7 +828,18 @@ impl Solver {
     pub fn open_session<'s>(&'s mut self, bank: &mut TermBank, prefix: &[TermId]) -> Session<'s> {
         self.stats.sessions_opened += 1;
         keq_trace::emit(keq_trace::Event::SessionOpened { prefix_len: prefix.len() as u64 });
-        let mut key_prefix = prefix.to_vec();
+        // Normalize the prefix up front: every query key, fingerprint, and
+        // lowered assertion derives from it. Cancellation mid-normalize
+        // poisons the session the same way a prefix budget blowout does.
+        let (prefix, poisoned) = if self.rewrite_disabled {
+            (prefix.to_vec(), None)
+        } else {
+            match self.normalize_obligation(bank, prefix) {
+                Ok(terms) => (terms, None),
+                Err(_) => (prefix.to_vec(), Some(BudgetKind::WallClock)),
+            }
+        };
+        let mut key_prefix = prefix.clone();
         key_prefix.sort_unstable();
         key_prefix.dedup();
         let mut session = Session {
@@ -750,10 +849,15 @@ impl Solver {
             blast: BlastCache::new(),
             activation: HashMap::new(),
             hard_asserts: Vec::new(),
-            state: SessionState::Live,
+            state: match poisoned {
+                Some(kind) => SessionState::Poisoned(kind),
+                None => SessionState::Live,
+            },
             solver: self,
         };
-        session.assert_prefix(bank, prefix);
+        if poisoned.is_none() {
+            session.assert_prefix(bank, &prefix);
+        }
         session
     }
 }
@@ -896,6 +1000,26 @@ impl<'s> Session<'s> {
             }
             SessionState::Live => {}
         }
+        // Normalize the delta before key construction (the prefix was
+        // normalized at `open_session`); repeat deltas hit the rewriter's
+        // memo and cost one hash lookup per root.
+        let normalized: Vec<TermId>;
+        let delta: &[TermId] = if self.solver.rewrite_disabled {
+            delta
+        } else {
+            match self.solver.normalize_obligation(bank, delta) {
+                Ok(terms) => {
+                    normalized = terms;
+                    &normalized
+                }
+                Err(outcome) => {
+                    self.solver.stats.budget += 1;
+                    self.solver.stats.time += start.elapsed();
+                    self.trace("session", &outcome, false, start, &stats_before);
+                    return outcome;
+                }
+            }
+        };
         let key = QueryKey::new(&self.prefix, delta);
         if let Some(hit) = self.solver.cache.get(&key) {
             self.solver.stats.cache_hits += 1;
@@ -1037,6 +1161,7 @@ impl<'s> Session<'s> {
         let deadline = self.solver.budget.max_time.map(|d| Instant::now() + d);
         let conflicts_before = self.sat.conflicts();
         let restarts_before = self.sat.restarts();
+        let lbd_kept_before = self.sat.lbd_kept();
         let cdcl_span = keq_trace::span(keq_trace::Phase::Cdcl);
         let outcome = self.sat.solve_under_assumptions(
             &assumptions,
@@ -1047,6 +1172,7 @@ impl<'s> Session<'s> {
         cdcl_span.done();
         self.solver.stats.conflicts += self.sat.conflicts() - conflicts_before;
         self.solver.stats.restarts += self.sat.restarts() - restarts_before;
+        self.solver.stats.lbd_kept += self.sat.lbd_kept() - lbd_kept_before;
         match outcome {
             SatOutcome::Unsat => CheckOutcome::Unsat,
             SatOutcome::Budget(kind) => CheckOutcome::Budget(match kind {

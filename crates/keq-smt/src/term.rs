@@ -7,6 +7,14 @@
 //! folding, neutral/annihilator elements, canonical argument order for
 //! commutative operators, store-chain canonicalization); heavier reasoning is
 //! left to the solver (see [`crate::solver`]).
+//!
+//! The constructor peepholes only see the node being built, on the shape
+//! it is built with. The saturating pass in [`crate::rewrite`] extends
+//! them to whole obligations: it re-walks the DAG to fixpoint and rebuilds
+//! exclusively through these `mk_*` constructors, so every peephole here
+//! re-fires on rewritten children and the two layers compound. Keep new
+//! peepholes cheap and local; anything needing a fixpoint or cross-node
+//! context belongs in the rewrite rule table instead.
 
 use std::collections::HashMap;
 use std::fmt;

@@ -206,6 +206,80 @@ fn session_batches_agree_with_scratch_solvers() {
     }
 }
 
+/// The rewriter leg of the differential: the same seeded batches must
+/// produce the same Sat/Unsat/Budget kinds with obligation normalization on
+/// (the default) and off, on both the session and the scratch path, and
+/// every Sat model must satisfy the *original* (pre-rewrite) query. A
+/// divergence here means a rewrite rule changed an obligation's meaning.
+#[test]
+fn rewriter_on_and_off_legs_agree() {
+    for seed in 0..TRIALS {
+        let mut rng = Prng::seed_from_u64(0x4e_0912 ^ seed);
+        let mut bank = TermBank::new();
+        let pool = Pool::new(&mut bank);
+
+        let prefix_len = rng.below(3);
+        let prefix = gen_assertions(&mut rng, &mut bank, &pool, prefix_len);
+        let batch: Vec<Vec<TermId>> = (0..2 + rng.below(3))
+            .map(|_| {
+                let delta_len = 1 + rng.below(2);
+                gen_assertions(&mut rng, &mut bank, &pool, delta_len)
+            })
+            .collect();
+
+        let mut on_solver = Solver::new();
+        let mut off_solver = Solver::new();
+        off_solver.set_rewrite_enabled(false);
+        let mut on_session = on_solver.open_session(&mut bank, &prefix);
+        let on_outcomes: Vec<CheckOutcome> =
+            batch.iter().map(|delta| on_session.check_sat(&mut bank, delta)).collect();
+        drop(on_session);
+        let mut off_session = off_solver.open_session(&mut bank, &prefix);
+        let off_outcomes: Vec<CheckOutcome> =
+            batch.iter().map(|delta| off_session.check_sat(&mut bank, delta)).collect();
+        drop(off_session);
+
+        for (i, delta) in batch.iter().enumerate() {
+            let mut full = prefix.clone();
+            full.extend_from_slice(delta);
+            let mut scratch_on = Solver::new();
+            let mut scratch_off = Solver::new();
+            scratch_off.set_rewrite_enabled(false);
+            let scratch_on_outcome = scratch_on.check_sat(&mut bank, &full);
+            let scratch_off_outcome = scratch_off.check_sat(&mut bank, &full);
+
+            let kinds = [
+                kind(&on_outcomes[i]),
+                kind(&off_outcomes[i]),
+                kind(&scratch_on_outcome),
+                kind(&scratch_off_outcome),
+            ];
+            assert!(
+                kinds.iter().all(|k| *k == kinds[0]),
+                "seed {seed} query {i}: rewriter legs disagree: \
+                 session on/off {:?}/{:?}, scratch on/off {:?}/{:?}",
+                kinds[0],
+                kinds[1],
+                kinds[2],
+                kinds[3],
+            );
+            for (outcome, who) in [
+                (&on_outcomes[i], "session rewriter-on"),
+                (&scratch_on_outcome, "scratch rewriter-on"),
+            ] {
+                if let CheckOutcome::Sat(m) = outcome {
+                    assert_model_satisfies(
+                        &mut bank,
+                        &full,
+                        m,
+                        &format!("seed {seed} query {i} {who}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn session_and_scratch_report_identical_injected_budget_faults() {
     // ForceBudget at FaultSite::SolverQuery fires at every poll, so *every*

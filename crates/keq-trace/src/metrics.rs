@@ -88,11 +88,29 @@ pub enum CounterId {
     SyncPoints,
     /// Proof obligations discharged or refuted (keq-core).
     Obligations,
+    /// Rewrite rules fired: constant folding beyond constructor reach.
+    RewriteConstFold,
+    /// Rewrite rules fired: identity/absorption/annihilator laws.
+    RewriteAlgebraic,
+    /// Rewrite rules fired: cancellation through one level of structure.
+    RewriteCancel,
+    /// Rewrite rules fired: extension/extraction/concat collapsing.
+    RewriteWidth,
+    /// Rewrite rules fired: store-chain collapsing.
+    RewriteMemory,
+    /// Rewrite rules fired: ite condition/branch simplification.
+    RewriteIte,
+    /// Normalization passes run over obligation roots.
+    RewritePasses,
+    /// Term-DAG nodes eliminated by obligation normalization.
+    RewriteNodesSaved,
+    /// Learnt clauses exempted from DB reduction for glue (LBD <= 2).
+    LbdKept,
 }
 
 impl CounterId {
     /// Every counter, in exposition order.
-    pub const ALL: [CounterId; 20] = [
+    pub const ALL: [CounterId; 29] = [
         CounterId::Requests,
         CounterId::Completed,
         CounterId::RejectedQueueFull,
@@ -113,6 +131,15 @@ impl CounterId {
         CounterId::StoreFlushFailures,
         CounterId::SyncPoints,
         CounterId::Obligations,
+        CounterId::RewriteConstFold,
+        CounterId::RewriteAlgebraic,
+        CounterId::RewriteCancel,
+        CounterId::RewriteWidth,
+        CounterId::RewriteMemory,
+        CounterId::RewriteIte,
+        CounterId::RewritePasses,
+        CounterId::RewriteNodesSaved,
+        CounterId::LbdKept,
     ];
 
     /// Stable exposition name.
@@ -138,6 +165,15 @@ impl CounterId {
             CounterId::StoreFlushFailures => "keq_store_flush_failures_total",
             CounterId::SyncPoints => "keq_check_sync_points_total",
             CounterId::Obligations => "keq_check_obligations_total",
+            CounterId::RewriteConstFold => "keq_rewrite_const_fold_total",
+            CounterId::RewriteAlgebraic => "keq_rewrite_algebraic_total",
+            CounterId::RewriteCancel => "keq_rewrite_cancel_total",
+            CounterId::RewriteWidth => "keq_rewrite_width_total",
+            CounterId::RewriteMemory => "keq_rewrite_memory_total",
+            CounterId::RewriteIte => "keq_rewrite_ite_total",
+            CounterId::RewritePasses => "keq_rewrite_passes_total",
+            CounterId::RewriteNodesSaved => "keq_rewrite_nodes_saved_total",
+            CounterId::LbdKept => "keq_sat_lbd_kept_total",
         }
     }
 
@@ -164,6 +200,15 @@ impl CounterId {
             CounterId::StoreFlushFailures => "Obligation-store flushes that failed",
             CounterId::SyncPoints => "Startable synchronization points checked",
             CounterId::Obligations => "Proof obligations discharged or refuted",
+            CounterId::RewriteConstFold => "Rewrite rules fired: constant folding",
+            CounterId::RewriteAlgebraic => "Rewrite rules fired: algebraic laws",
+            CounterId::RewriteCancel => "Rewrite rules fired: cancellation",
+            CounterId::RewriteWidth => "Rewrite rules fired: width collapsing",
+            CounterId::RewriteMemory => "Rewrite rules fired: store collapsing",
+            CounterId::RewriteIte => "Rewrite rules fired: ite simplification",
+            CounterId::RewritePasses => "Obligation normalization passes run",
+            CounterId::RewriteNodesSaved => "Term-DAG nodes eliminated by normalization",
+            CounterId::LbdKept => "Learnt clauses kept through DB reduction for glue",
         }
     }
 }

@@ -26,8 +26,11 @@ use crate::json::{self, Json};
 /// `server` section (request counters and latency quantiles of the
 /// long-lived `keq-server` front end — all-zero for batch runs); v5 added
 /// `p90_us` to the server section, the solver `restarts` counter, and the
-/// `telemetry` section (metrics sampling plus the slow-obligation table).
-pub const REPORT_SCHEMA: &str = "keq-run-report/v5";
+/// `telemetry` section (metrics sampling plus the slow-obligation table);
+/// v6 added the obligation-normalization counters (`rewrite_rules_fired`,
+/// `rewrite_passes`, `rewrite_nodes_saved`) and the CDCL glue-retention
+/// counter (`lbd_kept`) to the solver section.
+pub const REPORT_SCHEMA: &str = "keq-run-report/v6";
 
 /// The Fig. 6 outcome table.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -103,12 +106,20 @@ pub struct SolverCounters {
     pub terms_blasted: u64,
     /// Term nodes served from a blast memo.
     pub terms_blast_reused: u64,
+    /// Rewrite rules fired by obligation normalization.
+    pub rewrite_rules_fired: u64,
+    /// Normalization passes over obligation roots.
+    pub rewrite_passes: u64,
+    /// Term-DAG nodes eliminated by obligation normalization.
+    pub rewrite_nodes_saved: u64,
+    /// Glue clauses (LBD ≤ 2) exempted from CDCL database reduction.
+    pub lbd_kept: u64,
     /// Total solver wall-clock, µs.
     pub time_us: u64,
 }
 
 impl SolverCounters {
-    const FIELDS: [&'static str; 14] = [
+    const FIELDS: [&'static str; 18] = [
         "queries",
         "sat",
         "unsat",
@@ -122,6 +133,10 @@ impl SolverCounters {
         "clauses_retained",
         "terms_blasted",
         "terms_blast_reused",
+        "rewrite_rules_fired",
+        "rewrite_passes",
+        "rewrite_nodes_saved",
+        "lbd_kept",
         "time_us",
     ];
 
@@ -142,6 +157,10 @@ impl SolverCounters {
             ("clauses_retained", json::num(self.clauses_retained)),
             ("terms_blasted", json::num(self.terms_blasted)),
             ("terms_blast_reused", json::num(self.terms_blast_reused)),
+            ("rewrite_rules_fired", json::num(self.rewrite_rules_fired)),
+            ("rewrite_passes", json::num(self.rewrite_passes)),
+            ("rewrite_nodes_saved", json::num(self.rewrite_nodes_saved)),
+            ("lbd_kept", json::num(self.lbd_kept)),
             ("time_us", json::num(self.time_us)),
         ])
     }
@@ -165,6 +184,10 @@ impl SolverCounters {
             clauses_retained: f("clauses_retained"),
             terms_blasted: f("terms_blasted"),
             terms_blast_reused: f("terms_blast_reused"),
+            rewrite_rules_fired: f("rewrite_rules_fired"),
+            rewrite_passes: f("rewrite_passes"),
+            rewrite_nodes_saved: f("rewrite_nodes_saved"),
+            lbd_kept: f("lbd_kept"),
             time_us: f("time_us"),
         })
     }
@@ -1006,6 +1029,10 @@ mod tests {
                 clauses_retained: 55,
                 terms_blasted: 1000,
                 terms_blast_reused: 400,
+                rewrite_rules_fired: 120,
+                rewrite_passes: 48,
+                rewrite_nodes_saved: 310,
+                lbd_kept: 11,
                 time_us: 80_120,
             },
             cache: CacheCounters {
@@ -1065,6 +1092,10 @@ mod tests {
                         clauses_retained: 40,
                         terms_blasted: 700,
                         terms_blast_reused: 250,
+                        rewrite_rules_fired: 70,
+                        rewrite_passes: 25,
+                        rewrite_nodes_saved: 180,
+                        lbd_kept: 6,
                         time_us: 61_000,
                     },
                 }],

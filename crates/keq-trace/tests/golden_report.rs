@@ -47,6 +47,10 @@ fn golden_report() -> RunReport {
             clauses_retained: 55,
             terms_blasted: 1000,
             terms_blast_reused: 400,
+            rewrite_rules_fired: 120,
+            rewrite_passes: 48,
+            rewrite_nodes_saved: 310,
+            lbd_kept: 11,
             time_us: 80_120,
         },
         cache: CacheCounters {
@@ -106,6 +110,10 @@ fn golden_report() -> RunReport {
                     clauses_retained: 40,
                     terms_blasted: 700,
                     terms_blast_reused: 250,
+                    rewrite_rules_fired: 70,
+                    rewrite_passes: 25,
+                    rewrite_nodes_saved: 180,
+                    lbd_kept: 6,
                     time_us: 61_000,
                 },
             }],

@@ -10,6 +10,9 @@
 #   pr6  journaling overhead and kill/resume wall-time ratios, emitted
 #        as BENCH_PR6.json
 #        (crates/keq-bench/benches/bench_pr6.rs for schema and knobs)
+#   pr9  obligation-normalization blasted-term reduction and cold-run
+#        cross-function cache hit ratio, emitted as BENCH_PR9.json
+#        (crates/keq-bench/benches/bench_pr9.rs for schema and knobs)
 #   server  keq-server steady-state throughput, latency quantiles, and
 #        resident-cache hit ratio, emitted as BENCH_SERVER.json
 #        (crates/keq-bench/benches/bench_server.rs for schema and knobs)
@@ -19,11 +22,12 @@
 #   scripts/bench.sh --smoke          # pr2, CI-sized run
 #   scripts/bench.sh pr4 [--smoke]    # obligation-cache benchmark
 #   scripts/bench.sh pr6 [--smoke]    # crash-safety benchmark
+#   scripts/bench.sh pr9 [--smoke]    # rewrite-normalization benchmark
 #   scripts/bench.sh server [--smoke] # keq-server daemon benchmark
 #
-# Any KEQ_PR2_* / KEQ_PR4_* / KEQ_PR6_* / KEQ_SRV_* variable already in
-# the environment wins over the smoke defaults, so a partial override
-# stays possible in either mode.
+# Any KEQ_PR2_* / KEQ_PR4_* / KEQ_PR6_* / KEQ_PR9_* / KEQ_SRV_* variable
+# already in the environment wins over the smoke defaults, so a partial
+# override stays possible in either mode.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,10 +35,10 @@ target=pr2
 smoke=0
 for arg in "$@"; do
     case "$arg" in
-        pr2|pr4|pr6|server) target="$arg" ;;
+        pr2|pr4|pr6|pr9|server) target="$arg" ;;
         --smoke) smoke=1 ;;
         *)
-            echo "usage: scripts/bench.sh [pr2|pr4|pr6|server] [--smoke]" >&2
+            echo "usage: scripts/bench.sh [pr2|pr4|pr6|pr9|server] [--smoke]" >&2
             exit 2
             ;;
     esac
@@ -71,6 +75,15 @@ case "$target" in
         echo "==> cargo bench -p keq-bench --bench bench_pr6"
         cargo bench -p keq-bench --bench bench_pr6
         echo "==> wrote ${KEQ_PR6_OUT}"
+        ;;
+    pr9)
+        if [[ "$smoke" == 1 ]]; then
+            export KEQ_PR9_N="${KEQ_PR9_N:-12}"
+        fi
+        export KEQ_PR9_OUT="${KEQ_PR9_OUT:-$PWD/BENCH_PR9.json}"
+        echo "==> cargo bench -p keq-bench --bench bench_pr9"
+        cargo bench -p keq-bench --bench bench_pr9
+        echo "==> wrote ${KEQ_PR9_OUT}"
         ;;
     server)
         if [[ "$smoke" == 1 ]]; then
