@@ -1,0 +1,170 @@
+//! **BENCH_PR10** — machine-readable pass-pipeline benchmark.
+//!
+//! Exercises the two new instantiations of the `ValidatedPass` abstraction
+//! end-to-end through the harness, one leg each:
+//!
+//! * **regalloc** — a corpus generated with the high-register-pressure
+//!   profile (`GenConfig::pressure`), validated under `PassId::Regalloc`;
+//!   every function exceeds the register pool, so the leg measures the
+//!   *spilling* allocator's translation-validation throughput;
+//! * **gvn** — the default corpus validated under `PassId::Gvn` (LLVM IR
+//!   to LLVM IR), measuring the mid-end pass's validation throughput.
+//!
+//! Emits `BENCH_PR10.json` with per-leg wall time, functions/second,
+//! the Fig. 6 outcome table, and the obligation-cache hit ratio, plus leg
+//! ground truth: how many regalloc functions actually spilled and how many
+//! values GVN eliminated corpus-wide.
+//!
+//! In-bench acceptance bars (the run aborts when missed):
+//!
+//! * every unit of both legs validates (no timeouts, crashes, or refusals);
+//! * every regalloc-leg function takes the spill path (the pressure
+//!   profile does its job);
+//! * the GVN leg eliminates at least one value somewhere in the corpus
+//!   (the pass is not a corpus-wide no-op).
+//!
+//! Environment knobs:
+//!
+//! * `KEQ_PR10_N`        — corpus functions per leg (default 16)
+//! * `KEQ_PR10_SECS`     — per-function time limit (default 10)
+//! * `KEQ_PR10_SEED`     — corpus seed (default 2021)
+//! * `KEQ_PR10_PRESSURE` — regalloc-leg pressure pins (default 10)
+//! * `KEQ_PR10_OUT`      — output path (default `BENCH_PR10.json`)
+//!
+//! `scripts/bench.sh pr10` drives this target; CI runs it smoke-sized.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use keq_bench::{outcome_table, run_corpus_cfg, CorpusSummary, GenConfig, HarnessOptions};
+use keq_core::KeqOptions;
+use keq_isel::{allocate_with_options, select, IselOptions, PassId, RaOptions};
+use keq_llvm::ast::Module;
+use keq_llvm::gvn::{run_gvn, GvnOptions};
+use keq_llvm::Layout;
+use keq_smt::Budget;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// One single-pass corpus sweep through the full harness.
+fn measure(cfg: GenConfig, n: usize, secs: u64, pass: PassId) -> (Duration, Module, CorpusSummary) {
+    let opts = HarnessOptions {
+        keq: KeqOptions {
+            time_limit: Some(Duration::from_secs(secs)),
+            solver_budget: Budget {
+                max_conflicts: 500_000,
+                max_terms: 2_000_000,
+                max_time: Some(Duration::from_secs(secs / 4 + 1)),
+            },
+            ..KeqOptions::default()
+        },
+        passes: vec![pass],
+        ..HarnessOptions::default()
+    };
+    let start = Instant::now();
+    let (m, summary) = run_corpus_cfg(cfg, n, &opts);
+    (start.elapsed(), m, summary)
+}
+
+fn json_leg(wall: Duration, summary: &CorpusSummary) -> String {
+    let funcs_per_sec = summary.total() as f64 / wall.as_secs_f64().max(1e-9);
+    format!(
+        "{{\"wall_ms\": {}, \"functions\": {}, \"functions_per_sec\": {:.3}, \
+         \"obligation_cache_hit_ratio\": {:.4}, \"solver_queries\": {}, \"outcome\": {}}}",
+        wall.as_millis(),
+        summary.total(),
+        funcs_per_sec,
+        summary.obligation_cache_hit_ratio(),
+        summary.solver.queries,
+        outcome_table(summary).to_json_string()
+    )
+}
+
+fn assert_all_succeeded(leg: &str, summary: &CorpusSummary) {
+    for row in &summary.rows {
+        assert_eq!(
+            row.result.kind().name(),
+            "succeeded",
+            "acceptance bar ({leg}): {} [{}] finished {:?}",
+            row.name,
+            row.pass.name(),
+            row.result
+        );
+    }
+}
+
+fn main() {
+    let n = env_u64("KEQ_PR10_N", 16) as usize;
+    let secs = env_u64("KEQ_PR10_SECS", 10);
+    let seed = env_u64("KEQ_PR10_SEED", 2021);
+    let pressure = env_u64("KEQ_PR10_PRESSURE", 10) as usize;
+    let out = std::env::var("KEQ_PR10_OUT").unwrap_or_else(|_| "BENCH_PR10.json".to_string());
+
+    eprintln!(
+        "regalloc leg: {n} high-pressure functions (seed {seed}, pressure {pressure}, \
+         {secs}s/function)..."
+    );
+    let ra_cfg = GenConfig { seed, pressure, ..GenConfig::default() };
+    let (ra_wall, ra_module, ra_summary) = measure(ra_cfg, n, secs, PassId::Regalloc);
+    assert_all_succeeded("regalloc", &ra_summary);
+
+    // Ground truth: re-run selection + allocation outside the harness to
+    // count which functions actually spilled.
+    let mut spilled_functions = 0usize;
+    let mut spilled_values = 0usize;
+    for f in &ra_module.functions {
+        let layout = Layout::of(&ra_module, f);
+        let pre = select(&ra_module, f, &layout, IselOptions::default())
+            .expect("corpus functions select")
+            .func;
+        let (_, map) =
+            allocate_with_options(&pre, RaOptions::default(), None).expect("uncancelled");
+        if !map.spills.is_empty() {
+            spilled_functions += 1;
+            spilled_values += map.spills.len();
+        }
+    }
+    assert_eq!(
+        spilled_functions, n,
+        "acceptance bar: the pressure profile must force every function to spill"
+    );
+
+    eprintln!("gvn leg: {n} corpus functions (seed {seed}, {secs}s/function)...");
+    let gvn_cfg = GenConfig { seed, ..GenConfig::default() };
+    let (gvn_wall, gvn_module, gvn_summary) = measure(gvn_cfg, n, secs, PassId::Gvn);
+    assert_all_succeeded("gvn", &gvn_summary);
+
+    let eliminated: usize = gvn_module
+        .functions
+        .iter()
+        .map(|f| run_gvn(f, GvnOptions::default()).eliminated.len())
+        .sum();
+    assert!(
+        eliminated > 0,
+        "acceptance bar: GVN must eliminate something somewhere in the corpus"
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_PR10\",");
+    let _ = writeln!(json, "  \"functions_per_leg\": {n},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"pressure\": {pressure},");
+    let _ = writeln!(json, "  \"regalloc\": {},", json_leg(ra_wall, &ra_summary));
+    let _ = writeln!(json, "  \"spilled_functions\": {spilled_functions},");
+    let _ = writeln!(json, "  \"spilled_values\": {spilled_values},");
+    let _ = writeln!(json, "  \"gvn\": {},", json_leg(gvn_wall, &gvn_summary));
+    let _ = writeln!(json, "  \"gvn_values_eliminated\": {eliminated}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out, &json).expect("write BENCH_PR10 json");
+    print!("{json}");
+    eprintln!(
+        "wrote {out} (regalloc {}ms with {spilled_values} spilled values, gvn {}ms with \
+         {eliminated} eliminations)",
+        ra_wall.as_millis(),
+        gvn_wall.as_millis()
+    );
+}

@@ -88,6 +88,7 @@ fn stream_pass(
         let req = ClientRequest::Validate {
             tag: tag_base + i as u64,
             unit: i as u64,
+            pass: keq_isel::PassId::Isel,
             ir: request_ir(corpus, i),
             deadline_ms: None,
             max_attempts: None,

@@ -9,12 +9,24 @@
 //! * `KEQ_FIG6_N`      — number of functions (default 60)
 //! * `KEQ_FIG6_SECS`   — per-function wall-clock limit (default 20)
 //! * `KEQ_FIG6_SEED`   — corpus seed (default 2021)
+//! * `KEQ_FIG6_BUGS_N` — functions swept per injected GVN bug (default 20)
+//!
+//! After the main table, the harness replays the §5.2 bug-study
+//! methodology against the GVN mid-end pass: each injectable
+//! miscompilation is compiled into a corpus slice, and every function the
+//! bug observably miscompiles must be *rejected* by the unmodified
+//! checker. Fired bugs the checker accepts are cross-checked with concrete
+//! differential runs — any diverging input aborts the bench, so an accept
+//! is only ever a benign fire (the miscompiled value was unobservable).
 
 use std::time::Duration;
 
 use keq_bench::{outcome_table, run_corpus, ResultKind};
 use keq_core::KeqOptions;
+use keq_isel::{validate_gvn_with_context, GvnBug, GvnOptions, ValidationContext};
+use keq_llvm::gvn::run_gvn;
 use keq_smt::Budget;
+use keq_workload::{generate_corpus, GenConfig};
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -55,4 +67,89 @@ fn main() {
     // Machine-readable mirror of the table, in the shared report schema.
     println!("outcome_json: {}", outcome_table(&summary).to_json_string());
     println!("{}", summary.summary_line());
+
+    // §5.2 methodology against the GVN pass: every function where an
+    // injected miscompilation fires must be caught by the same checker.
+    let bugs_n = env_u64("KEQ_FIG6_BUGS_N", 20) as usize;
+    let mut module = generate_corpus(GenConfig { seed, ..GenConfig::default() }, bugs_n);
+    // Known §5.2-style subjects where each bug observably fires, so the
+    // caught column is never vacuously zero; the corpus adds breadth.
+    let subjects = keq_llvm::parser::parse_module(
+        "define i32 @sub_pair(i32 %a, i32 %b) {\n %x = sub i32 %a, %b\n %y = sub i32 %b, \
+         %a\n %z = mul i32 %x, %y\n ret i32 %z\n}\ndefine i32 @const_ret(i32 %a) {\n %c = \
+         add i32 20, 22\n %s = add i32 %a, %c\n ret i32 %s\n}",
+    )
+    .expect("subjects parse");
+    module.functions.extend(subjects.functions);
+    println!();
+    println!("=== GVN injected miscompilations (corpus slice of {bugs_n}) ===");
+    println!("{:<30} {:>8} {:>8} {:>8}", "Injected bug", "Fired", "Caught", "Benign");
+    for (bug, label) in [
+        (GvnBug::CommuteSub, "Commuted sub dedup"),
+        (GvnBug::OffByOneFold, "Off-by-one constant fold"),
+    ] {
+        let mut fired = 0usize;
+        let mut caught = 0usize;
+        for f in &module.functions {
+            // The bug "fires" on a function when it changes the pass's
+            // output relative to the clean run.
+            let clean = run_gvn(f, GvnOptions::default());
+            let bugged = run_gvn(f, GvnOptions { bug });
+            if clean.func == bugged.func && clean.eliminated == bugged.eliminated {
+                continue;
+            }
+            fired += 1;
+            let mut ctx = ValidationContext::new();
+            let (report, out) = validate_gvn_with_context(
+                &module,
+                f,
+                GvnOptions { bug },
+                opts,
+                None,
+                &mut ctx,
+            );
+            if !report.verdict.is_validated() {
+                caught += 1;
+                continue;
+            }
+            // The checker accepted a fired bug: legitimate only when the
+            // miscompiled value is unobservable. Cross-check with concrete
+            // differential runs — any diverging input is a checker miss.
+            for trial in 0..16u128 {
+                let layout = keq_llvm::Layout::of(&module, f);
+                let args: Vec<keq_llvm::interp::CValue> = f
+                    .params
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| {
+                        keq_llvm::interp::CValue::new(32, trial * 37 + 3 + i as u128)
+                    })
+                    .collect();
+                let mut mem_l = keq_smt::MemValue::default();
+                let mut mem_r = keq_smt::MemValue::default();
+                let fuel = 100_000;
+                let ext = &keq_llvm::interp::default_ext_call;
+                let l = keq_llvm::interp::run_function(
+                    &module, f, &layout, &args, &mut mem_l, fuel, ext,
+                );
+                let r = keq_llvm::interp::run_function(
+                    &module, &out.func, &layout, &args, &mut mem_r, fuel, ext,
+                );
+                if let (Ok(lv), Ok(rv)) = (&l, &r) {
+                    assert_eq!(
+                        lv, rv,
+                        "{label}: {} miscompiled observably but the checker validated it",
+                        f.name
+                    );
+                }
+            }
+        }
+        let benign = fired - caught;
+        println!("{label:<30} {fired:>8} {caught:>8} {benign:>8}");
+        assert!(caught > 0, "{label}: the bug never produced a rejected translation");
+    }
+    println!(
+        "every observably-miscompiled function was rejected; validated fires were \
+         differentially confirmed benign"
+    );
 }

@@ -25,7 +25,13 @@ pub fn run_corpus(seed: u64, n: usize, keq_opts: KeqOptions) -> (Module, CorpusS
 /// [`run_corpus`] with full control over the harness (worker count,
 /// deadlines, retry policy, fault plan).
 pub fn run_corpus_with(seed: u64, n: usize, opts: &HarnessOptions) -> (Module, CorpusSummary) {
-    let cfg = GenConfig { seed, ..GenConfig::default() };
+    run_corpus_cfg(GenConfig { seed, ..GenConfig::default() }, n, opts)
+}
+
+/// [`run_corpus_with`] with full control over the *generator* as well —
+/// e.g. the high-register-pressure profile (`cfg.pressure`) that forces
+/// the spilling allocator onto its spill path.
+pub fn run_corpus_cfg(cfg: GenConfig, n: usize, opts: &HarnessOptions) -> (Module, CorpusSummary) {
     let module = generate_corpus(cfg, n);
     let summary = run_module(&module, opts);
     (module, summary)

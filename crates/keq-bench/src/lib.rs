@@ -8,9 +8,11 @@ pub mod normalization_workload;
 pub mod session_workload;
 
 pub use corpus_run::{
-    build_report, outcome_table, run_corpus, run_corpus_with, run_module, AttemptRecord,
-    CacheSummary, CorpusResult, CorpusRow, CorpusSummary, HarnessOptions, ResultKind, RetryPolicy,
+    build_report, outcome_table, run_corpus, run_corpus_cfg, run_corpus_with, run_module,
+    AttemptRecord, CacheSummary, CorpusResult, CorpusRow, CorpusSummary, HarnessOptions,
+    ResultKind, RetryPolicy,
 };
+pub use keq_workload::GenConfig;
 /// The shared histogram type (lives in `keq-trace` so the run report's
 /// latency distributions and the Fig. 7 plots use the same buckets).
 pub use keq_trace::Histogram;

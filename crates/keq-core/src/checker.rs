@@ -23,8 +23,8 @@
 //! equivalence pre-check (toggle [`KeqOptions::use_positive_form`]).
 
 use keq_semantics::{
-    memory_equal_obligations, Acceptability, CtrlLoc, ErrorRelation, Language, LocPattern, Status,
-    SymConfig,
+    memory_equal_obligations_masked, read_bytes, Acceptability, CtrlLoc, ErrorRelation, Language,
+    LocPattern, Status, SymConfig,
 };
 use keq_smt::fault::{self, FaultAction, FaultSite};
 use keq_smt::{
@@ -330,7 +330,7 @@ impl<'a> Keq<'a> {
                         Ok(())
                     };
                 };
-                self.prove_target_constraints(bank, session, target, s1, s2, stats)
+                self.prove_target_constraints(bank, session, sync, target, s1, s2, stats)
             }
         }
     }
@@ -351,10 +351,12 @@ impl<'a> Keq<'a> {
     }
 
     /// Proves the equality and memory constraints of `target` for the pair.
+    #[allow(clippy::too_many_arguments)]
     fn prove_target_constraints(
         &self,
         bank: &mut TermBank,
         session: &mut Session<'_>,
+        sync: &SyncSet,
         target: &SyncPoint,
         s1: &SymConfig,
         s2: &SymConfig,
@@ -384,7 +386,7 @@ impl<'a> Keq<'a> {
             obligations.push((format!("{e1:?} = {e2:?}"), eq));
         }
         if target.mem_equal {
-            match memory_equal_obligations(bank, s1.mem, s2.mem) {
+            match memory_equal_obligations_masked(bank, s1.mem, s2.mem, &sync.right_private) {
                 Some(obs) => {
                     for (i, ob) in obs.into_iter().enumerate() {
                         obligations.push((format!("memory[{i}]"), ob));
@@ -654,6 +656,13 @@ fn resolve(bank: &mut TermBank, expr: &ValueExpr, cfg: &SymConfig) -> Result<Ter
                 .ok_or_else(|| format!("call has no argument {i}")),
             _ => Err("Arg used on a non-call state".into()),
         },
+        ValueExpr::Slot { addr, width } => {
+            if *width == 0 || width % 8 != 0 {
+                return Err(format!("slot width {width} is not a byte multiple"));
+            }
+            let a = bank.mk_bv(64, u128::from(*addr));
+            Ok(read_bytes(bank, cfg.mem, a, width / 8))
+        }
     }
 }
 

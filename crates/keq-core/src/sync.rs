@@ -6,7 +6,7 @@
 //! *cut* definition: a symbolic state is a cut state exactly when its
 //! location matches some point's pattern on its side.
 
-use keq_semantics::{CtrlLoc, LocPattern};
+use keq_semantics::{CtrlLoc, LocPattern, MemRegion};
 
 /// A value expression resolvable against one side's configuration.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -34,6 +34,15 @@ pub enum ValueExpr {
     Ret,
     /// The `i`-th argument of the pending call (at `BeforeCall` points).
     Arg(usize),
+    /// The `width`-bit little-endian value stored at the concrete address
+    /// `addr` in the side's memory — how a spilled value is named: the
+    /// allocated side keeps it in a stack slot, not a register.
+    Slot {
+        /// Absolute byte address of the slot.
+        addr: u64,
+        /// Value width in bits (a positive multiple of 8).
+        width: u32,
+    },
 }
 
 impl ValueExpr {
@@ -100,6 +109,12 @@ impl SyncPoint {
 pub struct SyncSet {
     /// All points.
     pub points: Vec<SyncPoint>,
+    /// Memory regions private to the right side (e.g. a spill frame the
+    /// allocated program writes but the source program cannot see). Write
+    /// indices inside these regions are excluded from every `mem_equal`
+    /// obligation; spilled values are instead related explicitly through
+    /// [`ValueExpr::Slot`] equalities.
+    pub right_private: Vec<MemRegion>,
 }
 
 impl SyncSet {

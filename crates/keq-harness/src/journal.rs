@@ -19,6 +19,7 @@
 //!          function fingerprint    u64 LE
 //!          attempts                u32 LE
 //!          wall time               u64 LE (µs)
+//!          pass id                 u8 ([`PassId::code`])
 //!          result tag              u8
 //!          message length          u32 LE + bytes   (crash-class tags)
 //!          location flag           u8
@@ -48,6 +49,7 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
+use keq_isel::PassId;
 use keq_llvm::ast::{Function, Module};
 use keq_smt::obcache::StoreIo;
 use keq_smt::wire::{self, fnv1a64};
@@ -56,8 +58,12 @@ use crate::result::CorpusResult;
 
 /// Journal file magic.
 pub const JOURNAL_MAGIC: &[u8; 8] = b"KEQWAL01";
-/// On-disk journal format version.
-pub const JOURNAL_VERSION: u32 = 1;
+/// On-disk journal format version. Version 2 added the pass byte — which
+/// [`PassId`] the verdict belongs to — so one journal can interleave
+/// verdicts of several validated passes over the same corpus. A v1 journal
+/// fails the header check and is discarded wholesale (its functions are
+/// simply re-validated), matching the usual stale-version policy.
+pub const JOURNAL_VERSION: u32 = 2;
 
 const HEADER_LEN: usize = wire::HEADER_LEN;
 /// Panic messages/locations are clamped to this many bytes when encoding.
@@ -100,6 +106,8 @@ pub struct JournalRecord {
     pub attempts: u32,
     /// Total validation wall time across those attempts, µs.
     pub time_us: u64,
+    /// Which pass the verdict validates.
+    pub pass: PassId,
     /// The final verdict.
     pub result: CorpusResult,
 }
@@ -140,11 +148,12 @@ impl JournalRecord {
             }
             _ => ("", None),
         };
-        let mut p = Vec::with_capacity(29 + message.len() + location.map_or(0, str::len));
+        let mut p = Vec::with_capacity(30 + message.len() + location.map_or(0, str::len));
         p.extend_from_slice(&self.func.to_le_bytes());
         p.extend_from_slice(&self.func_fp.to_le_bytes());
         p.extend_from_slice(&self.attempts.to_le_bytes());
         p.extend_from_slice(&self.time_us.to_le_bytes());
+        p.push(self.pass.code());
         p.push(result_tag(&self.result));
         p.extend_from_slice(&(message.len() as u32).to_le_bytes());
         p.extend_from_slice(message.as_bytes());
@@ -165,17 +174,19 @@ impl JournalRecord {
     }
 
     fn decode_payload(p: &[u8]) -> Option<JournalRecord> {
-        // Fixed head: func(4) fp(8) attempts(4) time(8) tag(1) msg_len(4).
-        if p.len() < 29 {
+        // Fixed head: func(4) fp(8) attempts(4) time(8) pass(1) tag(1)
+        // msg_len(4).
+        if p.len() < 30 {
             return None;
         }
         let func = u32::from_le_bytes(p[0..4].try_into().ok()?);
         let func_fp = u64::from_le_bytes(p[4..12].try_into().ok()?);
         let attempts = u32::from_le_bytes(p[12..16].try_into().ok()?);
         let time_us = u64::from_le_bytes(p[16..24].try_into().ok()?);
-        let tag = p[24];
-        let msg_len = u32::from_le_bytes(p[25..29].try_into().ok()?) as usize;
-        let mut at = 29;
+        let pass = PassId::from_code(p[24])?;
+        let tag = p[25];
+        let msg_len = u32::from_le_bytes(p[26..30].try_into().ok()?) as usize;
+        let mut at = 30;
         let message = String::from_utf8_lossy(p.get(at..at + msg_len)?).into_owned();
         at += msg_len;
         let location = match *p.get(at)? {
@@ -205,7 +216,7 @@ impl JournalRecord {
             5 => CorpusResult::Quarantined { message, location },
             _ => return None,
         };
-        Some(JournalRecord { func, func_fp, attempts, time_us, result })
+        Some(JournalRecord { func, func_fp, attempts, time_us, pass, result })
     }
 }
 
@@ -385,7 +396,14 @@ mod tests {
     }
 
     fn rec(func: u32, result: CorpusResult) -> JournalRecord {
-        JournalRecord { func, func_fp: 0x1000 + u64::from(func), attempts: 1, time_us: 42, result }
+        JournalRecord {
+            func,
+            func_fp: 0x1000 + u64::from(func),
+            attempts: 1,
+            time_us: 42,
+            pass: PassId::Isel,
+            result,
+        }
     }
 
     fn write_all(path: &Path, corpus_fp: u64, records: &[JournalRecord]) {
@@ -525,6 +543,7 @@ mod tests {
         payload.extend_from_slice(&0x1003u64.to_le_bytes()); // func_fp
         payload.extend_from_slice(&1u32.to_le_bytes()); // attempts
         payload.extend_from_slice(&42u64.to_le_bytes()); // time_us
+        payload.push(0); // pass: isel
         payload.push(0); // Succeeded
         payload.extend_from_slice(&0u32.to_le_bytes()); // empty message
         payload.push(0); // no location

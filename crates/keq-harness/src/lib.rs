@@ -47,7 +47,7 @@ pub use journal::{
     corpus_fingerprint, function_fingerprint, JournalLoad, JournalRecord, JournalWriter,
 };
 pub use panic_capture::PanicInfo;
-pub use report::{build_report, outcome_table};
+pub use report::{build_report, outcome_table, pass_sections};
 pub use result::{
     AttemptRecord, CacheSummary, CorpusResult, CorpusRow, CorpusSummary, ResultKind, ResumeSummary,
 };

@@ -105,6 +105,10 @@ pub enum ClientRequest {
         /// Fault/backoff unit of the module's first function (function `i`
         /// gets `unit + i`).
         unit: u64,
+        /// Which validated pass to run (wire field `pass`, optional — a
+        /// request without one gets the classic ISel validation, so v6
+        /// clients keep working unchanged).
+        pass: keq_isel::PassId,
         /// Textual IR module.
         ir: String,
         /// Optional per-request deadline override, milliseconds.
@@ -125,11 +129,12 @@ impl ClientRequest {
     /// Serializes the request as one compact JSON payload.
     pub fn to_json_string(&self) -> String {
         let doc = match self {
-            ClientRequest::Validate { tag, unit, ir, deadline_ms, max_attempts } => {
+            ClientRequest::Validate { tag, unit, pass, ir, deadline_ms, max_attempts } => {
                 let mut fields = vec![
                     ("op", Json::Str("validate".into())),
                     ("tag", json::num(*tag)),
                     ("unit", json::num(*unit)),
+                    ("pass", Json::Str(pass.name().into())),
                 ];
                 if let Some(ms) = deadline_ms {
                     fields.push(("deadline_ms", json::num(*ms)));
@@ -167,12 +172,17 @@ impl ClientRequest {
                     .and_then(Json::as_str)
                     .ok_or("validate: missing ir")?
                     .to_string();
+                let pass = match doc.get("pass").and_then(Json::as_str) {
+                    None => keq_isel::PassId::Isel,
+                    Some(name) => keq_isel::PassId::parse(name)
+                        .ok_or_else(|| format!("validate: unknown pass \"{name}\""))?,
+                };
                 let deadline_ms = doc.get("deadline_ms").and_then(Json::as_u64);
                 let max_attempts = doc
                     .get("max_attempts")
                     .and_then(Json::as_u64)
                     .map(|n| u32::try_from(n).unwrap_or(u32::MAX));
-                Ok(ClientRequest::Validate { tag, unit, ir, deadline_ms, max_attempts })
+                Ok(ClientRequest::Validate { tag, unit, pass, ir, deadline_ms, max_attempts })
             }
             "stats" => Ok(ClientRequest::Stats),
             "metrics" => Ok(ClientRequest::Metrics),
@@ -189,6 +199,8 @@ pub struct FunctionVerdict {
     pub name: String,
     /// Index within the submitted module.
     pub index: u64,
+    /// Validated pass (stable wire name, e.g. `"isel"`).
+    pub pass: String,
     /// Final result category (stable wire name).
     pub result: String,
     /// Attempts consumed.
@@ -204,6 +216,7 @@ impl FunctionVerdict {
         json::obj(vec![
             ("name", Json::Str(self.name.clone())),
             ("index", json::num(self.index)),
+            ("pass", Json::Str(self.pass.clone())),
             ("result", Json::Str(self.result.clone())),
             ("attempts", json::num(self.attempts)),
             ("queue_us", json::num(self.queue_us)),
@@ -215,6 +228,12 @@ impl FunctionVerdict {
         Some(FunctionVerdict {
             name: doc.get("name")?.as_str()?.to_string(),
             index: doc.get("index")?.as_u64()?,
+            // Absent on v6 wires: those rows are ISel verdicts.
+            pass: doc
+                .get("pass")
+                .and_then(Json::as_str)
+                .unwrap_or(keq_isel::PassId::Isel.name())
+                .to_string(),
             result: doc.get("result")?.as_str()?.to_string(),
             attempts: doc.get("attempts")?.as_u64()?,
             queue_us: doc.get("queue_us")?.as_u64()?,
@@ -616,6 +635,7 @@ mod tests {
             ClientRequest::Validate {
                 tag: 9,
                 unit: 4,
+                pass: keq_isel::PassId::Regalloc,
                 ir: "define i32 @f() {\nentry:\n  ret i32 0\n}\n".into(),
                 deadline_ms: Some(1500),
                 max_attempts: Some(2),
@@ -623,6 +643,7 @@ mod tests {
             ClientRequest::Validate {
                 tag: 0,
                 unit: 0,
+                pass: keq_isel::PassId::Isel,
                 ir: String::new(),
                 deadline_ms: None,
                 max_attempts: None,
@@ -641,6 +662,35 @@ mod tests {
     }
 
     #[test]
+    fn passless_validate_requests_default_to_isel() {
+        // A v6 client that never heard of passes still validates ISel.
+        let req = ClientRequest::parse(
+            "{\"op\":\"validate\",\"tag\":1,\"ir\":\"\"}",
+        )
+        .expect("parses");
+        assert!(matches!(
+            req,
+            ClientRequest::Validate { pass: keq_isel::PassId::Isel, .. }
+        ));
+        assert_eq!(
+            ClientRequest::parse("{\"op\":\"validate\",\"tag\":1,\"ir\":\"\",\"pass\":\"warp\"}")
+                .unwrap_err(),
+            "validate: unknown pass \"warp\""
+        );
+    }
+
+    #[test]
+    fn passless_verdict_rows_decode_as_isel() {
+        let resp = ServerResponse::parse(
+            "{\"ok\":true,\"tag\":1,\"results\":[{\"name\":\"f\",\"index\":0,\
+\"result\":\"succeeded\",\"attempts\":1,\"queue_us\":0,\"wall_us\":5}]}",
+        )
+        .expect("parses");
+        let ServerResponse::Validated { results, .. } = resp else { panic!("wrong variant") };
+        assert_eq!(results[0].pass, "isel");
+    }
+
+    #[test]
     fn responses_round_trip_through_json() {
         let resps = vec![
             ServerResponse::Validated {
@@ -648,6 +698,7 @@ mod tests {
                 results: vec![FunctionVerdict {
                     name: "f0".into(),
                     index: 0,
+                    pass: "gvn".into(),
                     result: "succeeded".into(),
                     attempts: 2,
                     queue_us: 40,

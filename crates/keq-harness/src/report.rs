@@ -11,8 +11,8 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use keq_trace::{
-    AttemptReport, CacheCounters, Event, FunctionReport, Journal, OutcomeTable, Phase,
-    ResumeSection, RunReport, ServerSection, SolverCounters, TraceEvent,
+    AttemptReport, CacheCounters, Event, FunctionReport, Journal, OutcomeTable, PassSection,
+    Phase, ResumeSection, RunReport, ServerSection, SolverCounters, TraceEvent,
 };
 
 use crate::result::{CorpusResult, CorpusSummary, ResultKind};
@@ -129,6 +129,37 @@ pub fn outcome_table(summary: &CorpusSummary) -> OutcomeTable {
     }
 }
 
+/// The per-pass outcome tables of a summary (the v7 `passes` sections),
+/// in first-appearance order. A classic single-pass run yields exactly
+/// one section whose table equals the merged one.
+pub fn pass_sections(summary: &CorpusSummary) -> Vec<PassSection> {
+    let mut sections: Vec<(keq_isel::PassId, PassSection)> = Vec::new();
+    for row in &summary.rows {
+        let entry = match sections.iter_mut().find(|(p, _)| *p == row.pass) {
+            Some((_, s)) => s,
+            None => {
+                sections.push((
+                    row.pass,
+                    PassSection { pass: row.pass.name().to_string(), ..Default::default() },
+                ));
+                &mut sections.last_mut().expect("just pushed").1
+            }
+        };
+        let t = &mut entry.outcome;
+        match row.result.kind() {
+            ResultKind::Succeeded => t.succeeded += 1,
+            ResultKind::Timeout => t.timeout += 1,
+            ResultKind::OutOfMemory => t.out_of_memory += 1,
+            ResultKind::Crashed => t.crashed += 1,
+            ResultKind::Quarantined => t.quarantined += 1,
+            ResultKind::Other => t.other += 1,
+        }
+        t.total += 1;
+        t.attempts += row.attempts.len() as u64;
+    }
+    sections.into_iter().map(|(_, s)| s).collect()
+}
+
 /// Builds the aggregated run report. `journal` is the ring the harness's
 /// [`TraceSink`](keq_trace::TraceSink) recorded into, or `None` for an
 /// untraced run (the report is then outcome-only, with
@@ -137,11 +168,15 @@ pub fn build_report(summary: &CorpusSummary, journal: Option<&Journal>, seed: u6
     let events = journal.map(Journal::snapshot).unwrap_or_default();
     let traced = index_attempts(&events);
     let mut functions = Vec::with_capacity(summary.rows.len());
-    for row in &summary.rows {
+    for (unit, row) in summary.rows.iter().enumerate() {
         let mut attempts = Vec::with_capacity(row.attempts.len());
         for rec in &row.attempts {
             let wall_us = duration_us(rec.time);
-            let trace = traced.get(&(row.index as u32, rec.attempt));
+            // Worker events are stamped with the scheduling *unit* (which
+            // is the row position: function-major, pass-minor), not the
+            // function index — a multi-pass run has several units per
+            // function.
+            let trace = traced.get(&(unit as u32, rec.attempt));
             let start_us = trace.and_then(|t| t.start_us).unwrap_or(0);
             // Abandoned attempts never emit an end marker; close their
             // window from the supervisor-observed wall time.
@@ -179,6 +214,7 @@ pub fn build_report(summary: &CorpusSummary, journal: Option<&Journal>, seed: u6
         functions.push(FunctionReport {
             name: row.name.clone(),
             index: row.index as u64,
+            pass: row.pass.name().to_string(),
             size: row.size as u64,
             wall_us: duration_us(row.time),
             result: row.result.kind().name().to_string(),
@@ -191,6 +227,7 @@ pub fn build_report(summary: &CorpusSummary, journal: Option<&Journal>, seed: u6
         n_functions: summary.total() as u64,
         trace_enabled: journal.is_some(),
         outcome: outcome_table(summary),
+        passes: pass_sections(summary),
         solver: solver_counters_of(&summary.solver),
         cache: cache_counters(summary),
         resume: ResumeSection {

@@ -122,6 +122,8 @@ pub struct CorpusRow {
     pub name: String,
     /// Index of the function in the validated module.
     pub index: usize,
+    /// Which validated pass the verdict is about.
+    pub pass: keq_isel::PassId,
     /// Instruction count (the Fig. 7 code-size axis).
     pub size: usize,
     /// Total validation wall-clock time across all attempts.
@@ -327,6 +329,7 @@ mod tests {
 
     fn row(index: usize, result: CorpusResult) -> CorpusRow {
         CorpusRow {
+            pass: keq_isel::PassId::Isel,
             name: format!("f{index}"),
             index,
             size: 1,

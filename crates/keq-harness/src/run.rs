@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use keq_core::KeqOptions;
-use keq_isel::{IselOptions, VcOptions};
+use keq_isel::{GvnOptions, IselOptions, PassId, RaOptions, VcOptions};
 use keq_llvm::ast::Module;
 use keq_smt::fault::FaultPlan;
 use keq_smt::obcache::{StdStoreIo, StoreIo};
@@ -134,6 +134,15 @@ pub struct HarnessOptions {
     pub isel: IselOptions,
     /// VC-generation options.
     pub vc: VcOptions,
+    /// Register-allocation options (used by [`PassId::Regalloc`] units).
+    pub ra: RaOptions,
+    /// GVN options (used by [`PassId::Gvn`] units).
+    pub gvn: GvnOptions,
+    /// Which validated passes to run. Every function is validated under
+    /// every listed pass — the corpus fans out to `functions × passes`
+    /// units, each classified into its own [`CorpusRow`]. Empty is treated
+    /// as the classic single-pass ISel run.
+    pub passes: Vec<PassId>,
     /// Worker threads; 0 picks the available parallelism.
     pub workers: usize,
     /// Hard per-attempt wall-clock deadline, enforced by cancellation
@@ -196,6 +205,9 @@ impl Default for HarnessOptions {
             keq: KeqOptions::default(),
             isel: IselOptions::default(),
             vc: VcOptions::default(),
+            ra: RaOptions::default(),
+            gvn: GvnOptions::default(),
+            passes: vec![PassId::Isel],
             workers: 0,
             deadline: None,
             grace: Duration::from_millis(500),
@@ -214,15 +226,21 @@ impl Default for HarnessOptions {
     }
 }
 
-/// Validates every function of `module` under the harness, returning one
-/// classified row per function (ordered by function index). See the
-/// crate docs for the guarantees.
+/// Validates every function of `module` under the harness — once per
+/// configured pass — returning one classified row per (function, pass)
+/// unit, ordered by function index and then pass order. See the crate
+/// docs for the guarantees.
 pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
     panic_capture::install_hook();
     // The caller's thread traces too: resume-skip decisions and the
     // journal open happen here, not on a scheduler thread.
     let _trace_guard = opts.trace.as_ref().map(keq_trace::install);
     let n = module.functions.len();
+    let passes: Vec<PassId> =
+        if opts.passes.is_empty() { vec![PassId::Isel] } else { opts.passes.clone() };
+    let np = passes.len();
+    // Total scheduled units: each function under each pass.
+    let units = n * np;
     if n == 0 {
         return CorpusSummary::default();
     }
@@ -261,7 +279,7 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
         module.functions.iter().map(journal::function_fingerprint).collect();
     let corpus_fp = journal::fingerprint_of(&func_fps);
     let mut resume = ResumeSummary::default();
-    let mut recovered: Vec<Option<JournalRecord>> = vec![None; n];
+    let mut recovered: Vec<Option<JournalRecord>> = vec![None; units];
     let mut journal_cfg: Option<JournalConfig> = None;
     if let Some(journal_path) = &opts.journal_path {
         let mut valid_prefix: Option<Vec<u8>> = None;
@@ -273,8 +291,14 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
                 resume.recovered = load.records.len() as u64;
                 for rec in load.records {
                     let idx = rec.func as usize;
+                    // A record only matches a unit of this run if this run
+                    // validates that pass too (a changed pass set, like a
+                    // changed corpus, re-validates rather than inheriting).
+                    let Some(pi) = passes.iter().position(|&p| p == rec.pass) else {
+                        continue;
+                    };
                     if idx < n && func_fps[idx] == rec.func_fp {
-                        recovered[idx] = Some(rec);
+                        recovered[idx * np + pi] = Some(rec);
                     }
                 }
                 valid_prefix = Some(load.valid_prefix);
@@ -285,7 +309,7 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
     }
 
     let workers = if opts.workers == 0 {
-        std::thread::available_parallelism().map_or(4, usize::from).min(n).max(1)
+        std::thread::available_parallelism().map_or(4, usize::from).min(units).max(1)
     } else {
         opts.workers
     };
@@ -294,6 +318,8 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
         keq: opts.keq,
         isel: opts.isel,
         vc: opts.vc,
+        ra: opts.ra,
+        gvn: opts.gvn,
         workers,
         deadline: opts.deadline,
         grace: opts.grace,
@@ -318,47 +344,53 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
         metrics: opts.metrics,
     });
 
-    // Pre-finalize recovered functions — they are never submitted.
-    let mut finals: Vec<Option<CorpusResult>> = vec![None; n];
-    let mut attempts: Vec<Vec<AttemptRecord>> = vec![Vec::new(); n];
-    for (func, rec) in recovered.iter().enumerate() {
+    // Pre-finalize recovered units — they are never submitted.
+    let mut finals: Vec<Option<CorpusResult>> = vec![None; units];
+    let mut attempts: Vec<Vec<AttemptRecord>> = vec![Vec::new(); units];
+    for (unit, rec) in recovered.iter().enumerate() {
         if let Some(rec) = rec {
-            finals[func] = Some(rec.result.clone());
+            finals[unit] = Some(rec.result.clone());
             resume.skipped += 1;
-            keq_trace::emit(keq_trace::Event::ResumeSkipped { func: func as u32 });
+            keq_trace::emit(keq_trace::Event::ResumeSkipped { func: rec.func });
         }
     }
 
-    // Submit corpus, await all, drain: the whole batch protocol.
+    // Submit corpus, await all, drain: the whole batch protocol. Unit
+    // numbering is `func * passes + pass_position`, and the unit index is
+    // the fault-plan unit, the trace id, and the completion tag alike.
     let (reply_tx, reply_rx) = mpsc::channel();
     let mut pending = 0usize;
-    for func in 0..n {
-        if recovered[func].is_some() {
-            continue;
+    for (func, &func_fp) in func_fps.iter().enumerate() {
+        for (pi, &pass) in passes.iter().enumerate() {
+            let unit = func * np + pi;
+            if recovered[unit].is_some() {
+                continue;
+            }
+            sched
+                .submit(
+                    Request {
+                        module: Arc::clone(&module),
+                        func,
+                        pass,
+                        func_fp,
+                        unit: unit as u64,
+                        trace_id: unit as u32,
+                        client: 0,
+                        tag: unit as u64,
+                        deadline: None,
+                        max_attempts: None,
+                    },
+                    reply_tx.clone(),
+                )
+                .expect("batch scheduler is unbounded and never rejects");
+            pending += 1;
         }
-        sched
-            .submit(
-                Request {
-                    module: Arc::clone(&module),
-                    func,
-                    func_fp: func_fps[func],
-                    unit: func as u64,
-                    trace_id: func as u32,
-                    client: 0,
-                    tag: func as u64,
-                    deadline: None,
-                    max_attempts: None,
-                },
-                reply_tx.clone(),
-            )
-            .expect("batch scheduler is unbounded and never rejects");
-        pending += 1;
     }
     for _ in 0..pending {
         let done = reply_rx.recv().expect("scheduler delivers every verdict");
-        let func = done.tag as usize;
-        attempts[func] = done.attempts;
-        finals[func] = Some(done.result);
+        let unit = done.tag as usize;
+        attempts[unit] = done.attempts;
+        finals[unit] = Some(done.result);
     }
     let fin = sched.drain();
 
@@ -371,23 +403,27 @@ pub fn run_module(module: &Module, opts: &HarnessOptions) -> CorpusSummary {
     };
     for (index, f) in module.functions.iter().enumerate() {
         let size: usize = f.blocks.iter().map(|b| b.instrs.len() + 1).sum();
-        let rows_attempts = std::mem::take(&mut attempts[index]);
-        let (time, is_recovered) = match &recovered[index] {
-            // A recovered row carries the killed run's journal-recorded
-            // wall time; its per-attempt observations died with the killed
-            // process, so `attempts` stays empty.
-            Some(rec) => (rec.time(), true),
-            None => (rows_attempts.iter().map(|a| a.time).sum(), false),
-        };
-        summary.rows.push(CorpusRow {
-            name: f.name.clone(),
-            index,
-            size,
-            time,
-            result: finals[index].take().expect("every function finalized"),
-            recovered: is_recovered,
-            attempts: rows_attempts,
-        });
+        for (pi, &pass) in passes.iter().enumerate() {
+            let unit = index * np + pi;
+            let rows_attempts = std::mem::take(&mut attempts[unit]);
+            let (time, is_recovered) = match &recovered[unit] {
+                // A recovered row carries the killed run's journal-recorded
+                // wall time; its per-attempt observations died with the
+                // killed process, so `attempts` stays empty.
+                Some(rec) => (rec.time(), true),
+                None => (rows_attempts.iter().map(|a| a.time).sum(), false),
+            };
+            summary.rows.push(CorpusRow {
+                name: f.name.clone(),
+                index,
+                pass,
+                size,
+                time,
+                result: finals[unit].take().expect("every unit finalized"),
+                recovered: is_recovered,
+                attempts: rows_attempts,
+            });
+        }
     }
     summary
 }

@@ -41,7 +41,7 @@ use std::time::{Duration, Instant};
 
 use keq_core::{FailureReason, KeqOptions, Verdict};
 use keq_isel::pipeline::ValidationContext;
-use keq_isel::{IselOptions, VcOptions};
+use keq_isel::{GvnOptions, IselOptions, PassId, PassOptions, RaOptions, VcOptions};
 use keq_llvm::ast::Module;
 use keq_smt::fault::{self, FaultPlan};
 use keq_smt::obcache::StoreIo;
@@ -303,6 +303,10 @@ pub struct SchedulerConfig {
     pub isel: IselOptions,
     /// VC-generation options.
     pub vc: VcOptions,
+    /// Register-allocation options (the regalloc pass instantiation).
+    pub ra: RaOptions,
+    /// GVN options (the mid-end pass instantiation).
+    pub gvn: GvnOptions,
     /// Worker threads (must be ≥ 1; front ends resolve `0` themselves).
     pub workers: usize,
     /// Default hard per-attempt deadline (requests may override, quotas
@@ -358,6 +362,8 @@ pub struct Request {
     pub module: Arc<Module>,
     /// Function index within `module`.
     pub func: usize,
+    /// Which validated pass to run on the function.
+    pub pass: PassId,
     /// Journal fingerprint of the function
     /// ([`crate::journal::function_fingerprint`]).
     pub func_fp: u64,
@@ -583,6 +589,7 @@ impl StoreFlusher {
 fn journal_finalize(
     writer: &mut Option<JournalWriter>,
     func: usize,
+    pass: PassId,
     func_fp: u64,
     attempts: &[AttemptRecord],
     result: &CorpusResult,
@@ -594,6 +601,7 @@ fn journal_finalize(
         func_fp,
         attempts: attempts.len() as u32,
         time_us: u64::try_from(time.as_micros()).unwrap_or(u64::MAX),
+        pass,
         result: result.clone(),
     });
 }
@@ -681,6 +689,7 @@ impl WarmStarts {
 struct JobCore {
     module: Arc<Module>,
     func: usize,
+    pass: PassId,
     unit: u64,
     trace_id: u32,
 }
@@ -870,6 +879,8 @@ struct AttemptSettings {
     keq: KeqOptions,
     isel: IselOptions,
     vc: VcOptions,
+    ra: RaOptions,
+    gvn: GvnOptions,
     retry: RetryPolicy,
     fault_plan: FaultPlan,
     warm_start: bool,
@@ -1000,6 +1011,7 @@ impl Scheduler {
                         core: Arc::new(JobCore {
                             module: req.module,
                             func: req.func,
+                            pass: req.pass,
                             unit: req.unit,
                             trace_id: req.trace_id,
                         }),
@@ -1144,6 +1156,8 @@ fn supervise(
         keq: config.keq,
         isel: config.isel,
         vc: config.vc,
+        ra: config.ra,
+        gvn: config.gvn,
         retry: config.retry,
         fault_plan: config.fault_plan,
         warm_start: config.warm_start,
@@ -1476,7 +1490,7 @@ fn finalize_submission(
     request_events: bool,
     telemetry: &Telemetry,
 ) {
-    journal_finalize(journal_writer, st.core.func, st.func_fp, &st.attempts, &result);
+    journal_finalize(journal_writer, st.core.func, st.core.pass, st.func_fp, &st.attempts, &result);
     flusher.tick();
     let wall = st.submitted.elapsed();
     let wall_us = u64::try_from(wall.as_micros()).unwrap_or(u64::MAX);
@@ -1497,7 +1511,11 @@ fn finalize_submission(
         telemetry.offer_slow(SlowObligation {
             // Hex, not a JSON number: u64 fingerprints can exceed 2^53.
             fingerprint: format!("{:016x}", st.func_fp),
-            label: st.core.module.functions[st.core.func].name.clone(),
+            label: format!(
+                "{}:{}",
+                st.core.pass.name(),
+                st.core.module.functions[st.core.func].name
+            ),
             wall_us,
             result: result.kind().name().to_string(),
             attempts: st.attempts.len() as u64,
@@ -1636,16 +1654,21 @@ fn run_attempt(
     // The context rides inside the closure so a panic mid-validation drops
     // it during unwind: a context of unknown consistency is never reused
     // (and panics are not retryable anyway).
-    let isel = settings.isel;
-    let vc = settings.vc;
+    let opts = PassOptions {
+        isel: settings.isel,
+        vc: settings.vc,
+        ra: settings.ra,
+        gvn: settings.gvn,
+    };
+    let pass = core.pass;
     let module_in = Arc::clone(&core.module);
     let func_idx = core.func;
     let outcome = panic_capture::run_caught(move || {
-        let r = keq_isel::validate_function_with_context(
+        let r = keq_isel::validate_pass_with_context(
+            pass,
             &module_in,
             &module_in.functions[func_idx],
-            isel,
-            vc,
+            opts,
             keq,
             Some(cancel),
             &mut ctx,
@@ -1654,14 +1677,14 @@ fn run_attempt(
     });
     let mut solver = SolverStats::default();
     let (result, retryable) = match outcome {
-        Ok((Ok(v), ctx)) => {
+        Ok((Ok(report), ctx)) => {
             solver = ctx.solver.stats().since(&stats_before);
             if settings.warm_start {
                 // Dropped, not inserted, if the supervisor retired the
                 // submission while this attempt ran (watchdog abandonment).
                 ctxs.put(job.submission, generation, ctx);
             }
-            classify(&v.report.verdict)
+            classify(&report.verdict)
         }
         // Unsupported functions never get better with bigger budgets.
         Ok((Err(_), ctx)) => {
@@ -1804,6 +1827,7 @@ mod tests {
         let core = Arc::new(JobCore {
             module: Arc::new(Module::default()),
             func: 0,
+            pass: PassId::Isel,
             unit: 0,
             trace_id: 0,
         });

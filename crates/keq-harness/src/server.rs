@@ -254,6 +254,8 @@ impl Server {
             keq: h.keq,
             isel: h.isel,
             vc: h.vc,
+            ra: h.ra,
+            gvn: h.gvn,
             workers,
             deadline: h.deadline,
             grace: h.grace,
@@ -448,21 +450,23 @@ fn handle_connection(mut stream: Box<dyn Conn>, ctx: &ConnCtx, client: u64) -> i
                 wake(&ctx.wake);
                 return Ok(());
             }
-            Ok(ClientRequest::Validate { tag, unit, ir, deadline_ms, max_attempts }) => {
-                handle_validate(ctx, client, tag, unit, &ir, deadline_ms, max_attempts)
+            Ok(ClientRequest::Validate { tag, unit, pass, ir, deadline_ms, max_attempts }) => {
+                handle_validate(ctx, client, tag, unit, pass, &ir, deadline_ms, max_attempts)
             }
         };
         write_frame(&mut stream, &resp.to_json_string())?;
     }
 }
 
-/// Serves one `validate` op: parse the IR, submit every function, await
-/// every verdict, assemble the response.
+/// Serves one `validate` op: parse the IR, submit every function under
+/// the requested pass, await every verdict, assemble the response.
+#[allow(clippy::too_many_arguments)]
 fn handle_validate(
     ctx: &ConnCtx,
     client: u64,
     tag: u64,
     unit: u64,
+    pass: keq_isel::PassId,
     ir: &str,
     deadline_ms: Option<u64>,
     max_attempts: Option<u32>,
@@ -480,6 +484,7 @@ fn handle_validate(
         let req = Request {
             module: Arc::clone(&module),
             func,
+            pass,
             func_fp: journal::function_fingerprint(&module.functions[func]),
             // The fault/backoff unit and trace id key off the *request's*
             // unit, so an injected fault lands on the same logical unit a
@@ -519,6 +524,7 @@ fn handle_validate(
             FunctionVerdict {
                 name: module.functions[index].name.clone(),
                 index: index as u64,
+                pass: pass.name().to_string(),
                 result: c.result.kind().name().to_string(),
                 attempts: c.attempts.len() as u64,
                 queue_us: c.queue_us,
@@ -627,6 +633,7 @@ mod tests {
         let ir = corpus_ir(3);
         let resp = conn
             .roundtrip(&ClientRequest::Validate {
+                pass: keq_isel::PassId::Isel,
                 tag: 42,
                 unit: 0,
                 ir,
@@ -672,6 +679,7 @@ mod tests {
         let mut conn = connect(&addr).expect("connect");
         let resp = conn
             .roundtrip(&ClientRequest::Validate {
+                pass: keq_isel::PassId::Isel,
                 tag: 1,
                 unit: 0,
                 ir: corpus_ir(4),
@@ -732,6 +740,7 @@ mod tests {
         let mut conn = connect(&addr).expect("connect");
         let resp = conn
             .roundtrip(&ClientRequest::Validate {
+                pass: keq_isel::PassId::Isel,
                 tag: 1,
                 unit: 0,
                 ir: corpus_ir(1),
@@ -772,6 +781,7 @@ mod tests {
         // Bad IR.
         let resp = conn
             .roundtrip(&ClientRequest::Validate {
+                pass: keq_isel::PassId::Isel,
                 tag: 1,
                 unit: 0,
                 ir: "define nonsense".into(),
@@ -786,6 +796,7 @@ mod tests {
         // The connection still serves real work afterwards.
         let resp = conn
             .roundtrip(&ClientRequest::Validate {
+                pass: keq_isel::PassId::Isel,
                 tag: 2,
                 unit: 0,
                 ir: corpus_ir(1),
@@ -812,6 +823,7 @@ mod tests {
         let mut conn = connect(&addr).expect("connect");
         let resp = conn
             .roundtrip(&ClientRequest::Validate {
+                pass: keq_isel::PassId::Isel,
                 tag: 7,
                 unit: 0,
                 ir: corpus_ir(1),

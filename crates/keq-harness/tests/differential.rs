@@ -50,6 +50,7 @@ fn server_verdicts(corpus: &Module, opts: &HarnessOptions) -> Vec<(String, u64)>
             .roundtrip(&ClientRequest::Validate {
                 tag: i as u64,
                 unit: i as u64,
+                pass: keq_isel::PassId::Isel,
                 ir: request_ir(corpus, i),
                 deadline_ms: None,
                 max_attempts: None,

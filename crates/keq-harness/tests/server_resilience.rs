@@ -34,6 +34,8 @@ fn config(journal_path: Option<PathBuf>, fp: u64) -> SchedulerConfig {
         keq: Default::default(),
         isel: Default::default(),
         vc: Default::default(),
+        ra: Default::default(),
+        gvn: Default::default(),
         workers: 1,
         deadline: None,
         grace: Duration::from_millis(60),
@@ -62,6 +64,7 @@ fn request(corpus: &Module, func: usize, client: u64) -> Request {
     Request {
         module: Arc::new(corpus.clone()),
         func,
+        pass: keq_isel::PassId::Isel,
         func_fp: journal::function_fingerprint(&corpus.functions[func]),
         unit: func as u64,
         trace_id: func as u32,
@@ -206,6 +209,7 @@ fn tcp_client_vanishing_mid_request_leaves_the_server_serving() {
             &ClientRequest::Validate {
                 tag: 1,
                 unit: 0,
+                pass: keq_isel::PassId::Isel,
                 ir: ir.clone(),
                 deadline_ms: None,
                 max_attempts: None,
@@ -234,6 +238,7 @@ fn tcp_client_vanishing_mid_request_leaves_the_server_serving() {
         .roundtrip(&ClientRequest::Validate {
             tag: 2,
             unit: 0,
+            pass: keq_isel::PassId::Isel,
             ir,
             deadline_ms: None,
             max_attempts: None,

@@ -20,17 +20,20 @@ use keq_semantics::{CtrlLoc, LocPattern};
 use keq_vx86::ast::{PhysReg, Reg, VxFunction, VxInstr};
 use keq_vx86::sem::reg_key;
 
-use crate::regalloc::{RaMap, RegKey, VxLiveness, POOL, SCRATCH};
+use crate::regalloc::{
+    slot_width, RaMap, RegKey, VxLiveness, POOL, RELOAD_SCRATCH, SCRATCH, SPILL_DEF_SCRATCH,
+};
 
 fn flag_havocs() -> Vec<(String, u32)> {
     ["zf", "sf", "cf", "of"].iter().map(|f| (f.to_string(), 0)).collect()
 }
 
-/// Havocs for the allocated side: the whole pool, the scratch register, the
-/// argument registers, and the flags.
+/// Havocs for the allocated side: the whole pool, every scratch register
+/// (parallel-copy, reload, and spilled-definition), the argument registers,
+/// and the flags.
 fn right_havocs(pre: &VxFunction) -> Vec<(String, u32)> {
     let mut h = flag_havocs();
-    for p in POOL.iter().chain([&SCRATCH]) {
+    for p in POOL.iter().chain([&SCRATCH, &SPILL_DEF_SCRATCH]).chain(RELOAD_SCRATCH.iter()) {
         h.push((p.name64().to_owned(), 64));
     }
     for i in 0..pre.num_params {
@@ -46,18 +49,28 @@ fn right_havocs(pre: &VxFunction) -> Vec<(String, u32)> {
 /// `(register key, width)` for the liveness hints.
 type RelatedPair = (ValueExpr, ValueExpr, (String, u32), (String, u32));
 
-/// Relates a pre-RA register to its allocated location.
+/// Relates a pre-RA register to its allocated location: a physical-register
+/// slice for colored vregs, a spill-slot read for spilled ones.
 fn relate(map: &RaMap, r: Reg) -> Option<RelatedPair> {
     match r {
-        Reg::Virt(id, w) => {
-            let phys = *map.assignment.get(&id)?;
-            Some((
+        Reg::Virt(id, w) => match map.assignment.get(&id) {
+            Some(&phys) => Some((
                 ValueExpr::Reg(reg_key(r)),
                 ValueExpr::RegSlice { name: phys.name64().to_owned(), hi: w - 1, lo: 0 },
                 (reg_key(r), w),
                 (phys.name64().to_owned(), 64),
-            ))
-        }
+            )),
+            None => {
+                let addr = *map.spills.get(&id)?;
+                let sw = slot_width(*map.widths.get(&id)?);
+                Some((
+                    ValueExpr::Reg(reg_key(r)),
+                    ValueExpr::Slot { addr, width: sw },
+                    (reg_key(r), w),
+                    (format!("slot{addr:#x}"), sw),
+                ))
+            }
+        },
         Reg::Phys(p, w) => Some((
             ValueExpr::RegSlice { name: p.name64().to_owned(), hi: w - 1, lo: 0 },
             ValueExpr::RegSlice { name: p.name64().to_owned(), hi: w - 1, lo: 0 },
@@ -67,11 +80,27 @@ fn relate(map: &RaMap, r: Reg) -> Option<RelatedPair> {
     }
 }
 
+/// The allocated-side location of a phi *destination* at block entry: the
+/// destructed parallel copy in the predecessor has already written either
+/// the destination's color or its spill slot.
+fn dst_location(map: &RaMap, did: u32, dw: u32) -> ValueExpr {
+    match map.assignment.get(&did) {
+        Some(color) => ValueExpr::RegSlice { name: color.name64().to_owned(), hi: dw - 1, lo: 0 },
+        None => ValueExpr::Slot { addr: map.spills[&did], width: slot_width(map.widths[&did]) },
+    }
+}
+
 /// Generates the sync set for `pre` (SSA Virtual x86) against its allocated
 /// form, given the allocator's assignment artifact.
 pub fn regalloc_sync_points(pre: &VxFunction, post: &VxFunction, map: &RaMap) -> SyncSet {
     let lv = VxLiveness::compute(pre);
     let mut set = SyncSet::new();
+    // The spill frame is private to the allocated side: its writes are
+    // masked out of memory-equality obligations, and spilled values are
+    // related explicitly via `ValueExpr::Slot` equalities instead.
+    if let Some((base, size)) = map.spill_frame() {
+        set.right_private.push(keq_semantics::MemRegion { name: "spill".into(), base, size });
+    }
 
     // Entry: arguments arrive identically on both sides.
     let mut left_havoc = flag_havocs();
@@ -162,14 +191,9 @@ pub fn regalloc_sync_points(pre: &VxFunction, post: &VxFunction, map: &RaMap) ->
                     for (src, p) in incomings {
                         if p == pred {
                             if let (Reg::Virt(sid, sw), Reg::Virt(did, dw)) = (*src, *dst) {
-                                let color = map.assignment[&did];
                                 let key = format!("%vr{sid}_{sw}");
                                 let le = ValueExpr::Reg(key.clone());
-                                let re = ValueExpr::RegSlice {
-                                    name: color.name64().to_owned(),
-                                    hi: dw - 1,
-                                    lo: 0,
-                                };
+                                let re = dst_location(map, did, dw);
                                 if seen_pairs.insert(format!("{le:?}={re:?}")) {
                                     if !left_havoc.iter().any(|(n, _)| *n == key) {
                                         left_havoc.push((key, sw));

@@ -10,12 +10,15 @@
 //! VC generator consumes — no knowledge of the allocation algorithm, only
 //! its output mapping.
 //!
-//! The allocator is spill-free by design: functions whose interference
-//! degree exceeds the pool are rejected as unsupported (spilling would
-//! write the frame, which the memory-equality constraint of the common
-//! memory model would then have to mask; the paper's regalloc work is
-//! likewise staged). This keeps the pass honest: every accepted function is
-//! fully validated, exactly like the ISel system's supported fragment.
+//! The allocator spills: virtual registers that cannot be colored from the
+//! pool are assigned concrete stack slots in a dedicated spill frame
+//! ([`SPILL_BASE`]), with reload loads inserted before uses, stores after
+//! definitions, and a per-block forward pass that coalesces redundant
+//! reloads. The spill frame is modeled through the common memory model: the
+//! black-box VC generator relates each spilled value via a
+//! `ValueExpr::Slot` equality and masks the frame out of the
+//! memory-equality obligations (the frame is private to the allocated
+//! side), so spilled functions validate with the same unmodified checker.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -43,12 +46,6 @@ impl RegKey {
 /// Allocation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RaError {
-    /// More values live simultaneously than the pool holds (spilling not
-    /// implemented).
-    NeedsSpill {
-        /// The uncolorable virtual register.
-        vreg: u32,
-    },
     /// A supervisor cancelled the allocation mid-fixpoint.
     Cancelled,
 }
@@ -56,9 +53,6 @@ pub enum RaError {
 impl std::fmt::Display for RaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RaError::NeedsSpill { vreg } => {
-                write!(f, "register allocation needs a spill for %vr{vreg} (unsupported)")
-            }
             RaError::Cancelled => write!(f, "register allocation cancelled by supervisor"),
         }
     }
@@ -70,13 +64,28 @@ impl std::error::Error for RaError {}
 /// sees.
 #[derive(Debug, Clone, Default)]
 pub struct RaMap {
-    /// Virtual register id → assigned physical register.
+    /// Virtual register id → assigned physical register (colored vregs
+    /// only; spilled vregs appear in [`RaMap::spills`] instead).
     pub assignment: BTreeMap<u32, PhysReg>,
     /// Width of each virtual register.
     pub widths: BTreeMap<u32, u32>,
+    /// Virtual register id → absolute spill-slot address.
+    pub spills: BTreeMap<u32, u64>,
 }
 
-/// Allocatable pool (R11 is reserved as the parallel-copy scratch).
+impl RaMap {
+    /// The spill frame `(base, size)` this allocation writes, `None` when
+    /// nothing spilled. The size pads one trailing slot so a fault-injected
+    /// off-by-one slot store still lands inside the modeled region (and is
+    /// caught as a wrong *value*, not an out-of-bounds trap).
+    pub fn spill_frame(&self) -> Option<(u64, u64)> {
+        let max = *self.spills.values().max()?;
+        Some((SPILL_BASE, max - SPILL_BASE + 2 * SPILL_SLOT_BYTES))
+    }
+}
+
+/// Allocatable pool (R11 is reserved as the parallel-copy scratch;
+/// R12/R13/R15 as reload scratches; R14 as the spilled-definition scratch).
 pub const POOL: [PhysReg; 9] = [
     PhysReg::Rbx,
     PhysReg::Rcx,
@@ -91,6 +100,49 @@ pub const POOL: [PhysReg; 9] = [
 
 /// The scratch register used to break parallel-copy cycles.
 pub const SCRATCH: PhysReg = PhysReg::R11;
+
+/// Base address of the spill frame — below the alloca frame
+/// (`keq_llvm::layout::FRAME_BASE` = `0x7fff_0000`) and far above the
+/// globals, so spill slots never alias program-visible memory.
+pub const SPILL_BASE: u64 = 0x7ffe_0000;
+
+/// Bytes reserved per spill slot (every slot holds up to 64 bits).
+pub const SPILL_SLOT_BYTES: u64 = 8;
+
+/// Scratch registers spilled *uses* are reloaded into, in assignment order
+/// (an instruction reads at most three registers, so three suffice).
+pub const RELOAD_SCRATCH: [PhysReg; 3] = [PhysReg::R12, PhysReg::R13, PhysReg::R15];
+
+/// Scratch register a spilled *definition* is computed into before the
+/// slot store.
+pub const SPILL_DEF_SCRATCH: PhysReg = PhysReg::R14;
+
+/// Injectable spill miscompilations, mirroring the ISel `BugInjection`
+/// studies: each is a realistic allocator defect the checker must catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpillBug {
+    /// Correct spilling.
+    #[default]
+    None,
+    /// Reload coalescing forgets that calls clobber the caller-saved
+    /// reload scratches (and that a slot store invalidates stale cached
+    /// copies), so a reload after a call is dropped and the use reads
+    /// whatever the callee left in the scratch.
+    LostReload,
+    /// Slot stores land one slot too high, clobbering a neighboring spill.
+    ClobberedSlot,
+}
+
+/// Allocator tuning (bug injection for the validation studies).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RaOptions {
+    /// Injected spill defect.
+    pub bug: SpillBug,
+    /// Cap on how many [`POOL`] registers the colorer may use — lets tests
+    /// and studies force spilling on low-pressure functions. `None` uses
+    /// the whole pool.
+    pub pool_limit: Option<usize>,
+}
 
 /// Uses and defs of one instruction, as liveness keys.
 pub fn uses_defs(instr: &VxInstr) -> (Vec<RegKey>, Vec<RegKey>) {
@@ -331,13 +383,14 @@ fn interference(func: &VxFunction, lv: &VxLiveness) -> BTreeMap<RegKey, BTreeSet
     graph
 }
 
-/// Runs register allocation: colors every virtual register, destructs PHIs
-/// into (cycle-safe) copies in predecessors, and rewrites the function.
+/// Runs register allocation: colors every virtual register (spilling the
+/// uncolorable ones to concrete stack slots), destructs PHIs into
+/// (cycle-safe) copies in predecessors, rewrites the function with reloads
+/// and slot stores, and coalesces redundant reloads.
 ///
 /// # Errors
 ///
-/// Returns [`RaError::NeedsSpill`] if the function's register pressure
-/// exceeds the pool.
+/// Never fails on register pressure — excess pressure spills.
 pub fn allocate(func: &VxFunction) -> Result<(VxFunction, RaMap), RaError> {
     allocate_cancellable(func, None)
 }
@@ -347,10 +400,23 @@ pub fn allocate(func: &VxFunction) -> Result<(VxFunction, RaMap), RaError> {
 ///
 /// # Errors
 ///
-/// Returns [`RaError::NeedsSpill`] on excess register pressure and
-/// [`RaError::Cancelled`] when the token is raised mid-analysis.
+/// Returns [`RaError::Cancelled`] when the token is raised mid-analysis.
 pub fn allocate_cancellable(
     func: &VxFunction,
+    cancel: Option<&CancelToken>,
+) -> Result<(VxFunction, RaMap), RaError> {
+    allocate_with_options(func, RaOptions::default(), cancel)
+}
+
+/// [`allocate_cancellable`] with tuning — the entry point the validation
+/// studies use to inject spill defects.
+///
+/// # Errors
+///
+/// Returns [`RaError::Cancelled`] when the token is raised mid-analysis.
+pub fn allocate_with_options(
+    func: &VxFunction,
+    opts: RaOptions,
     cancel: Option<&CancelToken>,
 ) -> Result<(VxFunction, RaMap), RaError> {
     let mut func = func.clone();
@@ -372,7 +438,8 @@ pub fn allocate_cancellable(
             visit_regs(i, &mut |r| remember(r, &mut map));
         }
     }
-    // Greedy coloring in id order.
+    // Greedy coloring in id order; the uncolorable get spill slots.
+    let pool = &POOL[..opts.pool_limit.map_or(POOL.len(), |l| l.clamp(1, POOL.len()))];
     let ids: Vec<u32> = map.widths.keys().copied().collect();
     for id in ids {
         let neighbors = graph.get(&RegKey::Virt(id)).cloned().unwrap_or_default();
@@ -389,12 +456,17 @@ pub fn allocate_cancellable(
                 }
             }
         }
-        let Some(&color) = POOL.iter().find(|p| !taken.contains(p)) else {
-            return Err(RaError::NeedsSpill { vreg: id });
-        };
-        map.assignment.insert(id, color);
+        match pool.iter().find(|p| !taken.contains(p)) {
+            Some(&color) => {
+                map.assignment.insert(id, color);
+            }
+            None => {
+                let slot = SPILL_BASE + map.spills.len() as u64 * SPILL_SLOT_BYTES;
+                map.spills.insert(id, slot);
+            }
+        }
     }
-    // Destruct PHIs: gather parallel copies per incoming edge.
+    // Destruct PHIs: gather parallel moves (register or slot) per edge.
     let block_names: Vec<String> = func.blocks.iter().map(|b| b.name.clone()).collect();
     for name in &block_names {
         let (phis, rest): (Vec<VxInstr>, Vec<VxInstr>) = {
@@ -404,19 +476,19 @@ pub fn allocate_cancellable(
         if phis.is_empty() {
             continue;
         }
-        // Per predecessor: the parallel copy (dst, src) list.
-        let mut per_pred: BTreeMap<String, Vec<(Reg, Reg)>> = BTreeMap::new();
+        // Per predecessor: the parallel move (dst, src) list.
+        let mut per_pred: BTreeMap<String, Vec<(MLoc, MLoc)>> = BTreeMap::new();
         for p in &phis {
             let VxInstr::Phi { dst, incomings } = p else { unreachable!() };
             for (src, pred) in incomings {
                 per_pred
                     .entry(pred.clone())
                     .or_default()
-                    .push((color_reg(*dst, &map), color_reg(*src, &map)));
+                    .push((loc_of(*dst, &map), loc_of(*src, &map)));
             }
         }
         for (pred, moves) in per_pred {
-            let seq = sequentialize_parallel_copy(&moves);
+            let seq = sequentialize_parallel_moves(&moves);
             let pb = func
                 .blocks
                 .iter_mut()
@@ -427,19 +499,52 @@ pub fn allocate_cancellable(
         let b = func.blocks.iter_mut().find(|b| &b.name == name).expect("exists");
         b.instrs = rest;
     }
-    // Rewrite remaining instructions.
+    // Rewrite remaining instructions, inserting reloads and slot stores.
     for b in &mut func.blocks {
-        for i in &mut b.instrs {
-            rewrite_regs(i, &map);
-        }
+        let instrs = std::mem::take(&mut b.instrs);
+        b.instrs = rewrite_block_with_spills(instrs, &map, opts.bug);
     }
+    coalesce_reloads(&mut func, opts.bug);
     Ok((func, map))
 }
 
-fn color_reg(r: Reg, map: &RaMap) -> Reg {
+/// A parallel-move endpoint: a (colored) register or a spill slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MLoc {
+    /// Register location.
+    R(Reg),
+    /// Spill slot `(absolute address, value width)`.
+    S(u64, u32),
+}
+
+/// Overlap key of a move endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MKey {
+    R(RegKey),
+    S(u64),
+}
+
+fn mkey(l: MLoc) -> MKey {
+    match l {
+        MLoc::R(r) => MKey::R(RegKey::of(r)),
+        MLoc::S(a, _) => MKey::S(a),
+    }
+}
+
+fn mwidth(l: MLoc) -> u32 {
+    match l {
+        MLoc::R(r) => r.width(),
+        MLoc::S(_, w) => w,
+    }
+}
+
+fn loc_of(r: Reg, map: &RaMap) -> MLoc {
     match r {
-        Reg::Virt(id, w) => Reg::Phys(map.assignment[&id], w),
-        phys => phys,
+        Reg::Virt(id, w) => match map.assignment.get(&id) {
+            Some(&p) => MLoc::R(Reg::Phys(p, w)),
+            None => MLoc::S(map.spills[&id], w),
+        },
+        phys => MLoc::R(phys),
     }
 }
 
@@ -492,36 +597,94 @@ fn split_critical_edges(func: &mut VxFunction) {
     }
 }
 
-/// Orders a parallel copy into sequential copies, breaking cycles through
-/// [`SCRATCH`].
-fn sequentialize_parallel_copy(moves: &[(Reg, Reg)]) -> Vec<VxInstr> {
-    let mut pending: Vec<(Reg, Reg)> = moves
-        .iter()
-        .filter(|(d, s)| RegKey::of(*d) != RegKey::of(*s))
-        .cloned()
-        .collect();
+/// Rounds a value width up to a positive byte multiple — the access width
+/// used for the value's spill slot.
+pub fn slot_width(w: u32) -> u32 {
+    w.div_ceil(8).max(1) * 8
+}
+
+fn phys_of(r: Reg) -> PhysReg {
+    match r {
+        Reg::Phys(p, _) => p,
+        Reg::Virt(..) => unreachable!("moves are lowered after coloring"),
+    }
+}
+
+/// Lowers one (already ordered) move between locations.
+fn emit_move(d: MLoc, s: MLoc, out: &mut Vec<VxInstr>) {
+    match (d, s) {
+        (MLoc::R(dr), MLoc::R(sr)) => out.push(VxInstr::Copy { dst: dr, src: sr }),
+        // Reload: always a full 64-bit zero-extending write so the scratch
+        // destination never merges with a stale (possibly undefined) value.
+        (MLoc::R(dr), MLoc::S(a, sw)) => out.push(VxInstr::Load {
+            dst: Reg::Phys(phys_of(dr), 64),
+            width: sw,
+            addr: Addr::absolute(a as i64),
+            zext: true,
+        }),
+        (MLoc::S(a, sw), MLoc::R(sr)) => out.push(VxInstr::Store {
+            width: sw,
+            addr: Addr::absolute(a as i64),
+            src: RegImm::Reg(Reg::Phys(phys_of(sr), sw)),
+        }),
+        // Slot-to-slot bounces through the first reload scratch (dead
+        // between instructions, so free at the block tail).
+        (MLoc::S(da, dw), MLoc::S(sa, sw)) => {
+            out.push(VxInstr::Load {
+                dst: Reg::Phys(RELOAD_SCRATCH[0], 64),
+                width: sw,
+                addr: Addr::absolute(sa as i64),
+                zext: true,
+            });
+            out.push(VxInstr::Store {
+                width: dw,
+                addr: Addr::absolute(da as i64),
+                src: RegImm::Reg(Reg::Phys(RELOAD_SCRATCH[0], dw)),
+            });
+        }
+    }
+}
+
+/// Orders a parallel move set into sequential moves, breaking cycles
+/// through [`SCRATCH`]. Endpoints may be registers or spill slots.
+fn sequentialize_parallel_moves(moves: &[(MLoc, MLoc)]) -> Vec<VxInstr> {
+    let mut pending: Vec<(MLoc, MLoc)> =
+        moves.iter().filter(|(d, s)| mkey(*d) != mkey(*s)).copied().collect();
     let mut out = Vec::new();
     while !pending.is_empty() {
         // A move is safe when no other pending move reads its destination.
         if let Some(pos) = pending.iter().position(|(d, _)| {
-            !pending.iter().any(|(d2, s2)| {
-                RegKey::of(*s2) == RegKey::of(*d) && RegKey::of(*d2) != RegKey::of(*d)
-            })
+            !pending.iter().any(|(d2, s2)| mkey(*s2) == mkey(*d) && mkey(*d2) != mkey(*d))
         }) {
             let (d, s) = pending.remove(pos);
-            out.push(VxInstr::Copy { dst: d, src: s });
+            emit_move(d, s, &mut out);
             continue;
         }
         // Cycle: move one source aside into the scratch register.
-        let (d0, s0) = pending[0];
-        let w = s0.width();
-        out.push(VxInstr::Copy { dst: Reg::Phys(SCRATCH, w), src: s0 });
+        let (_, s0) = pending[0];
+        match s0 {
+            MLoc::R(r) => {
+                let w = r.width();
+                if w < 32 {
+                    // Sub-32-bit register writes merge with the old value;
+                    // define the scratch first so the merge is well-formed.
+                    out.push(VxInstr::MovRI { dst: Reg::Phys(SCRATCH, 64), imm: 0 });
+                }
+                out.push(VxInstr::Copy { dst: Reg::Phys(SCRATCH, w), src: r });
+            }
+            MLoc::S(a, sw) => out.push(VxInstr::Load {
+                dst: Reg::Phys(SCRATCH, 64),
+                width: sw,
+                addr: Addr::absolute(a as i64),
+                zext: true,
+            }),
+        }
+        let k = mkey(s0);
         for (_, s) in pending.iter_mut() {
-            if RegKey::of(*s) == RegKey::of(s0) {
-                *s = Reg::Phys(SCRATCH, s.width());
+            if mkey(*s) == k {
+                *s = MLoc::R(Reg::Phys(SCRATCH, mwidth(*s)));
             }
         }
-        let _ = d0;
     }
     out
 }
@@ -577,60 +740,213 @@ fn visit_regs(i: &VxInstr, f: &mut impl FnMut(Reg)) {
     }
 }
 
-fn rewrite_regs(i: &mut VxInstr, map: &RaMap) {
-    let fix = |r: &mut Reg| {
-        if let Reg::Virt(id, w) = r {
-            *r = Reg::Phys(map.assignment[id], *w);
+/// Per-instruction spill rewriter: maps colored virtuals to their physical
+/// registers, reloads spilled uses into [`RELOAD_SCRATCH`] registers (one
+/// load per distinct spilled vreg per instruction), and routes spilled
+/// definitions through [`SPILL_DEF_SCRATCH`] followed by a slot store.
+struct SpillRewriter<'a> {
+    map: &'a RaMap,
+    bug: SpillBug,
+    /// Loads emitted before the instruction.
+    pre: Vec<VxInstr>,
+    /// Stores emitted after the instruction.
+    post: Vec<VxInstr>,
+    /// Spilled vreg id → reload scratch already holding it (this instr).
+    reloaded: BTreeMap<u32, PhysReg>,
+    next_scratch: usize,
+}
+
+impl SpillRewriter<'_> {
+    fn use_reg(&mut self, r: &mut Reg) {
+        let Reg::Virt(id, w) = *r else { return };
+        if let Some(&p) = self.map.assignment.get(&id) {
+            *r = Reg::Phys(p, w);
+            return;
         }
-    };
-    let fix_ri = |x: &mut RegImm| {
+        let slot = self.map.spills[&id];
+        let scratch = match self.reloaded.get(&id) {
+            Some(&p) => p,
+            None => {
+                let p = RELOAD_SCRATCH[self.next_scratch];
+                self.next_scratch += 1;
+                self.reloaded.insert(id, p);
+                self.pre.push(VxInstr::Load {
+                    dst: Reg::Phys(p, 64),
+                    width: slot_width(self.map.widths[&id]),
+                    addr: Addr::absolute(slot as i64),
+                    zext: true,
+                });
+                p
+            }
+        };
+        *r = Reg::Phys(scratch, w);
+    }
+
+    fn def_reg(&mut self, r: &mut Reg) {
+        let Reg::Virt(id, w) = *r else { return };
+        if let Some(&p) = self.map.assignment.get(&id) {
+            *r = Reg::Phys(p, w);
+            return;
+        }
+        let sw = slot_width(self.map.widths[&id]);
+        if w < 32 {
+            // A sub-32-bit write merges with the old register value; define
+            // the scratch first so the store below stores zext(value).
+            self.pre.push(VxInstr::MovRI { dst: Reg::Phys(SPILL_DEF_SCRATCH, 64), imm: 0 });
+        }
+        *r = Reg::Phys(SPILL_DEF_SCRATCH, w);
+        let mut slot = self.map.spills[&id];
+        if self.bug == SpillBug::ClobberedSlot {
+            slot += SPILL_SLOT_BYTES;
+        }
+        self.post.push(VxInstr::Store {
+            width: sw,
+            addr: Addr::absolute(slot as i64),
+            src: RegImm::Reg(Reg::Phys(SPILL_DEF_SCRATCH, sw)),
+        });
+    }
+
+    fn use_ri(&mut self, x: &mut RegImm) {
         if let RegImm::Reg(r) = x {
-            if let Reg::Virt(id, w) = r {
-                *r = Reg::Phys(map.assignment[id], *w);
-            }
+            self.use_reg(r);
         }
-    };
-    let fix_addr = |a: &mut Addr| {
+    }
+
+    fn use_addr(&mut self, a: &mut Addr) {
         if let Some(b) = &mut a.base {
-            if let Reg::Virt(id, w) = b {
-                *b = Reg::Phys(map.assignment[id], *w);
-            }
+            self.use_reg(b);
         }
         if let Some((x, _)) = &mut a.index {
-            if let Reg::Virt(id, w) = x {
-                *x = Reg::Phys(map.assignment[id], *w);
+            self.use_reg(x);
+        }
+    }
+
+    fn rewrite(&mut self, i: &mut VxInstr) {
+        match i {
+            VxInstr::Copy { dst, src }
+            | VxInstr::Inc { dst, src }
+            | VxInstr::Ext { dst, src, .. } => {
+                self.use_reg(src);
+                self.def_reg(dst);
+            }
+            VxInstr::Phi { .. } => unreachable!("phis are destructed before rewriting"),
+            VxInstr::MovRI { dst, .. } | VxInstr::SetCc { dst, .. } => self.def_reg(dst),
+            VxInstr::Load { dst, addr, .. } => {
+                self.use_addr(addr);
+                self.def_reg(dst);
+            }
+            VxInstr::Store { addr, src, .. } => {
+                self.use_addr(addr);
+                self.use_ri(src);
+            }
+            VxInstr::Alu { dst, lhs, rhs, .. } | VxInstr::Div { dst, lhs, rhs, .. } => {
+                self.use_ri(lhs);
+                self.use_ri(rhs);
+                self.def_reg(dst);
+            }
+            VxInstr::Cmp { lhs, rhs, .. } => {
+                self.use_ri(lhs);
+                self.use_ri(rhs);
+            }
+            VxInstr::Lea { dst, addr } => {
+                self.use_addr(addr);
+                self.def_reg(dst);
+            }
+            VxInstr::Call { .. } => {}
+        }
+    }
+}
+
+/// Rewrites one block's instructions, inserting reloads before and slot
+/// stores after each instruction touching spilled virtual registers.
+fn rewrite_block_with_spills(instrs: Vec<VxInstr>, map: &RaMap, bug: SpillBug) -> Vec<VxInstr> {
+    let mut out = Vec::new();
+    for mut i in instrs {
+        let mut rw = SpillRewriter {
+            map,
+            bug,
+            pre: Vec::new(),
+            post: Vec::new(),
+            reloaded: BTreeMap::new(),
+            next_scratch: 0,
+        };
+        rw.rewrite(&mut i);
+        out.extend(rw.pre);
+        out.push(i);
+        out.extend(rw.post);
+    }
+    out
+}
+
+/// `Some(address)` when `addr` is an absolute constant inside the spill
+/// frame — the shape every reload and slot store uses, and one no program
+/// access can take (program memory lives in the globals and alloca
+/// regions).
+fn spill_slot_addr(addr: &Addr) -> Option<u64> {
+    if addr.global.is_some() || addr.base.is_some() || addr.index.is_some() {
+        return None;
+    }
+    let a = addr.disp as u64;
+    (SPILL_BASE..SPILL_BASE + 0x1_0000).contains(&a).then_some(a)
+}
+
+/// Per-block forward pass dropping redundant reloads: tracks which scratch
+/// registers currently hold which slot's contents, and deletes a reload
+/// whose destination already does. Tracking is invalidated by any
+/// redefinition of the register, any store to the tracked slot, any store
+/// through a symbolic address (which may alias the frame under the
+/// allocated side's layout), and any call — except that the
+/// [`SpillBug::LostReload`] defect skips the slot-store and call
+/// invalidations; that omission is exactly the bug.
+fn coalesce_reloads(func: &mut VxFunction, bug: SpillBug) {
+    for b in &mut func.blocks {
+        let mut tracked: BTreeMap<PhysReg, (u64, u32)> = BTreeMap::new();
+        let mut out: Vec<VxInstr> = Vec::new();
+        for i in std::mem::take(&mut b.instrs) {
+            match &i {
+                VxInstr::Load { dst: Reg::Phys(p, 64), width, addr, zext: true }
+                    if spill_slot_addr(addr).is_some() =>
+                {
+                    let a = spill_slot_addr(addr).expect("guard");
+                    if tracked.get(p) == Some(&(a, *width)) {
+                        continue; // redundant reload — drop it
+                    }
+                    tracked.insert(*p, (a, *width));
+                    out.push(i);
+                }
+                VxInstr::Store { width, addr, src } => {
+                    match spill_slot_addr(addr) {
+                        Some(a) => {
+                            if bug != SpillBug::LostReload {
+                                tracked.retain(|_, &mut (slot, _)| slot != a);
+                            }
+                            if let RegImm::Reg(Reg::Phys(p, _)) = src {
+                                tracked.insert(*p, (a, *width));
+                            }
+                        }
+                        // A symbolic store may alias the frame.
+                        None => tracked.clear(),
+                    }
+                    out.push(i);
+                }
+                VxInstr::Call { .. } => {
+                    if bug != SpillBug::LostReload {
+                        tracked.clear();
+                    }
+                    out.push(i);
+                }
+                _ => {
+                    let (_, defs) = uses_defs(&i);
+                    for d in defs {
+                        if let RegKey::Phys(p) = d {
+                            tracked.remove(&p);
+                        }
+                    }
+                    out.push(i);
+                }
             }
         }
-    };
-    match i {
-        VxInstr::Copy { dst, src } | VxInstr::Inc { dst, src } | VxInstr::Ext { dst, src, .. } => {
-            fix(dst);
-            fix(src);
-        }
-        VxInstr::Phi { .. } => unreachable!("phis are destructed before rewriting"),
-        VxInstr::MovRI { dst, .. } | VxInstr::SetCc { dst, .. } => fix(dst),
-        VxInstr::Load { dst, addr, .. } => {
-            fix(dst);
-            fix_addr(addr);
-        }
-        VxInstr::Store { addr, src, .. } => {
-            fix_addr(addr);
-            fix_ri(src);
-        }
-        VxInstr::Alu { dst, lhs, rhs, .. } | VxInstr::Div { dst, lhs, rhs, .. } => {
-            fix(dst);
-            fix_ri(lhs);
-            fix_ri(rhs);
-        }
-        VxInstr::Cmp { lhs, rhs, .. } => {
-            fix_ri(lhs);
-            fix_ri(rhs);
-        }
-        VxInstr::Lea { dst, addr } => {
-            fix(dst);
-            fix_addr(addr);
-        }
-        VxInstr::Call { .. } => {}
+        b.instrs = out;
     }
 }
 
@@ -638,14 +954,15 @@ fn rewrite_regs(i: &mut VxInstr, map: &RaMap) {
 mod tests {
     use super::*;
 
+    fn r(p: PhysReg) -> MLoc {
+        MLoc::R(Reg::Phys(p, 32))
+    }
+
     #[test]
     fn parallel_copy_cycle_uses_scratch() {
         // swap: (rbx <- rcx, rcx <- rbx)
-        let moves = vec![
-            (Reg::Phys(PhysReg::Rbx, 32), Reg::Phys(PhysReg::Rcx, 32)),
-            (Reg::Phys(PhysReg::Rcx, 32), Reg::Phys(PhysReg::Rbx, 32)),
-        ];
-        let seq = sequentialize_parallel_copy(&moves);
+        let moves = vec![(r(PhysReg::Rbx), r(PhysReg::Rcx)), (r(PhysReg::Rcx), r(PhysReg::Rbx))];
+        let seq = sequentialize_parallel_moves(&moves);
         assert_eq!(seq.len(), 3, "{seq:?}");
         assert!(
             matches!(seq[0], VxInstr::Copy { dst: Reg::Phys(SCRATCH, _), .. }),
@@ -656,11 +973,8 @@ mod tests {
     #[test]
     fn parallel_copy_chain_orders_correctly() {
         // rbx <- rcx, rcx <- rdx: must move rbx<-rcx first.
-        let moves = vec![
-            (Reg::Phys(PhysReg::Rbx, 32), Reg::Phys(PhysReg::Rcx, 32)),
-            (Reg::Phys(PhysReg::Rcx, 32), Reg::Phys(PhysReg::Rdx, 32)),
-        ];
-        let seq = sequentialize_parallel_copy(&moves);
+        let moves = vec![(r(PhysReg::Rbx), r(PhysReg::Rcx)), (r(PhysReg::Rcx), r(PhysReg::Rdx))];
+        let seq = sequentialize_parallel_moves(&moves);
         assert_eq!(seq.len(), 2);
         assert!(matches!(
             seq[0],
@@ -670,7 +984,29 @@ mod tests {
 
     #[test]
     fn identity_moves_are_dropped() {
-        let moves = vec![(Reg::Phys(PhysReg::Rbx, 32), Reg::Phys(PhysReg::Rbx, 32))];
-        assert!(sequentialize_parallel_copy(&moves).is_empty());
+        let moves = vec![(r(PhysReg::Rbx), r(PhysReg::Rbx))];
+        assert!(sequentialize_parallel_moves(&moves).is_empty());
+    }
+
+    #[test]
+    fn slot_moves_lower_to_loads_and_stores() {
+        let a = SPILL_BASE;
+        let b = SPILL_BASE + SPILL_SLOT_BYTES;
+        // slot b <- slot a (bounce), rbx <- slot a (reload), slot a <- rcx.
+        let moves = vec![
+            (MLoc::S(b, 32), MLoc::S(a, 32)),
+            (r(PhysReg::Rbx), MLoc::S(a, 32)),
+            (MLoc::S(a, 32), r(PhysReg::Rcx)),
+        ];
+        let seq = sequentialize_parallel_moves(&moves);
+        // slot a is read by two moves and written by one; the writes to a
+        // must come last.
+        let store_a_pos = seq
+            .iter()
+            .position(|i| {
+                matches!(&i, VxInstr::Store { addr, .. } if spill_slot_addr(addr) == Some(a))
+            })
+            .expect("store to slot a");
+        assert_eq!(store_a_pos, seq.len() - 1, "{seq:?}");
     }
 }

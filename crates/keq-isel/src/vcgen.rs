@@ -41,7 +41,7 @@ fn flag_havocs() -> Vec<(String, u32)> {
 }
 
 /// Value widths (in LLVM bits) of every local in the function.
-fn local_types(func: &Function) -> BTreeMap<String, u32> {
+pub(crate) fn local_types(func: &Function) -> BTreeMap<String, u32> {
     let mut m = BTreeMap::new();
     for (p, ty) in &func.params {
         m.insert(p.clone(), ty.value_bits());
@@ -337,5 +337,6 @@ fn render_expr(e: &ValueExpr) -> String {
         ValueExpr::Const { value, .. } => format!("{value}"),
         ValueExpr::Ret => "<ret>".into(),
         ValueExpr::Arg(i) => format!("<arg{i}>"),
+        ValueExpr::Slot { addr, width } => format!("[{addr:#x}]:{width}"),
     }
 }

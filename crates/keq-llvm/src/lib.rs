@@ -12,6 +12,7 @@
 
 pub mod ast;
 pub mod corpus;
+pub mod gvn;
 pub mod interp;
 pub mod layout;
 pub mod parser;
@@ -23,6 +24,7 @@ pub use ast::{
     BinOp, Block, CastKind, ConstExpr, Function, Global, IcmpPred, Instr, Module, Operand,
     Terminator,
 };
+pub use gvn::{run_gvn, GvnBug, GvnOptions, GvnOutput};
 pub use interp::{default_ext_call, run_function, CValue, Trap};
 pub use layout::{Layout, FRAME_BASE, GLOBAL_BASE};
 pub use parser::{parse_function, parse_module, ParseError};

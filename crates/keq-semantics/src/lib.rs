@@ -16,5 +16,6 @@ pub use accept::{Acceptability, ErrorRelation};
 pub use config::{ErrorKind, Language, SemanticsError, Status, SymConfig};
 pub use loc::{CtrlLoc, LocPattern};
 pub use mem::{
-    footprint, memory_equal_obligations, read_bytes, write_bytes, Footprint, MemLayout, MemRegion,
+    footprint, memory_equal_obligations, memory_equal_obligations_masked, read_bytes, write_bytes,
+    Footprint, MemLayout, MemRegion,
 };

@@ -163,6 +163,25 @@ pub fn memory_equal_obligations(
     m1: TermId,
     m2: TermId,
 ) -> Option<Vec<TermId>> {
+    memory_equal_obligations_masked(bank, m1, m2, &[])
+}
+
+/// [`memory_equal_obligations`] with a *mask*: write indices that are
+/// concrete constants falling inside one of the masked regions are excluded
+/// from the equality. This is how one side's private scratch memory — e.g.
+/// the spill frame a register allocator introduces on the allocated side
+/// only — is carved out of the acceptability relation's memory requirement:
+/// the programs must agree everywhere *except* the private region.
+///
+/// Only constant indices are maskable; a symbolic index is always kept (its
+/// disjointness from the masked region, if needed, must come from the path's
+/// in-bounds assumptions).
+pub fn memory_equal_obligations_masked(
+    bank: &mut TermBank,
+    m1: TermId,
+    m2: TermId,
+    mask: &[MemRegion],
+) -> Option<Vec<TermId>> {
     if m1 == m2 {
         return Some(Vec::new());
     }
@@ -174,6 +193,14 @@ pub fn memory_equal_obligations(
     let union: BTreeSet<TermId> = f1.indices.union(&f2.indices).copied().collect();
     let mut obligations = Vec::with_capacity(union.len());
     for idx in union {
+        if !mask.is_empty() {
+            if let Some((_, v)) = bank.as_bv_const(idx) {
+                let v = v as u64;
+                if mask.iter().any(|r| v >= r.base && v - r.base < r.size) {
+                    continue;
+                }
+            }
+        }
         let r1 = bank.mk_select(m1, idx);
         let r2 = bank.mk_select(m2, idx);
         let eq = bank.mk_eq(r1, r2);

@@ -22,6 +22,8 @@ pub enum Phase {
     Isel,
     /// Register allocation.
     Regalloc,
+    /// The GVN mid-end pass.
+    Gvn,
     /// Synchronization-point generation.
     Vcgen,
     /// The whole KEQ check of one translation.
@@ -44,10 +46,11 @@ pub enum Phase {
 
 impl Phase {
     /// All phases, in pipeline order.
-    pub const ALL: [Phase; 12] = [
+    pub const ALL: [Phase; 13] = [
         Phase::Parse,
         Phase::Isel,
         Phase::Regalloc,
+        Phase::Gvn,
         Phase::Vcgen,
         Phase::Check,
         Phase::SyncPoint,
@@ -65,6 +68,7 @@ impl Phase {
             Phase::Parse => "parse",
             Phase::Isel => "isel",
             Phase::Regalloc => "regalloc",
+            Phase::Gvn => "gvn",
             Phase::Vcgen => "vcgen",
             Phase::Check => "check",
             Phase::SyncPoint => "sync_point",
@@ -83,7 +87,12 @@ impl Phase {
     pub fn is_top_level(self) -> bool {
         matches!(
             self,
-            Phase::Parse | Phase::Isel | Phase::Regalloc | Phase::Vcgen | Phase::Check
+            Phase::Parse
+                | Phase::Isel
+                | Phase::Regalloc
+                | Phase::Gvn
+                | Phase::Vcgen
+                | Phase::Check
         )
     }
 

@@ -47,6 +47,6 @@ pub use recorder::{
 };
 pub use report::{
     check_phase_coverage, phase_summaries, validate, AttemptReport, CacheCounters, FunctionReport,
-    OutcomeTable, PhaseSummary, ResumeSection, RunReport, ServerSection, SlowObligation,
-    SolverCounters, TelemetrySection, Violation, REPORT_SCHEMA,
+    OutcomeTable, PassSection, PhaseSummary, ResumeSection, RunReport, ServerSection,
+    SlowObligation, SolverCounters, TelemetrySection, Violation, REPORT_SCHEMA,
 };

@@ -29,8 +29,13 @@ use crate::json::{self, Json};
 /// `telemetry` section (metrics sampling plus the slow-obligation table);
 /// v6 added the obligation-normalization counters (`rewrite_rules_fired`,
 /// `rewrite_passes`, `rewrite_nodes_saved`) and the CDCL glue-retention
-/// counter (`lbd_kept`) to the solver section.
-pub const REPORT_SCHEMA: &str = "keq-run-report/v6";
+/// counter (`lbd_kept`) to the solver section; v7 made the report
+/// pass-aware: every function row carries the validated pass's stable
+/// name (`pass`), and the new top-level `passes` array holds one outcome
+/// table per validated pass, so a run that validates the same corpus
+/// under ISel, regalloc, and GVN reports each pass's Fig. 6 row
+/// separately.
+pub const REPORT_SCHEMA: &str = "keq-run-report/v7";
 
 /// The Fig. 6 outcome table.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -73,6 +78,26 @@ impl OutcomeTable {
         let mut s = String::new();
         self.to_json().write_compact(&mut s);
         s
+    }
+}
+
+/// One validated pass's section of the v7 schema: the pass's stable wire
+/// name and its own Fig. 6 outcome table, aggregated over the rows that
+/// validated under it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassSection {
+    /// Stable pass name (`"isel"`, `"regalloc"`, `"gvn"`).
+    pub pass: String,
+    /// The pass's outcome table.
+    pub outcome: OutcomeTable,
+}
+
+impl PassSection {
+    fn to_json(&self) -> Json {
+        json::obj(vec![
+            ("pass", Json::Str(self.pass.clone())),
+            ("outcome", self.outcome.to_json()),
+        ])
     }
 }
 
@@ -547,6 +572,8 @@ pub struct FunctionReport {
     pub name: String,
     /// Index in the validated module.
     pub index: u64,
+    /// Stable name of the validated pass this row's verdict is about.
+    pub pass: String,
     /// Instruction count.
     pub size: u64,
     /// Total wall-clock across attempts, µs.
@@ -565,6 +592,7 @@ impl FunctionReport {
         json::obj(vec![
             ("name", Json::Str(self.name.clone())),
             ("index", json::num(self.index)),
+            ("pass", Json::Str(self.pass.clone())),
             ("size", json::num(self.size)),
             ("wall_us", json::num(self.wall_us)),
             ("result", Json::Str(self.result.clone())),
@@ -583,8 +611,10 @@ pub struct RunReport {
     pub n_functions: u64,
     /// Whether a trace journal backed the phase/fault sections.
     pub trace_enabled: bool,
-    /// The outcome table.
+    /// The outcome table (all passes merged).
     pub outcome: OutcomeTable,
+    /// Per-pass outcome tables, in validation order.
+    pub passes: Vec<PassSection>,
     /// Merged solver counters.
     pub solver: SolverCounters,
     /// Shared obligation-cache counters.
@@ -616,6 +646,7 @@ impl RunReport {
             ("n_functions", json::num(self.n_functions)),
             ("trace_enabled", Json::Bool(self.trace_enabled)),
             ("outcome", self.outcome.to_json()),
+            ("passes", Json::Arr(self.passes.iter().map(PassSection::to_json).collect())),
             ("solver", self.solver.to_json()),
             ("cache", self.cache.to_json()),
             ("resume", self.resume.to_json()),
@@ -718,17 +749,34 @@ pub fn validate(doc: &Json) -> Result<(), Vec<Violation>> {
     require_u64(doc, "$", "events_dropped", &mut v);
 
     if let Some(outcome) = require(doc, "$", "outcome", &mut v) {
-        let mut parts = 0u64;
-        for key in ["succeeded", "timeout", "out_of_memory", "crashed", "quarantined", "other"] {
-            parts += require_u64(outcome, "$.outcome", key, &mut v).unwrap_or(0);
-        }
-        let total = require_u64(outcome, "$.outcome", "total", &mut v);
-        require_u64(outcome, "$.outcome", "attempts", &mut v);
-        if let Some(t) = total {
-            if t != parts {
-                v.push(format!(
-                    "$.outcome: categories sum to {parts} but total is {t}"
-                ));
+        validate_outcome_table(outcome, "$.outcome", &mut v);
+    }
+
+    if let Some(passes) = require(doc, "$", "passes", &mut v) {
+        match passes.as_arr() {
+            None => v.push("$.passes: expected an array".into()),
+            Some(items) => {
+                let mut pass_total = 0u64;
+                for (i, p) in items.iter().enumerate() {
+                    let path = format!("$.passes[{i}]");
+                    require_str(p, &path, "pass", &mut v);
+                    if let Some(outcome) = require(p, &path, "outcome", &mut v) {
+                        validate_outcome_table(outcome, &format!("{path}.outcome"), &mut v);
+                        pass_total +=
+                            outcome.get("total").and_then(Json::as_u64).unwrap_or(0);
+                    }
+                }
+                // Per-pass tables must partition the merged one.
+                if let Some(t) =
+                    doc.get("outcome").and_then(|o| o.get("total")).and_then(Json::as_u64)
+                {
+                    if !items.is_empty() && pass_total != t {
+                        v.push(format!(
+                            "$.passes: per-pass totals sum to {pass_total} but \
+                             $.outcome.total is {t}"
+                        ));
+                    }
+                }
             }
         }
     }
@@ -879,10 +927,25 @@ pub fn validate(doc: &Json) -> Result<(), Vec<Violation>> {
     }
 }
 
+fn validate_outcome_table(outcome: &Json, path: &str, v: &mut Vec<Violation>) {
+    let mut parts = 0u64;
+    for key in ["succeeded", "timeout", "out_of_memory", "crashed", "quarantined", "other"] {
+        parts += require_u64(outcome, path, key, v).unwrap_or(0);
+    }
+    let total = require_u64(outcome, path, "total", v);
+    require_u64(outcome, path, "attempts", v);
+    if let Some(t) = total {
+        if t != parts {
+            v.push(format!("{path}: categories sum to {parts} but total is {t}"));
+        }
+    }
+}
+
 fn validate_function(f: &Json, i: usize, v: &mut Vec<Violation>) {
     let path = format!("$.functions[{i}]");
     require_str(f, &path, "name", v);
     require_u64(f, &path, "index", v);
+    require_str(f, &path, "pass", v);
     require_u64(f, &path, "size", v);
     require_u64(f, &path, "wall_us", v);
     require_str(f, &path, "result", v);
@@ -1015,6 +1078,16 @@ mod tests {
                 total: 2,
                 attempts: 3,
             },
+            passes: vec![PassSection {
+                pass: "isel".into(),
+                outcome: OutcomeTable {
+                    succeeded: 1,
+                    crashed: 1,
+                    total: 2,
+                    attempts: 3,
+                    ..OutcomeTable::default()
+                },
+            }],
             solver: SolverCounters {
                 queries: 40,
                 sat: 22,
@@ -1110,6 +1183,7 @@ mod tests {
                 FunctionReport {
                     name: "f0".into(),
                     index: 0,
+                    pass: "isel".into(),
                     size: 12,
                     wall_us: 90_000,
                     result: "succeeded".into(),
@@ -1146,6 +1220,7 @@ mod tests {
                 FunctionReport {
                     name: "f1".into(),
                     index: 1,
+                    pass: "isel".into(),
                     size: 7,
                     wall_us: 1_500,
                     result: "crashed".into(),

@@ -9,8 +9,8 @@
 
 use keq_trace::{
     check_phase_coverage, validate, AttemptReport, CacheCounters, FunctionReport, Histogram, Json,
-    OutcomeTable, Phase, PhaseSummary, ResumeSection, RunReport, ServerSection, SlowObligation,
-    SolverCounters, TelemetrySection,
+    OutcomeTable, PassSection, Phase, PhaseSummary, ResumeSection, RunReport, ServerSection,
+    SlowObligation, SolverCounters, TelemetrySection,
 };
 
 const TRICKY_MESSAGE: &str = "boom \"quoted\"\nsecond line\twith tab \\ backslash and π";
@@ -33,6 +33,34 @@ fn golden_report() -> RunReport {
             total: 2,
             attempts: 3,
         },
+        passes: vec![
+            PassSection {
+                pass: "isel".into(),
+                outcome: OutcomeTable {
+                    succeeded: 1,
+                    timeout: 0,
+                    out_of_memory: 0,
+                    crashed: 0,
+                    quarantined: 0,
+                    other: 0,
+                    total: 1,
+                    attempts: 2,
+                },
+            },
+            PassSection {
+                pass: "gvn".into(),
+                outcome: OutcomeTable {
+                    succeeded: 0,
+                    timeout: 0,
+                    out_of_memory: 0,
+                    crashed: 1,
+                    quarantined: 0,
+                    other: 0,
+                    total: 1,
+                    attempts: 1,
+                },
+            },
+        ],
         solver: SolverCounters {
             queries: 40,
             sat: 22,
@@ -123,6 +151,7 @@ fn golden_report() -> RunReport {
             FunctionReport {
                 name: "f0".into(),
                 index: 0,
+                pass: "isel".into(),
                 size: 12,
                 wall_us: 90_000,
                 result: "succeeded".into(),
@@ -159,6 +188,7 @@ fn golden_report() -> RunReport {
             FunctionReport {
                 name: "f1".into(),
                 index: 1,
+                pass: "gvn".into(),
                 size: 7,
                 wall_us: 1_500,
                 result: "crashed".into(),
@@ -216,4 +246,21 @@ fn report_matches_golden_file_and_round_trips() {
         crashed[0].get("panic_location").and_then(Json::as_str),
         Some("crates/keq-smt/src/fault.rs:246:17")
     );
+
+    // v7: the per-pass sections partition the merged outcome table, and
+    // every function row names its validated pass.
+    let passes = doc.get("passes").and_then(Json::as_arr).expect("passes");
+    assert_eq!(passes.len(), 2);
+    assert_eq!(passes[0].get("pass").and_then(Json::as_str), Some("isel"));
+    assert_eq!(passes[1].get("pass").and_then(Json::as_str), Some("gvn"));
+    let total_of = |p: &Json| {
+        p.get("outcome").and_then(|o| o.get("total")).and_then(Json::as_u64).expect("total")
+    };
+    assert_eq!(
+        total_of(&passes[0]) + total_of(&passes[1]),
+        doc.get("outcome").and_then(|o| o.get("total")).and_then(Json::as_u64).expect("total"),
+        "per-pass totals must partition the merged table"
+    );
+    assert_eq!(functions[0].get("pass").and_then(Json::as_str), Some("isel"));
+    assert_eq!(functions[1].get("pass").and_then(Json::as_str), Some("gvn"));
 }

@@ -28,6 +28,12 @@ pub struct GenConfig {
     pub division: bool,
     /// Allow `nsw` arithmetic (source-UB; validates as refinement).
     pub nsw: bool,
+    /// High-register-pressure profile: pin this many extra temporaries
+    /// live across the whole function body (0 = off). Each is defined in
+    /// the entry block and consumed only in the final return mix, so they
+    /// are all simultaneously live everywhere — a pool smaller than
+    /// `pressure` plus the working set forces the allocator to spill.
+    pub pressure: usize,
 }
 
 impl Default for GenConfig {
@@ -42,6 +48,7 @@ impl Default for GenConfig {
             global_stores: true,
             division: true,
             nsw: false,
+            pressure: 0,
         }
     }
 }
@@ -94,12 +101,23 @@ pub fn generate_function(cfg: GenConfig, index: usize) -> keq_llvm::ast::Functio
         let p = params[i % nparams].0.clone();
         b.set_slot(slot, Operand::Local(p));
     }
+    // Pressure pins: defined before the body, consumed only after it, so
+    // every pin stays live across everything the body does.
+    let pinned: Vec<String> = (0..cfg.pressure)
+        .map(|k| {
+            let p = params[k % nparams].0.clone();
+            g.binop(&mut b, BinOp::Add, Operand::Local(p), Operand::Const(1 + k as i128))
+        })
+        .collect();
     g.seq(&mut b, stmts, cfg.max_depth);
-    // Return a mix of the slots.
+    // Return a mix of the slots (and every pressure pin).
     let (va, vb, vc) = (b.slot("a"), b.slot("b"), b.slot("c"));
     let t1 = g.binop(&mut b, BinOp::Add, va, vb);
-    let t2 = g.binop(&mut b, BinOp::Xor, Operand::Local(t1), vc);
-    b.terminate(Terminator::Ret { val: Some((Type::I32, Operand::Local(t2))) });
+    let mut ret = Operand::Local(g.binop(&mut b, BinOp::Xor, Operand::Local(t1), vc));
+    for t in pinned {
+        ret = Operand::Local(g.binop(&mut b, BinOp::Xor, ret, Operand::Local(t)));
+    }
+    b.terminate(Terminator::Ret { val: Some((Type::I32, ret)) });
     b.finish()
 }
 
@@ -423,6 +441,28 @@ mod tests {
             let layout = Layout::of(&m, f);
             let args: Vec<CValue> =
                 f.params.iter().enumerate().map(|(i, _)| CValue::new(32, 3 + i as u128)).collect();
+            let mut mem = keq_smt::MemValue::default();
+            match run_function(&m, f, &layout, &args, &mut mem, 100_000, &default_ext_call) {
+                Ok(_) => {}
+                Err(keq_llvm::Trap::Malformed(msg)) => {
+                    panic!("{} is malformed: {msg}\n{f}", f.name)
+                }
+                Err(_) => {} // UB traps are legitimate program behavior
+            }
+        }
+    }
+
+    #[test]
+    fn pressure_profile_functions_print_reparse_and_run() {
+        let cfg = GenConfig { seed: 9, pressure: 12, ..GenConfig::default() };
+        let m = generate_corpus(cfg, 10);
+        let text = m.to_string();
+        keq_llvm::parser::parse_module(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        for f in &m.functions {
+            let layout = Layout::of(&m, f);
+            let args: Vec<CValue> =
+                f.params.iter().enumerate().map(|(i, _)| CValue::new(32, 5 + i as u128)).collect();
             let mut mem = keq_smt::MemValue::default();
             match run_function(&m, f, &layout, &args, &mut mem, 100_000, &default_ext_call) {
                 Ok(_) => {}

@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! cargo run --release --example keq_client -- [N] [--addr 127.0.0.1:7411] \
-//!     [--seed S] [--repeat R] [--conns C] [--stats] [--shutdown]
+//!     [--seed S] [--pass isel|regalloc|gvn] [--repeat R] [--conns C] \
+//!     [--stats] [--shutdown]
 //! ```
 //!
 //! Each request wraps one corpus function in a module that carries the
@@ -24,10 +25,13 @@ use keq_repro::harness::{connect, ClientConn};
 use keq_repro::llvm::ast::Module;
 use keq_repro::workload::{generate_corpus, GenConfig};
 
+use keq_repro::isel::PassId;
+
 struct Cli {
     addr: String,
     n: usize,
     seed: u64,
+    pass: PassId,
     repeat: usize,
     conns: usize,
     stats: bool,
@@ -39,6 +43,7 @@ fn parse_cli() -> Cli {
         addr: "127.0.0.1:7411".to_string(),
         n: 20,
         seed: 2021,
+        pass: PassId::Isel,
         repeat: 1,
         conns: 1,
         stats: false,
@@ -50,6 +55,13 @@ fn parse_cli() -> Cli {
             "--addr" => cli.addr = args.next().expect("--addr <addr>"),
             "--seed" => {
                 cli.seed = args.next().and_then(|s| s.parse().ok()).expect("--seed <u64>");
+            }
+            "--pass" => {
+                cli.pass = args
+                    .next()
+                    .as_deref()
+                    .and_then(PassId::parse)
+                    .expect("--pass isel|regalloc|gvn");
             }
             "--repeat" => {
                 cli.repeat = args.next().and_then(|s| s.parse().ok()).expect("--repeat <n>");
@@ -63,8 +75,8 @@ fn parse_cli() -> Cli {
                 Ok(n) => cli.n = n,
                 Err(_) => {
                     eprintln!(
-                        "usage: keq_client [N] [--addr A] [--seed S] [--repeat R] [--conns C] \
-                         [--stats] [--shutdown]"
+                        "usage: keq_client [N] [--addr A] [--seed S] [--pass P] [--repeat R] \
+                         [--conns C] [--stats] [--shutdown]"
                     );
                     std::process::exit(2);
                 }
@@ -96,6 +108,7 @@ fn stream_requests(
     addr: &str,
     corpus: &Module,
     units: &[usize],
+    pass: PassId,
     repeat: usize,
 ) -> Tally {
     let mut conn = connect(addr).expect("connect to keq-server");
@@ -110,6 +123,7 @@ fn stream_requests(
             let req = ClientRequest::Validate {
                 tag: (round * corpus.functions.len() + i) as u64,
                 unit: i as u64,
+                pass,
                 ir: request_ir(corpus, i),
                 deadline_ms: None,
                 max_attempts: None,
@@ -141,8 +155,8 @@ fn main() {
     let corpus = generate_corpus(GenConfig { seed: cli.seed, ..GenConfig::default() }, cli.n);
 
     println!(
-        "streaming {} functions x{} to {} over {} connection(s) (seed {})...",
-        cli.n, cli.repeat, cli.addr, cli.conns, cli.seed
+        "streaming {} functions x{} (pass {}) to {} over {} connection(s) (seed {})...",
+        cli.n, cli.repeat, cli.pass, cli.addr, cli.conns, cli.seed
     );
     let conns = cli.conns.max(1).min(cli.n.max(1));
     let tallies: Vec<Tally> = std::thread::scope(|scope| {
@@ -153,7 +167,7 @@ fn main() {
                 // Round-robin split keeps every connection's unit stream
                 // deterministic in (seed, conns).
                 let units: Vec<usize> = (0..cli.n).filter(|i| i % conns == c).collect();
-                scope.spawn(move || stream_requests(addr, corpus, &units, cli.repeat))
+                scope.spawn(move || stream_requests(addr, corpus, &units, cli.pass, cli.repeat))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("client connection thread")).collect()

@@ -23,6 +23,11 @@
 //! summary. The wire protocol is length-framed JSON — see
 //! `keq_harness::protocol` and DESIGN.md.
 //!
+//! The daemon is pass-parametric per request: each `validate` op names
+//! the validated pass (`"pass": "isel" | "regalloc" | "gvn"`, absent →
+//! `isel`), so one resident scheduler serves all three instantiations —
+//! `keq_client --pass gvn` drives it from the bundled load generator.
+//!
 //! `--metrics` turns on the live telemetry registry: the `metrics` op then
 //! serves sampled time series, the slow-obligation table, and a Prometheus
 //! rendering (watch it live with the `keq_top` example).

@@ -6,10 +6,18 @@
 //!
 //! ```text
 //! cargo run --release --example validate_corpus -- [N] [--seed S] \
+//!     [--pass isel,regalloc,gvn] [--pressure K] \
 //!     [--report RUN_REPORT.json] [--trace-jsonl trace.jsonl] \
 //!     [--cache obligations.keqcache] [--journal run.keqwal] [--resume] \
 //!     [--chaos CYCLES] [--metrics]
 //! ```
+//!
+//! `--pass` selects which validated passes run over the corpus (default
+//! `isel`); a comma list fans every function out across all of them, and
+//! each printed row names its pass. `--pressure K` switches the generator
+//! to its high-register-pressure profile (K extra whole-body-live
+//! temporaries), which forces the spilling register allocator onto its
+//! spill path when combined with `--pass regalloc`.
 //!
 //! `--report` turns on tracing, collects the run's event journal, and
 //! writes the aggregated machine-readable report (schema
@@ -39,12 +47,15 @@ use std::time::Duration;
 
 use keq_repro::core::KeqOptions;
 use keq_repro::harness::{build_report, HarnessOptions, RetryPolicy};
+use keq_repro::isel::PassId;
 use keq_repro::smt::{mix64, Budget, FaultPlan, Rate};
 use keq_repro::trace::{Fanout, Journal, JsonlSink, TraceSink};
 
 struct Cli {
     n: usize,
     seed: u64,
+    passes: Vec<PassId>,
+    pressure: usize,
     report: Option<String>,
     trace_jsonl: Option<String>,
     cache: Option<String>,
@@ -62,6 +73,8 @@ fn parse_cli() -> Cli {
     let mut cli = Cli {
         n: 20,
         seed: 2021,
+        passes: Vec::new(),
+        pressure: 0,
         report: None,
         trace_jsonl: None,
         cache: None,
@@ -77,6 +90,22 @@ fn parse_cli() -> Cli {
         match arg.as_str() {
             "--seed" => {
                 cli.seed = args.next().and_then(|s| s.parse().ok()).expect("--seed <u64>");
+            }
+            "--pass" => {
+                let spec = args.next().expect("--pass isel|regalloc|gvn[,...]");
+                for name in spec.split(',') {
+                    match PassId::parse(name) {
+                        Some(p) => cli.passes.push(p),
+                        None => {
+                            eprintln!("--pass: unknown pass \"{name}\" (isel|regalloc|gvn)");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            }
+            "--pressure" => {
+                cli.pressure =
+                    args.next().and_then(|s| s.parse().ok()).expect("--pressure <count>");
             }
             "--report" => cli.report = Some(args.next().expect("--report <path>")),
             "--trace-jsonl" => {
@@ -99,9 +128,9 @@ fn parse_cli() -> Cli {
                 Ok(n) => cli.n = n,
                 Err(_) => {
                     eprintln!(
-                        "usage: validate_corpus [N] [--seed S] [--report PATH] \
-                         [--trace-jsonl PATH] [--cache PATH] [--journal PATH] [--resume] \
-                         [--chaos CYCLES] [--metrics]"
+                        "usage: validate_corpus [N] [--seed S] [--pass isel,regalloc,gvn] \
+                         [--pressure K] [--report PATH] [--trace-jsonl PATH] [--cache PATH] \
+                         [--journal PATH] [--resume] [--chaos CYCLES] [--metrics]"
                     );
                     std::process::exit(2);
                 }
@@ -146,6 +175,14 @@ fn kinds(summary: &keq_bench::CorpusSummary) -> Vec<&'static str> {
     summary.rows.iter().map(|r| r.result.kind().name()).collect()
 }
 
+fn gen_config(cli: &Cli) -> keq_bench::GenConfig {
+    keq_bench::GenConfig { seed: cli.seed, pressure: cli.pressure, ..Default::default() }
+}
+
+fn pass_list(cli: &Cli) -> String {
+    cli.passes.iter().map(|p| p.name()).collect::<Vec<_>>().join(",")
+}
+
 /// The chaos campaign driver. Exits 1 on verdict divergence or store
 /// impurity, 0 on success.
 fn run_chaos(cli: &Cli, cycles: u32) {
@@ -155,6 +192,7 @@ fn run_chaos(cli: &Cli, cycles: u32) {
         keq: base_keq_options(),
         fault_plan: chaos_plan(cli.seed),
         retry: chaos_retry(),
+        passes: cli.passes.clone(),
         ..HarnessOptions::default()
     };
 
@@ -163,7 +201,7 @@ fn run_chaos(cli: &Cli, cycles: u32) {
     //    it lands after some verdicts are journaled and before the rest.
     println!("chaos: reference run ({} functions, seed {})...", cli.n, cli.seed);
     let ref_start = std::time::Instant::now();
-    let (_m, reference) = keq_bench::run_corpus_with(cli.seed, cli.n, &base);
+    let (_m, reference) = keq_bench::run_corpus_cfg(gen_config(cli), cli.n, &base);
     let ref_ms = u64::try_from(ref_start.elapsed().as_millis()).unwrap_or(u64::MAX).max(20);
     let want = kinds(&reference);
 
@@ -190,6 +228,12 @@ fn run_chaos(cli: &Cli, cycles: u32) {
         if let Some(cache) = &cli.cache {
             cmd.args(["--cache", cache]);
         }
+        if !cli.passes.is_empty() {
+            cmd.args(["--pass", &pass_list(cli)]);
+        }
+        if cli.pressure > 0 {
+            cmd.args(["--pressure", &cli.pressure.to_string()]);
+        }
         let status = cmd.status().expect("spawn chaos child");
         if status.success() {
             println!("chaos: cycle {cycle} survived its {kill_ms}ms timer, run complete");
@@ -207,7 +251,7 @@ fn run_chaos(cli: &Cli, cycles: u32) {
         cache_path: cli.cache.as_ref().map(std::path::PathBuf::from),
         ..base
     };
-    let (_m, merged) = keq_bench::run_corpus_with(cli.seed, cli.n, &merged_opts);
+    let (_m, merged) = keq_bench::run_corpus_cfg(gen_config(cli), cli.n, &merged_opts);
     println!("{}", merged.summary_line());
 
     let got = kinds(&merged);
@@ -245,9 +289,13 @@ fn run_chaos(cli: &Cli, cycles: u32) {
     }
 
     println!(
-        "chaos: OK — {} kills, verdict tables identical ({} functions), resume skipped {} \
+        "chaos: OK — {} kills, verdict tables identical ({} units), resume skipped {} \
          recovered {} corrupt {}",
-        kills, cli.n, merged.resume.skipped, merged.resume.recovered, merged.resume.corrupt
+        kills,
+        want.len(),
+        merged.resume.skipped,
+        merged.resume.recovered,
+        merged.resume.corrupt
     );
 }
 
@@ -293,16 +341,25 @@ fn main() {
             enabled: cli.metrics,
             ..keq_repro::harness::MetricsConfig::default()
         },
+        passes: cli.passes.clone(),
         ..HarnessOptions::default()
     };
 
-    println!("validating {} generated functions (seed {})...", cli.n, cli.seed);
-    let (_module, summary) = keq_bench::run_corpus_with(cli.seed, cli.n, &opts);
+    let pass_names = if cli.passes.is_empty() { "isel".to_string() } else { pass_list(&cli) };
+    println!(
+        "validating {} generated functions (seed {}, passes: {pass_names})...",
+        cli.n, cli.seed
+    );
+    let (_module, summary) = keq_bench::run_corpus_cfg(gen_config(&cli), cli.n, &opts);
     for row in &summary.rows {
         let recovered = if row.recovered { "  [recovered]" } else { "" };
         println!(
-            "  {:<8} {:>4} instrs  {:>9.2?}  {:?}{recovered}",
-            row.name, row.size, row.time, row.result
+            "  {:<8} {:<8} {:>4} instrs  {:>9.2?}  {:?}{recovered}",
+            row.name,
+            row.pass.name(),
+            row.size,
+            row.time,
+            row.result
         );
     }
     println!(

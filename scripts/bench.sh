@@ -13,6 +13,10 @@
 #   pr9  obligation-normalization blasted-term reduction and cold-run
 #        cross-function cache hit ratio, emitted as BENCH_PR9.json
 #        (crates/keq-bench/benches/bench_pr9.rs for schema and knobs)
+#   pr10 pass-pipeline throughput: spilling-regalloc TV over a
+#        high-pressure corpus and GVN TV over the default corpus,
+#        emitted as BENCH_PR10.json
+#        (crates/keq-bench/benches/bench_pr10.rs for schema and knobs)
 #   server  keq-server steady-state throughput, latency quantiles, and
 #        resident-cache hit ratio, emitted as BENCH_SERVER.json
 #        (crates/keq-bench/benches/bench_server.rs for schema and knobs)
@@ -23,9 +27,11 @@
 #   scripts/bench.sh pr4 [--smoke]    # obligation-cache benchmark
 #   scripts/bench.sh pr6 [--smoke]    # crash-safety benchmark
 #   scripts/bench.sh pr9 [--smoke]    # rewrite-normalization benchmark
+#   scripts/bench.sh pr10 [--smoke]   # pass-pipeline (regalloc/gvn) benchmark
 #   scripts/bench.sh server [--smoke] # keq-server daemon benchmark
 #
-# Any KEQ_PR2_* / KEQ_PR4_* / KEQ_PR6_* / KEQ_PR9_* / KEQ_SRV_* variable
+# Any KEQ_PR2_* / KEQ_PR4_* / KEQ_PR6_* / KEQ_PR9_* / KEQ_PR10_* /
+# KEQ_SRV_* variable
 # already in the environment wins over the smoke defaults, so a partial
 # override stays possible in either mode.
 set -euo pipefail
@@ -35,10 +41,10 @@ target=pr2
 smoke=0
 for arg in "$@"; do
     case "$arg" in
-        pr2|pr4|pr6|pr9|server) target="$arg" ;;
+        pr2|pr4|pr6|pr9|pr10|server) target="$arg" ;;
         --smoke) smoke=1 ;;
         *)
-            echo "usage: scripts/bench.sh [pr2|pr4|pr6|pr9|server] [--smoke]" >&2
+            echo "usage: scripts/bench.sh [pr2|pr4|pr6|pr9|pr10|server] [--smoke]" >&2
             exit 2
             ;;
     esac
@@ -84,6 +90,16 @@ case "$target" in
         echo "==> cargo bench -p keq-bench --bench bench_pr9"
         cargo bench -p keq-bench --bench bench_pr9
         echo "==> wrote ${KEQ_PR9_OUT}"
+        ;;
+    pr10)
+        if [[ "$smoke" == 1 ]]; then
+            export KEQ_PR10_N="${KEQ_PR10_N:-6}"
+            export KEQ_PR10_SECS="${KEQ_PR10_SECS:-5}"
+        fi
+        export KEQ_PR10_OUT="${KEQ_PR10_OUT:-$PWD/BENCH_PR10.json}"
+        echo "==> cargo bench -p keq-bench --bench bench_pr10"
+        cargo bench -p keq-bench --bench bench_pr10
+        echo "==> wrote ${KEQ_PR10_OUT}"
         ;;
     server)
         if [[ "$smoke" == 1 ]]; then
